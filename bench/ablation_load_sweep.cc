@@ -1,0 +1,47 @@
+// Ablation A1: Figure 5's policy comparison at different system loads.
+// The paper (§4.4d): "We have found that different scheduling policies
+// prevail for different system loads [HA02]."
+#include <cstdio>
+#include <vector>
+
+#include "simsched/production_line.h"
+
+using namespace stagedb::simsched;  // NOLINT
+
+int main(int argc, char** argv) {
+  int64_t num_jobs = 120000;
+  if (argc > 1) num_jobs = std::stoll(argv[1]);
+
+  const std::vector<double> loads = {0.50, 0.80, 0.90, 0.95, 0.99};
+  const std::vector<Policy> policies = {
+      Policy::kTGated, Policy::kDGated, Policy::kNonGated, Policy::kFcfs,
+      Policy::kProcessorSharing};
+
+  for (double l : {0.10, 0.30}) {
+    std::printf("Mean response time (secs) at module-load fraction l = %.0f%% "
+                "(5 modules, m+l = 100 ms)\n", l * 100);
+    std::printf("%-12s", "policy\\load");
+    for (double rho : loads) std::printf("%8.0f%%", rho * 100);
+    std::printf("\n");
+    for (Policy p : policies) {
+      std::printf("%-12s", PolicyName(p));
+      for (double rho : loads) {
+        ProductionLineConfig c;
+        c.load_fraction = l;
+        c.utilization = rho;
+        c.num_jobs = num_jobs;
+        c.policy.policy = p;
+        c.policy.gate_rounds = 2;
+        Metrics m = ProductionLine(c).Run();
+        std::printf("%9.3f", m.mean_response_micros / 1e6);
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf("Observation: at low load batching opportunities shrink (small "
+              "queues), so the staged\npolicies converge to FCFS; at high "
+              "load cohorts form and the staged policies win by a\ngrowing "
+              "margin, while PS stays at S/(1-rho).\n");
+  return 0;
+}

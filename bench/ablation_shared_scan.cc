@@ -1,0 +1,96 @@
+// Ablation A6 (§5.4, multiple query optimization at run time): queries that
+// scan the same table back-to-back reuse each other's pages, while queries
+// interleaved across different tables evict each other from a small buffer
+// pool. The staged design's per-table fscan stages naturally create the
+// batched order.
+#include <cstdio>
+#include <vector>
+
+#include "engine/staged_engine.h"
+#include "optimizer/planner.h"
+#include "parser/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/wisconsin.h"
+
+using stagedb::catalog::Catalog;
+using stagedb::engine::StagedEngine;
+
+namespace {
+
+struct PoolCounters {
+  int64_t hits, misses;
+};
+
+PoolCounters RunOrder(Catalog* catalog, stagedb::storage::BufferPool* pool,
+                      const std::vector<const stagedb::optimizer::PhysicalPlan*>&
+                          order) {
+  StagedEngine engine(catalog);
+  const int64_t h0 = pool->hits(), m0 = pool->misses();
+  for (const auto* plan : order) {
+    auto rows = engine.Execute(plan);
+    if (!rows.ok()) exit(1);
+  }
+  return {pool->hits() - h0, pool->misses() - m0};
+}
+
+}  // namespace
+
+int main() {
+  // Buffer pool big enough for ONE table's pages but not all four.
+  stagedb::storage::MemDiskManager disk;
+  stagedb::storage::BufferPool pool(&disk, 300);
+  Catalog catalog(&pool);
+  const std::vector<std::string> tables = {"wa", "wb", "wc", "wd"};
+  for (const auto& t : tables) {
+    if (!stagedb::workload::CreateWisconsinTable(&catalog, t, 8000).ok()) {
+      return 1;
+    }
+  }
+  stagedb::optimizer::Planner planner(&catalog);
+  std::vector<std::unique_ptr<stagedb::optimizer::PhysicalPlan>> owned;
+  std::vector<const stagedb::optimizer::PhysicalPlan*> per_table[4];
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (int q = 0; q < 4; ++q) {
+      auto stmt = stagedb::parser::ParseStatement(
+          "SELECT COUNT(*), MIN(unique1) FROM " + tables[t] +
+          " WHERE ten = " + std::to_string(q));
+      if (!stmt.ok()) return 1;
+      auto plan = planner.Plan(**stmt);
+      if (!plan.ok()) return 1;
+      owned.push_back(std::move(*plan));
+      per_table[t].push_back(owned.back().get());
+    }
+  }
+  // Interleaved: round-robin across tables (what uncoordinated threads do).
+  std::vector<const stagedb::optimizer::PhysicalPlan*> interleaved, batched;
+  for (int q = 0; q < 4; ++q) {
+    for (size_t t = 0; t < tables.size(); ++t) {
+      interleaved.push_back(per_table[t][q]);
+    }
+  }
+  // Batched: all queries of one table together (what per-table fscan stages
+  // encourage).
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (int q = 0; q < 4; ++q) batched.push_back(per_table[t][q]);
+  }
+
+  std::printf("Ablation A6: run-time scan sharing (16 aggregation queries "
+              "over 4 tables, 300-page pool)\n\n");
+  PoolCounters i = RunOrder(&catalog, &pool, interleaved);
+  PoolCounters b = RunOrder(&catalog, &pool, batched);
+  const double hit_i = 100.0 * i.hits / (i.hits + i.misses);
+  const double hit_b = 100.0 * b.hits / (b.hits + b.misses);
+  std::printf("%-32s %-14s %-14s %-10s\n", "submission order", "pool hits",
+              "pool misses", "hit rate");
+  std::printf("%-32s %-14lld %-14lld %-10.1f%%\n",
+              "interleaved across tables", (long long)i.hits,
+              (long long)i.misses, hit_i);
+  std::printf("%-32s %-14lld %-14lld %-10.1f%%\n",
+              "batched per table (staged)", (long long)b.hits,
+              (long long)b.misses, hit_b);
+  std::printf("\nBatching queries at the same fscan stage turns repeated "
+              "scans into buffer hits\n(%.1f%% -> %.1f%%): the run-time "
+              "data-sharing opportunity §5.4 describes.\n", hit_i, hit_b);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation A8: end-to-end wall-clock throughput of the two server
+// architectures on real threads — the staged server (Figure 3 lifecycle
+// stages) versus the traditional worker-pool server — over a mixed Wisconsin
+// workload. This is the live-system smoke complement to the deterministic
+// virtual-time reproductions.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+#include "workload/wisconsin.h"
+
+using namespace stagedb::server;  // NOLINT
+
+namespace {
+
+double MeasureQps(Server* server, const std::vector<std::string>& queries,
+                  int clients, int reps) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < reps; ++i) {
+        const std::string& sql = queries[(c + i) % queries.size()];
+        if (!server->Submit(sql)->Await().ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "%d queries failed\n", failures.load());
+    exit(1);
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return clients * reps / secs;
+}
+
+}  // namespace
+
+int main() {
+  auto db_or = Database::Open();
+  if (!db_or.ok()) return 1;
+  Database* db = db_or->get();
+  if (!stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk1", 4000)
+           .ok() ||
+      !stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk2", 4000)
+           .ok()) {
+    return 1;
+  }
+  if (!db->catalog()->CreateIndex("tenk1_u2", "tenk1", "unique2").ok()) {
+    return 1;
+  }
+  const auto queries = stagedb::workload::SampleQueries("tenk1", "tenk2", 4000);
+
+  constexpr int kClients = 6, kReps = 8;
+  std::printf("A8: end-to-end server throughput, %d concurrent clients x %d "
+              "mixed Wisconsin queries (wall clock, %u cores)\n\n",
+              kClients, kReps, std::thread::hardware_concurrency());
+
+  double staged_qps, threaded_qps;
+  {
+    ServerOptions opts;
+    opts.threads_per_stage = 1;
+    StagedServer server(db, opts);
+    staged_qps = MeasureQps(&server, queries, kClients, kReps);
+    std::printf("%s\n", server.StatsReport().c_str());
+  }
+  {
+    ServerOptions opts;
+    opts.worker_threads = 8;
+    ThreadedServer server(db, opts);
+    threaded_qps = MeasureQps(&server, queries, kClients, kReps);
+    std::printf("%s\n", server.StatsReport().c_str());
+  }
+  std::printf("staged server   : %8.1f queries/sec\n", staged_qps);
+  std::printf("threaded server : %8.1f queries/sec\n", threaded_qps);
+  std::printf("\nBoth architectures execute the identical workload "
+              "correctly; on a %u-core host the\nwall-clock difference is "
+              "dominated by scheduling noise — the cache-affinity argument\n"
+              "is quantified by the deterministic benches (fig1/fig2/fig5).\n",
+              std::thread::hardware_concurrency());
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Reproduces Figure 2 of "A Case for Staged Database Systems" (CIDR 2003):
+// execution-engine throughput as a function of the worker thread-pool size,
+// as a percentage of each workload's maximum attainable throughput.
+//
+//   Workload A — short selection/aggregation queries over a Wisconsin table
+//                that almost always incur disk I/O (paper: 40-80 ms).
+//   Workload B — long join queries over memory-resident tables (paper:
+//                up to 2-3 s; only log I/O).
+//
+// Setup mirrors §3.1.1: queries arrive already parsed and optimized into the
+// execution engine's input queue; a pool of K threads picks clients from the
+// queue and works on each until it finishes. Work amounts are captured from
+// real executions of this repository's engine; timing is replayed under
+// virtual time with the paper's 10 ms preemption quantum and a module
+// working-set cache model (see DESIGN.md, substitution table).
+//
+// Expected shape (paper): Workload A rises and stays at peak for pools of
+// ~20 or more threads; Workload B peaks with a handful of threads and then
+// severely degrades as longer queries interfere with each other.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "replay/capture.h"
+#include "replay/virtual_cpu.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/wisconsin.h"
+
+using stagedb::Rng;
+using stagedb::catalog::Catalog;
+using stagedb::replay::CaptureCostModel;
+using stagedb::replay::CaptureQueryTrace;
+using stagedb::replay::DefaultServerModules;
+using stagedb::replay::QueryTrace;
+using stagedb::replay::Replay;
+using stagedb::replay::ReplayConfig;
+using stagedb::replay::ReplayResult;
+
+namespace {
+
+std::vector<QueryTrace> MakeJobs(const std::vector<QueryTrace>& distinct,
+                                 int n) {
+  std::vector<QueryTrace> jobs;
+  jobs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    QueryTrace t = distinct[i % distinct.size()];
+    t.id = i;
+    jobs.push_back(std::move(t));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs_a = 400, jobs_b = 80;
+  if (argc > 1) {
+    jobs_a = std::stoi(argv[1]);
+    jobs_b = std::max(20, jobs_a / 5);
+  }
+
+  // Real database: Wisconsin tables + index for the Workload A selections.
+  stagedb::storage::MemDiskManager disk;
+  stagedb::storage::BufferPool pool(&disk, 16384);
+  Catalog catalog(&pool);
+  auto t1 = stagedb::workload::CreateWisconsinTable(&catalog, "tenk1", 10000);
+  auto t2 = stagedb::workload::CreateWisconsinTable(&catalog, "tenk2", 10000);
+  if (!t1.ok() || !t2.ok()) {
+    std::fprintf(stderr, "table setup failed\n");
+    return 1;
+  }
+  if (!catalog.CreateIndex("tenk1_u2", "tenk1", "unique2").ok()) return 1;
+
+  // Capture distinct query traces from real executions.
+  Rng rng(42);
+  CaptureCostModel cost_a;
+  cost_a.exec_micros_per_tuple = 15.0;
+  cost_a.rows_per_io_page = 25;
+  cost_a.charge_scan_io = true;
+  std::vector<QueryTrace> distinct_a;
+  for (int i = 0; i < 12; ++i) {
+    auto t = CaptureQueryTrace(
+        &catalog, stagedb::workload::WorkloadAQuery("tenk1", 10000, &rng),
+        cost_a);
+    if (!t.ok()) {
+      std::fprintf(stderr, "capture A failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    distinct_a.push_back(std::move(*t));
+  }
+  CaptureCostModel cost_b;
+  cost_b.exec_micros_per_tuple = 50.0;
+  cost_b.charge_scan_io = false;  // memory-resident tables
+  cost_b.log_ios = 2;             // logging only
+  std::vector<QueryTrace> distinct_b;
+  for (int i = 0; i < 8; ++i) {
+    auto t = CaptureQueryTrace(
+        &catalog,
+        stagedb::workload::WorkloadBQuery("tenk1", "tenk2", 10000, &rng),
+        cost_b);
+    if (!t.ok()) {
+      std::fprintf(stderr, "capture B failed: %s\n",
+                   t.status().ToString().c_str());
+      return 1;
+    }
+    distinct_b.push_back(std::move(*t));
+  }
+
+  double mean_a = 0, mean_b = 0;
+  for (const auto& t : distinct_a) {
+    mean_a += (t.TotalCpuMicros() + t.TotalIos() * 10000.0) / distinct_a.size();
+  }
+  for (const auto& t : distinct_b) mean_b += t.TotalCpuMicros() / distinct_b.size();
+
+  std::printf("Figure 2: throughput vs thread pool size (%% of max "
+              "attainable per workload)\n");
+  std::printf("Workload A: 1%%-range selections/aggregations with disk I/O "
+              "(mean demand %.0f ms incl. I/O)\n", mean_a / 1000.0);
+  std::printf("Workload B: join queries on memory-resident tables "
+              "(mean CPU demand %.0f ms)\n", mean_b / 1000.0);
+  std::printf("Quantum 10 ms, I/O %d ms, module cache capacity 1, private "
+              "working sets resident: 5\n\n", 10);
+
+  const std::vector<int> pool_sizes = {1, 2,  3,  5,  8,  12, 16,
+                                       20, 30, 50, 75, 100, 150, 200};
+  const auto jobs_for_a = MakeJobs(distinct_a, jobs_a);
+  const auto jobs_for_b = MakeJobs(distinct_b, jobs_b);
+  const auto modules = DefaultServerModules();
+
+  struct Row {
+    int threads;
+    double tps_a, tps_b;
+  };
+  std::vector<Row> rows;
+  double max_a = 0, max_b = 0;
+  for (int k : pool_sizes) {
+    ReplayConfig cfg;
+    cfg.num_threads = k;
+    cfg.quantum_micros = 10000;
+    cfg.io_latency_micros = 10000;
+    cfg.cache_module_capacity = 1;
+    cfg.cache_state_capacity = 5;
+    ReplayResult a = Replay(modules, jobs_for_a, cfg);
+    ReplayResult b = Replay(modules, jobs_for_b, cfg);
+    rows.push_back({k, a.throughput_qps, b.throughput_qps});
+    max_a = std::max(max_a, a.throughput_qps);
+    max_b = std::max(max_b, b.throughput_qps);
+  }
+
+  std::printf("%-10s %-22s %-22s\n", "threads",
+              "Workload A (% of max)", "Workload B (% of max)");
+  int a_knee = 0, b_knee = 0;
+  for (const Row& r : rows) {
+    std::printf("%-10d %-22.1f %-22.1f\n", r.threads, 100.0 * r.tps_a / max_a,
+                100.0 * r.tps_b / max_b);
+    if (a_knee == 0 && r.tps_a >= 0.98 * max_a) a_knee = r.threads;
+    if (r.tps_b >= 0.95 * max_b) b_knee = r.threads;
+  }
+  std::printf("\nE7 (paper section 3.1.1): there is no single pool size that "
+              "fits both workloads.\n");
+  std::printf("   Workload A reaches its peak around %d threads and stays "
+              "there for larger pools;\n", a_knee);
+  std::printf("   Workload B holds its peak only up to ~%d threads and "
+              "degrades beyond that\n", b_knee);
+  std::printf("   (paper: A constant for >= 20 threads; B severely degrades "
+              "with more than 5 threads).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 5 of "A Case for Staged Database Systems" (CIDR 2003):
+// mean query response time at 95% system load for PS, FCFS and the staged
+// policies (non-gated, D-gated, T-gated(2)), as the fraction of execution
+// time spent fetching common data+code (l) varies from 0% to 60%.
+//
+// Also reports experiment E6: the paper's claim that a 7% per-module
+// improvement (the §3.1.3 parsing experiment) translates into a >40% mean
+// response time improvement at high load.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simsched/production_line.h"
+
+using stagedb::simsched::Metrics;
+using stagedb::simsched::Policy;
+using stagedb::simsched::ProductionLine;
+using stagedb::simsched::ProductionLineConfig;
+
+namespace {
+
+Metrics RunOne(Policy policy, double load_fraction, double utilization,
+               int64_t num_jobs) {
+  ProductionLineConfig c;
+  c.num_modules = 5;
+  c.mean_total_demand_micros = 100000.0;  // 100 ms as in the paper
+  c.utilization = utilization;
+  c.load_fraction = load_fraction;
+  c.num_jobs = num_jobs;
+  c.seed = 42;
+  c.policy.policy = policy;
+  c.policy.gate_rounds = 2;  // T-gated(2)
+  return ProductionLine(c).Run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t num_jobs = 150000;
+  if (argc > 1) num_jobs = std::stoll(argv[1]);
+
+  const std::vector<Policy> policies = {
+      Policy::kTGated, Policy::kDGated, Policy::kNonGated, Policy::kFcfs,
+      Policy::kProcessorSharing};
+  const std::vector<double> load_fractions = {0.0,  0.02, 0.05, 0.10, 0.20,
+                                              0.30, 0.40, 0.50, 0.60};
+
+  std::printf("Figure 5: mean response time (secs) vs %% of execution time "
+              "spent fetching common data+code\n");
+  std::printf("System load 95%%, 5 modules, mean query demand m+l = 100 ms, "
+              "%lld queries per point, seed 42\n\n",
+              static_cast<long long>(num_jobs));
+  std::printf("%-12s", "l (%)");
+  for (double l : load_fractions) std::printf("%8.0f", l * 100);
+  std::printf("\n");
+
+  double staged_at_7 = 0.0, ps_at_7 = 0.0;
+  for (Policy p : policies) {
+    std::printf("%-12s", stagedb::simsched::PolicyName(p));
+    for (double l : load_fractions) {
+      Metrics m = RunOne(p, l, 0.95, num_jobs);
+      std::printf("%8.3f", m.mean_response_micros / 1e6);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // E6: the §3.1.3 experiment measured a 7% improvement in a query's parse
+  // time when it reused the parser's common data and code. In the model this
+  // corresponds to l = 7% of execution time across modules with similar
+  // overlap. The paper: "even such a modest average improvement across all
+  // server modules results into more than 40% overall response time
+  // improvement ... at high system load".
+  {
+    Metrics staged = RunOne(Policy::kTGated, 0.07, 0.95, num_jobs);
+    Metrics ps = RunOne(Policy::kProcessorSharing, 0.07, 0.95, num_jobs);
+    staged_at_7 = staged.mean_response_micros;
+    ps_at_7 = ps.mean_response_micros;
+    const double improvement = 100.0 * (1.0 - staged_at_7 / ps_at_7);
+    std::printf("\nE6 (paper section 4.2): at l = 7%% and 95%% load, "
+                "T-gated(2) mean response = %.3f s vs PS = %.3f s\n",
+                staged_at_7 / 1e6, ps_at_7 / 1e6);
+    std::printf("   -> overall response time improvement = %.1f%% "
+                "(paper claims > 40%%)\n", improvement);
+  }
+
+  std::printf("\nPaper-reported shape (Figure 5): PS flat at ~2 s; FCFS well "
+              "below PS; staged policies\n"
+              "overtake both beyond l of about 2%% and improve as l grows "
+              "(up to ~2x faster than PS).\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Affinity-scheduling demo: the §4.2 scheduling trade-off in miniature.
+// Simulates the production-line staged server at increasing load and shows
+// how cohort scheduling amortizes the module loading time that the
+// processor-sharing baseline pays on every query.
+#include <cstdio>
+
+#include "simsched/production_line.h"
+
+using namespace stagedb::simsched;  // NOLINT
+
+int main() {
+  std::printf("The scheduling trade-off (paper section 4.2): batching "
+              "queries inside a module\nsaves cache reloads but delays "
+              "batch-mates. 5 modules, 100 ms queries, l = 30%%.\n\n");
+  std::printf("%-8s %-12s %-14s %-16s %-18s\n", "load", "policy",
+              "response (s)", "batch size", "load time share");
+  for (double rho : {0.5, 0.9, 0.95}) {
+    for (Policy p :
+         {Policy::kProcessorSharing, Policy::kFcfs, Policy::kTGated}) {
+      ProductionLineConfig c;
+      c.utilization = rho;
+      c.load_fraction = 0.30;
+      c.num_jobs = 60000;
+      c.policy.policy = p;
+      Metrics m = ProductionLine(c).Run();
+      std::printf("%-8.2f %-12s %-14.3f %-16.2f %-17.1f%%\n", rho,
+                  PolicyName(p), m.mean_response_micros / 1e6,
+                  m.mean_batch_size, 100 * m.load_fraction);
+    }
+    std::printf("\n");
+  }
+  std::printf("T-gated cohorts grow with load; the measured load-time share "
+              "drops as the first query\nin each batch pays for all of them "
+              "— PS pays the full 30%% at every load.\n");
+  return 0;
+}

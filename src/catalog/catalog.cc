@@ -1,0 +1,176 @@
+#include "catalog/catalog.h"
+
+#include "common/string_util.h"
+
+namespace stagedb::catalog {
+
+StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
+                                          const Schema& schema) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(name)) {
+    return Status::AlreadyExists(StrFormat("table '%s'", name.c_str()));
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table must have at least one column");
+  }
+  auto heap_or = storage::HeapFile::Create(pool_);
+  if (!heap_or.ok()) return heap_or.status();
+  auto info = std::make_unique<TableInfo>();
+  info->id = next_table_id_++;
+  info->name = name;
+  info->schema = schema.Qualified(name);
+  info->heap = std::move(*heap_or);
+  info->stats = std::make_unique<TableStats>(schema.num_columns());
+  symbols_.Intern(name);
+  for (const Column& c : schema.columns()) symbols_.Intern(c.name);
+  TableInfo* ptr = info.get();
+  tables_[name] = std::move(info);
+  return ptr;
+}
+
+StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s'", name.c_str()));
+  }
+  return it->second.get();
+}
+
+StatusOr<TableInfo*> Catalog::GetTableById(TableId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, info] : tables_) {
+    if (info->id == id) return info.get();
+  }
+  return Status::NotFound(StrFormat("table id %d", id));
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("table '%s'", name.c_str()));
+  }
+  // Drop dependent indexes.
+  const TableId id = it->second->id;
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (iit->second->table_id == id) {
+      iit = indexes_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
+                                          const std::string& table_name,
+                                          const std::string& column_name) {
+  TableInfo* table;
+  {
+    auto t = GetTable(table_name);
+    if (!t.ok()) return t.status();
+    table = *t;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.count(index_name)) {
+    return Status::AlreadyExists(StrFormat("index '%s'", index_name.c_str()));
+  }
+  auto col_or = table->schema.Find(column_name);
+  if (!col_or.ok()) return col_or.status();
+  const size_t col = *col_or;
+  if (table->schema.column(col).type != TypeId::kInt64) {
+    return Status::NotSupported("indexes require an INTEGER column");
+  }
+  auto tree_or = storage::BPlusTree::Create(pool_);
+  if (!tree_or.ok()) return tree_or.status();
+  auto info = std::make_unique<IndexInfo>();
+  info->id = next_index_id_++;
+  info->name = index_name;
+  info->table_id = table->id;
+  info->column = col;
+  info->tree = std::move(*tree_or);
+  // Backfill from existing rows.
+  auto it = table->heap->Scan();
+  while (it.Next()) {
+    auto tuple_or = DecodeTuple(table->schema, it.record());
+    if (!tuple_or.ok()) return tuple_or.status();
+    const Value& key = (*tuple_or)[col];
+    if (key.is_null()) continue;
+    STAGEDB_RETURN_IF_ERROR(info->tree->Insert(key.int_value(), it.rid()));
+  }
+  STAGEDB_RETURN_IF_ERROR(it.status());
+  IndexInfo* ptr = info.get();
+  indexes_[index_name] = std::move(info);
+  table->indexes.push_back(ptr);
+  return ptr;
+}
+
+StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound(StrFormat("index '%s'", name.c_str()));
+  }
+  return it->second.get();
+}
+
+IndexInfo* Catalog::FindIndexOn(TableId table, size_t column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, info] : indexes_) {
+    if (info->table_id == table && info->column == column) return info.get();
+  }
+  return nullptr;
+}
+
+StatusOr<storage::Rid> Catalog::InsertTuple(TableInfo* table,
+                                            const Tuple& tuple) {
+  if (tuple.size() != table->schema.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("expected %zu values, got %zu",
+                  table->schema.num_columns(), tuple.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!TypesCompatible(tuple[i].type(), table->schema.column(i).type)) {
+      return Status::InvalidArgument(
+          StrFormat("type mismatch in column '%s'",
+                    table->schema.column(i).name.c_str()));
+    }
+  }
+  const std::string bytes = EncodeTuple(table->schema, tuple);
+  auto rid_or = table->heap->Insert(bytes);
+  if (!rid_or.ok()) return rid_or.status();
+  table->stats->RecordInsert(tuple);
+  for (IndexInfo* index : table->indexes) {
+    const Value& key = tuple[index->column];
+    if (key.is_null()) continue;
+    STAGEDB_RETURN_IF_ERROR(index->tree->Insert(key.int_value(), *rid_or));
+  }
+  return *rid_or;
+}
+
+Status Catalog::DeleteTuple(TableInfo* table, const storage::Rid& rid) {
+  std::string bytes;
+  STAGEDB_RETURN_IF_ERROR(table->heap->Get(rid, &bytes));
+  auto tuple_or = DecodeTuple(table->schema, bytes);
+  if (!tuple_or.ok()) return tuple_or.status();
+  STAGEDB_RETURN_IF_ERROR(table->heap->Delete(rid));
+  table->stats->RecordDelete();
+  for (IndexInfo* index : table->indexes) {
+    const Value& key = (*tuple_or)[index->column];
+    if (key.is_null()) continue;
+    STAGEDB_RETURN_IF_ERROR(index->tree->Delete(key.int_value()));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, info] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace stagedb::catalog

@@ -1,0 +1,87 @@
+// The catalog: tables, indexes, schemas, and statistics. Table 1 of the paper
+// classifies the catalog as "common" data touched by the majority of queries;
+// the connect/parse/optimize stages all resolve names through it.
+#ifndef STAGEDB_CATALOG_CATALOG_H_
+#define STAGEDB_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/symbol_table.h"
+#include "catalog/table_stats.h"
+#include "catalog/tuple.h"
+#include "common/status.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace stagedb::catalog {
+
+using TableId = int32_t;
+using IndexId = int32_t;
+
+/// A secondary index over one INTEGER column.
+struct IndexInfo {
+  IndexId id = -1;
+  std::string name;
+  TableId table_id = -1;
+  size_t column = 0;
+  std::unique_ptr<storage::BPlusTree> tree;
+};
+
+/// A table: schema + heap file + stats + indexes.
+struct TableInfo {
+  TableId id = -1;
+  std::string name;
+  Schema schema;
+  std::unique_ptr<storage::HeapFile> heap;
+  std::unique_ptr<TableStats> stats;
+  std::vector<IndexInfo*> indexes;  // owned by the catalog
+};
+
+/// Thread-safe catalog over a buffer pool.
+class Catalog {
+ public:
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  StatusOr<TableInfo*> CreateTable(const std::string& name,
+                                   const Schema& schema);
+  StatusOr<TableInfo*> GetTable(const std::string& name) const;
+  StatusOr<TableInfo*> GetTableById(TableId id) const;
+  Status DropTable(const std::string& name);
+
+  /// Creates a B+-tree index on an INTEGER column and backfills it from the
+  /// table's current contents.
+  StatusOr<IndexInfo*> CreateIndex(const std::string& index_name,
+                                   const std::string& table_name,
+                                   const std::string& column_name);
+  StatusOr<IndexInfo*> GetIndex(const std::string& name) const;
+  /// The index on `table`.`column`, or nullptr.
+  IndexInfo* FindIndexOn(TableId table, size_t column) const;
+
+  /// Inserts a tuple through the catalog: updates heap, stats, and indexes.
+  StatusOr<storage::Rid> InsertTuple(TableInfo* table, const Tuple& tuple);
+  /// Deletes a tuple by rid, maintaining indexes and stats.
+  Status DeleteTuple(TableInfo* table, const storage::Rid& rid);
+
+  std::vector<std::string> TableNames() const;
+  SymbolTable* symbols() { return &symbols_; }
+  storage::BufferPool* buffer_pool() { return pool_; }
+
+ private:
+  storage::BufferPool* pool_;
+  mutable std::mutex mu_;
+  TableId next_table_id_ = 0;
+  IndexId next_index_id_ = 0;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
+  SymbolTable symbols_;
+};
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_CATALOG_H_

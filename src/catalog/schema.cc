@@ -1,0 +1,55 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+
+namespace stagedb::catalog {
+
+StatusOr<size_t> Schema::Find(const std::string& name) const {
+  // Qualified lookup: "t.c" matches only columns with that table qualifier.
+  const size_t dot = name.find('.');
+  std::string table, col;
+  if (dot != std::string::npos) {
+    table = name.substr(0, dot);
+    col = name.substr(dot + 1);
+  } else {
+    col = name;
+  }
+  size_t found = SIZE_MAX;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (c.name != col) continue;
+    if (!table.empty() && c.table != table) continue;
+    if (found != SIZE_MAX) {
+      return Status::InvalidArgument(
+          StrFormat("ambiguous column reference '%s'", name.c_str()));
+    }
+    found = i;
+  }
+  if (found == SIZE_MAX) {
+    return Status::NotFound(StrFormat("column '%s'", name.c_str()));
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Qualified(const std::string& table) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.table = table;
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.QualifiedName() + " " + TypeName(c.type));
+  }
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+}  // namespace stagedb::catalog

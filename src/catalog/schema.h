@@ -1,0 +1,51 @@
+// Table and intermediate-result schemas.
+#ifndef STAGEDB_CATALOG_SCHEMA_H_
+#define STAGEDB_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "common/status.h"
+
+namespace stagedb::catalog {
+
+/// A named, typed column. `table` qualifies the name for join outputs.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string table;  // optional qualifier
+
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_.at(i); }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Finds a column by (optionally qualified) name. Ambiguity is an error.
+  StatusOr<size_t> Find(const std::string& name) const;
+
+  /// Schema of `left` columns followed by `right` columns (join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Copy of this schema with every column qualified by `table`.
+  Schema Qualified(const std::string& table) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_SCHEMA_H_

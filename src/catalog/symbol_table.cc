@@ -1,0 +1,38 @@
+#include "catalog/symbol_table.h"
+
+namespace stagedb::catalog {
+
+int32_t SymbolTable::Intern(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const int32_t id = static_cast<int32_t>(names_.size());
+  names_.push_back(name);
+  ids_[name] = id;
+  return id;
+}
+
+int32_t SymbolTable::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return -1;
+  ++hits_;
+  return it->second;
+}
+
+const std::string& SymbolTable::NameOf(int32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.at(id);
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+}  // namespace stagedb::catalog

@@ -1,0 +1,42 @@
+// The symbol table: the parse stage's "common" working set (Table 1 of the
+// paper classifies the catalog and symbol table as data accessed by the
+// majority of queries). Identifiers are interned so repeated parsing of
+// similar queries touches the same structures.
+#ifndef STAGEDB_CATALOG_SYMBOL_TABLE_H_
+#define STAGEDB_CATALOG_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace stagedb::catalog {
+
+/// Thread-safe identifier interning with lookup statistics (the lookup
+/// counters feed the Table 1 reference-classification experiment).
+class SymbolTable {
+ public:
+  /// Returns a stable id for `name`, inserting it on first sight.
+  int32_t Intern(const std::string& name);
+
+  /// Returns the id or -1 without inserting.
+  int32_t Lookup(const std::string& name) const;
+
+  const std::string& NameOf(int32_t id) const;
+
+  size_t size() const;
+  int64_t lookups() const { return lookups_; }
+  int64_t hits() const { return hits_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<std::string> names_;
+  mutable int64_t lookups_ = 0;
+  mutable int64_t hits_ = 0;
+};
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_SYMBOL_TABLE_H_

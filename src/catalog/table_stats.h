@@ -1,0 +1,52 @@
+// Per-table statistics used by the optimizer's cost model.
+#ifndef STAGEDB_CATALOG_TABLE_STATS_H_
+#define STAGEDB_CATALOG_TABLE_STATS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/tuple.h"
+
+namespace stagedb::catalog {
+
+/// Min/max/NDV estimate for one column.
+struct ColumnStats {
+  Value min;
+  Value max;
+  int64_t num_distinct = 0;
+  int64_t num_nulls = 0;
+};
+
+/// Statistics maintained incrementally on insert (and rebuilt by Analyze).
+class TableStats {
+ public:
+  explicit TableStats(size_t num_columns) : columns_(num_columns) {}
+
+  void RecordInsert(const Tuple& tuple);
+  void RecordDelete() { if (row_count_ > 0) --row_count_; }
+  void Reset();
+
+  int64_t row_count() const { return row_count_; }
+  const ColumnStats& column(size_t i) const { return columns_.at(i); }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Selectivity estimate for an equality predicate on column i.
+  double EqSelectivity(size_t i) const;
+  /// Selectivity estimate for a range predicate covering `fraction` of the
+  /// [min,max] span of column i (numeric only; 1/3 fallback otherwise).
+  double RangeSelectivity(size_t i, const Value& lo, const Value& hi) const;
+
+ private:
+  int64_t row_count_ = 0;
+  std::vector<ColumnStats> columns_;
+  // Exact NDV tracking is bounded; beyond the cap we stop growing the set and
+  // keep the count (documented approximation).
+  static constexpr size_t kNdvCap = 100000;
+  std::vector<std::unordered_set<size_t>> hashes_ =
+      std::vector<std::unordered_set<size_t>>();
+};
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_TABLE_STATS_H_

@@ -1,0 +1,29 @@
+// Tuples and their on-page serialization.
+#ifndef STAGEDB_CATALOG_TUPLE_H_
+#define STAGEDB_CATALOG_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/status.h"
+
+namespace stagedb::catalog {
+
+/// A row: one Value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Serializes a tuple for storage in a heap-file record. The encoding is a
+/// null bitmap followed by fixed-width values and length-prefixed varchars.
+std::string EncodeTuple(const Schema& schema, const Tuple& tuple);
+
+/// Inverse of EncodeTuple.
+StatusOr<Tuple> DecodeTuple(const Schema& schema, std::string_view bytes);
+
+/// Human-readable row rendering ("(1, foo, 2.5)").
+std::string TupleToString(const Tuple& tuple);
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_TUPLE_H_

@@ -1,0 +1,46 @@
+// SQL type system.
+#ifndef STAGEDB_CATALOG_TYPES_H_
+#define STAGEDB_CATALOG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stagedb::catalog {
+
+enum class TypeId : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kVarchar,
+};
+
+inline const char* TypeName(TypeId t) {
+  switch (t) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return "BOOLEAN";
+    case TypeId::kInt64:
+      return "INTEGER";
+    case TypeId::kDouble:
+      return "DOUBLE";
+    case TypeId::kVarchar:
+      return "VARCHAR";
+  }
+  return "?";
+}
+
+/// True if a value of type `from` may be used where `to` is expected.
+inline bool TypesCompatible(TypeId from, TypeId to) {
+  if (from == to) return true;
+  if (from == TypeId::kNull || to == TypeId::kNull) return true;
+  // Numeric widening.
+  if (from == TypeId::kInt64 && to == TypeId::kDouble) return true;
+  if (from == TypeId::kDouble && to == TypeId::kInt64) return true;
+  return false;
+}
+
+}  // namespace stagedb::catalog
+
+#endif  // STAGEDB_CATALOG_TYPES_H_

@@ -1,0 +1,80 @@
+#include "catalog/value.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace stagedb::catalog {
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Numeric cross-type comparison.
+  const bool numeric =
+      (type_ == TypeId::kInt64 || type_ == TypeId::kDouble) &&
+      (other.type_ == TypeId::kInt64 || other.type_ == TypeId::kDouble);
+  if (numeric) {
+    if (type_ == TypeId::kInt64 && other.type_ == TypeId::kInt64) {
+      return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
+    }
+    const double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    // Total order across types for sorting stability.
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+      return bool_ == other.bool_ ? 0 : (bool_ ? 1 : -1);
+    case TypeId::kVarchar: {
+      const int c = str_.compare(other.str_);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return 0x9ddfea08eb382d69ULL;
+    case TypeId::kBool:
+      return bool_ ? 1231 : 1237;
+    case TypeId::kInt64:
+      return std::hash<int64_t>()(int_);
+    case TypeId::kDouble: {
+      // Hash doubles that equal an integer identically to that integer so
+      // cross-type equality keys collide as required.
+      const double d = double_;
+      if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case TypeId::kVarchar:
+      return std::hash<std::string>()(str_);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case TypeId::kNull:
+      return "NULL";
+    case TypeId::kBool:
+      return bool_ ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(int_);
+    case TypeId::kDouble:
+      return StrFormat("%g", double_);
+    case TypeId::kVarchar:
+      return str_;
+  }
+  return "?";
+}
+
+}  // namespace stagedb::catalog

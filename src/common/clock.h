@@ -1,0 +1,59 @@
+// Real and virtual clocks. All engine code takes time through the Clock
+// interface so that experiments can run in deterministic virtual time.
+#ifndef STAGEDB_COMMON_CLOCK_H_
+#define STAGEDB_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace stagedb {
+
+/// Abstract monotonic clock in microseconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since an arbitrary epoch.
+  virtual int64_t NowMicros() const = 0;
+  /// Sleeps (really or virtually) for the given number of microseconds.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock implementation backed by steady_clock.
+class RealClock : public Clock {
+ public:
+  static RealClock* Instance() {
+    static RealClock clock;
+    return &clock;
+  }
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepMicros(int64_t micros) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+/// Manually advanced clock for deterministic simulation. SleepMicros advances
+/// time immediately (single-threaded simulation semantics).
+class VirtualClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void SleepMicros(int64_t micros) override { Advance(micros); }
+  void Advance(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void Set(int64_t micros) { now_.store(micros, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> now_{0};
+};
+
+}  // namespace stagedb
+
+#endif  // STAGEDB_COMMON_CLOCK_H_

@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace stagedb {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::BucketLimit(int b) {
+  // Buckets grow ~10% geometrically starting at 1.0; bucket 0 holds [0, 1).
+  if (b == 0) return 1.0;
+  return std::pow(1.15, b);
+}
+
+int Histogram::BucketFor(double value) {
+  if (value < 1.0) return 0;
+  int b = static_cast<int>(std::log(value) / std::log(1.15)) + 1;
+  if (b >= kNumBuckets) b = kNumBuckets - 1;
+  return b;
+}
+
+void Histogram::Record(double value) {
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const uint64_t threshold =
+      static_cast<uint64_t>(std::ceil(count_ * (p / 100.0)));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= threshold && buckets_[b] > 0) {
+      const double lo = (b == 0) ? 0.0 : BucketLimit(b - 1);
+      const double hi = BucketLimit(b);
+      const uint64_t into = buckets_[b] - (cumulative - threshold);
+      const double frac = static_cast<double>(into) / buckets_[b];
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(50), Percentile(95), Percentile(99), max());
+  return buf;
+}
+
+}  // namespace stagedb

@@ -1,0 +1,49 @@
+// Streaming histogram for latency/throughput metrics (per-stage monitoring).
+#ifndef STAGEDB_COMMON_HISTOGRAM_H_
+#define STAGEDB_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stagedb {
+
+/// Fixed-bucket log-scale histogram. Records non-negative values (typically
+/// microseconds). Thread-compatible: callers synchronize externally or use one
+/// histogram per thread and Merge().
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  /// Approximate percentile (p in [0,100]) by linear interpolation inside the
+  /// containing bucket.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 154;
+  static double BucketLimit(int b);
+  static int BucketFor(double value);
+
+  uint64_t count_;
+  double sum_;
+  double min_;
+  double max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace stagedb
+
+#endif  // STAGEDB_COMMON_HISTOGRAM_H_

@@ -1,0 +1,51 @@
+// Named counters and per-stage statistics: the monitoring hooks that §5.2 of
+// the paper argues a staged design makes natural to expose.
+#ifndef STAGEDB_COMMON_STATS_H_
+#define STAGEDB_COMMON_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace stagedb {
+
+/// A monotonically increasing counter. Thread-safe.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Registry of named counters and histograms. One registry per server; stages
+/// register their queue/throughput/latency metrics here so that monitoring
+/// tools can introspect utilization at stage granularity.
+class StatsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Snapshot of all counters (name -> value).
+  std::map<std::string, int64_t> CounterSnapshot() const;
+  /// Multi-line human-readable dump of all metrics.
+  std::string Report() const;
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace stagedb
+
+#endif  // STAGEDB_COMMON_STATS_H_

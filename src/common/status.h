@@ -1,0 +1,147 @@
+// Status and StatusOr: error handling without exceptions, in the style used by
+// production database engines (LevelDB/RocksDB/Arrow).
+#ifndef STAGEDB_COMMON_STATUS_H_
+#define STAGEDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace stagedb {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kCorruption,
+  kNotSupported,
+  kResourceExhausted,
+  kAborted,
+  kTimedOut,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("Ok", "IOError", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result. Cheap to copy on success (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status TimedOut(std::string m) {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace stagedb
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STAGEDB_RETURN_IF_ERROR(expr)             \
+  do {                                            \
+    ::stagedb::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error returns the Status, otherwise
+/// assigns the value to `lhs`.
+#define STAGEDB_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto STAGEDB_CONCAT_(_sor_, __LINE__) = (expr); \
+  if (!STAGEDB_CONCAT_(_sor_, __LINE__).ok())     \
+    return STAGEDB_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(STAGEDB_CONCAT_(_sor_, __LINE__)).value()
+
+#define STAGEDB_CONCAT_INNER_(a, b) a##b
+#define STAGEDB_CONCAT_(a, b) STAGEDB_CONCAT_INNER_(a, b)
+
+#endif  // STAGEDB_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers (no std::format on this toolchain).
+#ifndef STAGEDB_COMMON_STRING_UTIL_H_
+#define STAGEDB_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace stagedb {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(const std::string& s);
+std::string ToUpper(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Joins items with a separator.
+std::string StrJoin(const std::vector<std::string>& items,
+                    const std::string& sep);
+
+}  // namespace stagedb
+
+#endif  // STAGEDB_COMMON_STRING_UTIL_H_

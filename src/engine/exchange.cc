@@ -1,0 +1,99 @@
+#include "engine/exchange.h"
+
+namespace stagedb::engine {
+
+ExchangeBuffer::PushResult ExchangeBuffer::TryPush(TupleBatch* batch) {
+  Stage* wake_stage = nullptr;
+  StageTask* wake_task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return PushResult::kClosed;
+    if (pages_.size() >= capacity_) return PushResult::kFull;
+    pages_.push_back(std::move(*batch));
+    batch->tuples.clear();
+    ++pages_pushed_;
+    wake_stage = consumer_stage_;
+    wake_task = consumer_;
+  }
+  // Parent activation: the first page enqueued for a parked (or not yet
+  // activated) consumer wakes it.
+  if (wake_stage != nullptr && wake_task != nullptr) {
+    wake_stage->Activate(wake_task);
+  }
+  return PushResult::kOk;
+}
+
+void ExchangeBuffer::MarkEof() {
+  Stage* wake_stage = nullptr;
+  StageTask* wake_task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    eof_ = true;
+    wake_stage = consumer_stage_;
+    wake_task = consumer_;
+  }
+  if (wake_stage != nullptr && wake_task != nullptr) {
+    wake_stage->Activate(wake_task);
+  }
+}
+
+bool ExchangeBuffer::TryPop(TupleBatch* out, bool* eof) {
+  Stage* wake_stage = nullptr;
+  StageTask* wake_task = nullptr;
+  bool popped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    *eof = false;
+    if (!pages_.empty()) {
+      *out = std::move(pages_.front());
+      pages_.pop_front();
+      popped = true;
+      wake_stage = producer_stage_;
+      wake_task = producer_;
+    } else if (eof_) {
+      *eof = true;
+    }
+  }
+  // Space freed: wake a producer parked on back-pressure.
+  if (popped && wake_stage != nullptr && wake_task != nullptr) {
+    wake_stage->Activate(wake_task);
+  }
+  return popped;
+}
+
+void ExchangeBuffer::Close() {
+  Stage* wake_stage = nullptr;
+  StageTask* wake_task = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    pages_.clear();
+    wake_stage = producer_stage_;
+    wake_task = producer_;
+  }
+  if (wake_stage != nullptr && wake_task != nullptr) {
+    wake_stage->Activate(wake_task);
+  }
+}
+
+bool ExchangeBuffer::HasData() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pages_.empty();
+}
+
+bool ExchangeBuffer::AtEof() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.empty() && eof_;
+}
+
+bool ExchangeBuffer::HasSpaceOrClosed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_ || pages_.size() < capacity_;
+}
+
+bool ExchangeBuffer::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+}  // namespace stagedb::engine

@@ -1,0 +1,85 @@
+// Page-based producer-consumer dataflow between operator stages (§4.1.2):
+// "Dataflow takes place through the use of intermediate result buffers and
+//  page-based data exchange using a producer-consumer type of operator/stage
+//  communication."
+#ifndef STAGEDB_ENGINE_EXCHANGE_H_
+#define STAGEDB_ENGINE_EXCHANGE_H_
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "catalog/tuple.h"
+#include "engine/runtime.h"
+
+namespace stagedb::engine {
+
+/// One page of tuples exchanged between operator stages. The page size (in
+/// tuples) is the §4.4(c) tuning parameter.
+struct TupleBatch {
+  std::vector<catalog::Tuple> tuples;
+  bool empty() const { return tuples.empty(); }
+  size_t size() const { return tuples.size(); }
+};
+
+/// A bounded buffer of pages between one producer and one consumer operator
+/// instance. Non-blocking on both sides: a full buffer makes the producer
+/// yield its packet (back-pressure), an empty one parks the consumer; pushes
+/// and pops wake the peer through Stage::Activate (the paper's "checks for
+/// parent activation" step).
+class ExchangeBuffer {
+ public:
+  explicit ExchangeBuffer(size_t capacity_pages)
+      : capacity_(capacity_pages) {}
+
+  /// Wires the endpoints so the buffer can activate parked packets.
+  void BindProducer(Stage* stage, StageTask* task) {
+    producer_stage_ = stage;
+    producer_ = task;
+  }
+  void BindConsumer(Stage* stage, StageTask* task) {
+    consumer_stage_ = stage;
+    consumer_ = task;
+  }
+
+  enum class PushResult { kOk, kFull, kClosed };
+
+  /// Offers a page; consumes *batch only on kOk. kFull = back-pressure (the
+  /// caller keeps the page and re-enqueues its packet); kClosed = the
+  /// consumer no longer wants data (caller should finish early).
+  PushResult TryPush(TupleBatch* batch);
+
+  /// Marks end-of-stream (producer side) and activates the consumer.
+  void MarkEof();
+
+  /// Takes the next page if available. Returns false with *eof=false when the
+  /// buffer is momentarily empty, false with *eof=true at end of stream.
+  bool TryPop(TupleBatch* out, bool* eof);
+
+  /// Consumer-side cancellation (e.g. LIMIT satisfied): discards buffered
+  /// pages and makes future pushes return kClosed.
+  void Close();
+
+  bool HasData() const;
+  bool AtEof() const;  // empty and eof
+  bool HasSpaceOrClosed() const;
+  bool closed() const;
+
+  int64_t pages_pushed() const { return pages_pushed_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TupleBatch> pages_;
+  bool eof_ = false;
+  bool closed_ = false;
+  int64_t pages_pushed_ = 0;
+  Stage* producer_stage_ = nullptr;
+  StageTask* producer_ = nullptr;
+  Stage* consumer_stage_ = nullptr;
+  StageTask* consumer_ = nullptr;
+};
+
+}  // namespace stagedb::engine
+
+#endif  // STAGEDB_ENGINE_EXCHANGE_H_

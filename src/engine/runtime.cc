@@ -1,0 +1,182 @@
+#include "engine/runtime.h"
+
+#include <cassert>
+
+namespace stagedb::engine {
+
+// Lock ordering: exchange-buffer locks may be held while calling
+// Stage::Enqueue/Activate (which take the runtime mutex). The runtime never
+// calls back into task or buffer code while holding its mutex.
+
+void Stage::Enqueue(StageTask* task) {
+  // A packet may be (re)queued from idle (fresh, parked, or moving between
+  // stages) or from running (worker requeue after kYield). The CAS winner
+  // re-homes the packet, which is how packets travel through the lifecycle
+  // stages (connect -> parse -> optimize -> execute -> disconnect).
+  auto expected = StageTask::State::kIdle;
+  if (!task->state_.compare_exchange_strong(expected,
+                                            StageTask::State::kQueued)) {
+    expected = StageTask::State::kRunning;
+    if (!task->state_.compare_exchange_strong(expected,
+                                              StageTask::State::kQueued)) {
+      return;  // already queued or done
+    }
+  }
+  task->home_stage_ = this;
+  {
+    std::lock_guard<std::mutex> lock(runtime_->mu_);
+    queue_.push_back(task);
+    runtime_->MaybeRotateLocked();
+  }
+  runtime_->cv_.notify_all();
+}
+
+void Stage::Activate(StageTask* task) {
+  auto expected = StageTask::State::kIdle;
+  if (!task->state_.compare_exchange_strong(expected,
+                                            StageTask::State::kQueued)) {
+    return;  // running, queued, or done: it will see the new state itself
+  }
+  {
+    std::lock_guard<std::mutex> lock(runtime_->mu_);
+    queue_.push_back(task);
+    runtime_->MaybeRotateLocked();
+  }
+  runtime_->cv_.notify_all();
+}
+
+size_t Stage::queue_depth() const {
+  std::lock_guard<std::mutex> lock(runtime_->mu_);
+  return queue_.size();
+}
+
+StageRuntime::StageRuntime(SchedulerPolicy policy) : policy_(policy) {}
+
+StageRuntime::~StageRuntime() { Shutdown(); }
+
+Stage* StageRuntime::CreateStage(const std::string& name, int num_workers) {
+  std::unique_ptr<Stage> stage(
+      new Stage(this, name, static_cast<int>(stages_.size()), num_workers));
+  Stage* ptr = stage.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stages_.push_back(std::move(stage));
+  }
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, ptr] { WorkerLoop(ptr); });
+  }
+  return ptr;
+}
+
+void StageRuntime::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void StageRuntime::MaybeRotateLocked() {
+  if (policy_ != SchedulerPolicy::kCohort || stages_.empty()) return;
+  Stage* active = active_stage_ < stages_.size()
+                      ? stages_[active_stage_].get()
+                      : nullptr;
+  if (active != nullptr &&
+      (!active->queue_.empty() || active->inflight_ > 0)) {
+    return;  // current stage still has work: exhaustive (non-gated) service
+  }
+  // Advance to the next stage with queued packets.
+  const size_t n = stages_.size();
+  for (size_t k = 1; k <= n; ++k) {
+    const size_t idx = (active_stage_ + k) % n;
+    if (!stages_[idx]->queue_.empty()) {
+      if (idx != active_stage_) {
+        active_stage_ = idx;
+        stage_switches_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+  }
+}
+
+StageTask* StageRuntime::WaitForTask(Stage* stage) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (shutdown_) return nullptr;
+    const bool allowed =
+        policy_ == SchedulerPolicy::kFreeRun ||
+        (active_stage_ < stages_.size() &&
+         stages_[active_stage_].get() == stage);
+    if (allowed && !stage->queue_.empty()) {
+      StageTask* task = stage->queue_.front();
+      stage->queue_.pop_front();
+      auto expected = StageTask::State::kQueued;
+      const bool ok = task->state_.compare_exchange_strong(
+          expected, StageTask::State::kRunning);
+      assert(ok && "queued packet not in queued state");
+      (void)ok;
+      ++stage->inflight_;
+      return task;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void StageRuntime::FinishTask(Stage* stage, StageTask* task,
+                              RunOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --stage->inflight_;
+  }
+  switch (outcome) {
+    case RunOutcome::kDone:
+      task->state_.store(StageTask::State::kDone);
+      stage->processed_.fetch_add(1, std::memory_order_relaxed);
+      // After OnRetired the packet may be freed by its owner; it must be the
+      // last access in the runtime.
+      task->OnRetired();
+      task = nullptr;
+      break;
+    case RunOutcome::kYield:
+      stage->yielded_.fetch_add(1, std::memory_order_relaxed);
+      stage->Enqueue(task);  // transitions kRunning -> kQueued
+      break;
+    case RunOutcome::kMoved: {
+      stage->processed_.fetch_add(1, std::memory_order_relaxed);
+      Stage* next = task->next_stage_;
+      task->next_stage_ = nullptr;
+      assert(next != nullptr && "kMoved without a destination stage");
+      next->Enqueue(task);  // transitions kRunning -> kQueued on `next`
+      break;
+    }
+    case RunOutcome::kBlocked: {
+      stage->blocked_.fetch_add(1, std::memory_order_relaxed);
+      task->state_.store(StageTask::State::kIdle);
+      // Close the park/wake race: a producer may have made progress possible
+      // between Run() returning and the state store above.
+      if (task->CanMakeProgress()) stage->Activate(task);
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MaybeRotateLocked();
+  }
+  cv_.notify_all();
+}
+
+void StageRuntime::WorkerLoop(Stage* stage) {
+  while (true) {
+    StageTask* task = WaitForTask(stage);
+    if (task == nullptr) return;
+    const RunOutcome outcome = task->Run();
+    FinishTask(stage, task, outcome);
+  }
+}
+
+}  // namespace stagedb::engine

@@ -1,0 +1,166 @@
+// The staged runtime: stages with queues and worker pools, packets
+// (StageTask), and two-level scheduling.
+//
+// This implements §4.1 of the paper: "A stage is an independent server with
+// its own queue, thread support, and resource management ... Stages accept
+// packets, perform work on the packets, and may enqueue the same or newly
+// created packets to other stages."
+//
+// Two-level scheduling (§4.1.1): local FIFO service by each stage's worker
+// threads, and a global policy deciding which stage the CPU serves:
+//   * kFreeRun — every stage's workers run whenever they have packets (the
+//     natural SMP operating point of §5.3).
+//   * kCohort — one stage is active at a time; its workers drain the queue
+//     (exhaustive / non-gated service) before the activation rotates to the
+//     next stage with work. This is the single-CPU affinity mode of §4.3
+//     ("rotating the thread group priorities among the stages").
+#ifndef STAGEDB_ENGINE_RUNTIME_H_
+#define STAGEDB_ENGINE_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace stagedb::engine {
+
+class Stage;
+class StageRuntime;
+
+/// What a packet's Run() reports back to its stage.
+enum class RunOutcome {
+  kDone,     ///< this packet's work is finished; do not requeue
+  kYield,    ///< more work available now; requeue at the back of the queue
+  kBlocked,  ///< cannot proceed (input empty / output full); park until woken
+  kMoved,    ///< forward the packet to the stage set via set_next_stage()
+             ///< (the paper's "forwarding the packet to the next stage")
+};
+
+/// A packet: a unit of work for one query at one stage (the paper's packet
+/// carrying the query's "backpack"). Subclasses hold the query state.
+class StageTask {
+ public:
+  virtual ~StageTask() = default;
+
+  /// Performs a bounded amount of work. Called by stage worker threads.
+  virtual RunOutcome Run() = 0;
+
+  /// Re-checked after a kBlocked outcome before parking, to close the race
+  /// between deciding to park and a producer/consumer waking us.
+  virtual bool CanMakeProgress() { return false; }
+
+  /// Called exactly once, after a kDone outcome, when the runtime will never
+  /// touch this packet again. Completion notification (which may free the
+  /// packet) must happen here, not inside Run().
+  virtual void OnRetired() {}
+
+  int64_t query_id() const { return query_id_; }
+  void set_query_id(int64_t id) { query_id_ = id; }
+
+  /// Destination for a kMoved outcome (set inside Run()).
+  void set_next_stage(Stage* stage) { next_stage_ = stage; }
+
+ private:
+  friend class Stage;
+  friend class StageRuntime;
+  enum class State { kIdle, kQueued, kRunning, kDone };
+  std::atomic<State> state_{State::kIdle};
+  Stage* home_stage_ = nullptr;
+  Stage* next_stage_ = nullptr;
+  int64_t query_id_ = -1;
+};
+
+/// A stage: queue + worker pool + monitoring counters.
+class Stage {
+ public:
+  const std::string& name() const { return name_; }
+  int id() const { return id_; }
+
+  /// Enqueues a packet. First activation binds the packet to this stage.
+  void Enqueue(StageTask* task);
+
+  /// Wakes a parked packet (no-op if it is queued, running, or done). Safe to
+  /// call from any thread; used by exchange buffers for producer/consumer
+  /// activation.
+  void Activate(StageTask* task);
+
+  // Monitoring (§5.2: each stage exposes its own utilization).
+  int64_t packets_processed() const { return processed_; }
+  int64_t packets_yielded() const { return yielded_; }
+  int64_t packets_blocked() const { return blocked_; }
+  size_t queue_depth() const;
+
+ private:
+  friend class StageRuntime;
+  Stage(StageRuntime* runtime, std::string name, int id, int num_workers)
+      : runtime_(runtime), name_(std::move(name)), id_(id),
+        num_workers_(num_workers) {}
+
+  StageRuntime* runtime_;
+  const std::string name_;
+  const int id_;
+  const int num_workers_;
+  std::deque<StageTask*> queue_;  // guarded by the runtime mutex
+  int inflight_ = 0;              // workers currently running a packet
+  std::atomic<int64_t> processed_{0};
+  std::atomic<int64_t> yielded_{0};
+  std::atomic<int64_t> blocked_{0};
+};
+
+/// Global scheduling policy across stages.
+enum class SchedulerPolicy { kFreeRun, kCohort };
+
+/// Owns the stages and their worker threads.
+class StageRuntime {
+ public:
+  explicit StageRuntime(SchedulerPolicy policy = SchedulerPolicy::kFreeRun);
+  ~StageRuntime();
+
+  StageRuntime(const StageRuntime&) = delete;
+  StageRuntime& operator=(const StageRuntime&) = delete;
+
+  /// Creates a stage with its worker pool. All stages must be created before
+  /// the first packet is enqueued.
+  Stage* CreateStage(const std::string& name, int num_workers = 1);
+
+  /// Stops all workers (drains nothing; callers should have completed or
+  /// cancelled their queries).
+  void Shutdown();
+
+  SchedulerPolicy policy() const { return policy_; }
+  /// Number of times the cohort activation rotated between stages.
+  int64_t stage_switches() const { return stage_switches_; }
+  const std::vector<std::unique_ptr<Stage>>& stages() const { return stages_; }
+
+ private:
+  friend class Stage;
+
+  void WorkerLoop(Stage* stage);
+  /// Blocks until a packet for `stage` may run under the global policy.
+  StageTask* WaitForTask(Stage* stage);
+  void FinishTask(Stage* stage, StageTask* task, RunOutcome outcome);
+  /// Cohort mode: advance the active stage if the current one is exhausted.
+  /// Caller holds mu_.
+  void MaybeRotateLocked();
+
+  const SchedulerPolicy policy_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  size_t active_stage_ = 0;  // cohort mode
+  std::atomic<int64_t> stage_switches_{0};
+  std::vector<std::unique_ptr<Stage>> stages_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+};
+
+}  // namespace stagedb::engine
+
+#endif  // STAGEDB_ENGINE_RUNTIME_H_

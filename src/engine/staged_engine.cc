@@ -1,0 +1,978 @@
+#include "engine/staged_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "exec/row_utils.h"
+#include "optimizer/bound_expr.h"
+
+namespace stagedb::engine {
+
+using catalog::Tuple;
+using catalog::Value;
+using exec::AggAccumulator;
+using exec::RowKey;
+using exec::RowKeyHash;
+using exec::RowKeyFromColumns;
+using optimizer::EvalPredicate;
+using optimizer::PhysicalPlan;
+using optimizer::PlanKind;
+
+// ------------------------------------------------------------ StagedQuery ---
+
+StatusOr<std::vector<Tuple>> StagedQuery::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return remaining_ == 0; });
+  if (!status_.ok()) return status_;
+  return std::move(rows_);
+}
+
+void StagedQuery::AppendResult(Tuple t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_.push_back(std::move(t));
+}
+
+void StagedQuery::Fail(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      status_ = std::move(status);
+    }
+  }
+  // Cancel the dataflow: producers see closed sinks, consumers see EOF.
+  for (auto& buffer : buffers) {
+    buffer->Close();
+    buffer->MarkEof();
+  }
+}
+
+void StagedQuery::OnInstanceRetired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --remaining_;
+  if (remaining_ == 0) cv_.notify_all();
+}
+
+bool StagedQuery::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+// ------------------------------------------------------- OperatorInstance ---
+
+namespace {
+
+/// Why a packet parked (drives CanMakeProgress).
+enum class BlockReason { kNone, kInput0, kInput1, kAnyInput, kOutput };
+
+/// One relational operator of one query: the paper's packet. Run() performs
+/// up to a work quantum of page-granular processing and re-enqueues itself
+/// when it cannot continue.
+class OperatorInstance : public StageTask {
+ public:
+  OperatorInstance(StagedEngine* engine, StagedQuery* query,
+                   const PhysicalPlan* plan)
+      : engine_(engine), query_(query), plan_(plan) {
+    set_query_id(query->id);
+  }
+
+  std::vector<ExchangeBuffer*> inputs_;
+  ExchangeBuffer* output_ = nullptr;
+
+  RunOutcome Run() override;
+  bool CanMakeProgress() override;
+  void OnRetired() override { query_->OnInstanceRetired(); }
+
+ private:
+  enum class Fetch { kTuple, kWait, kEof };
+  enum class Sink { kOk, kFull, kClosed };
+
+  struct InputCursor {
+    TupleBatch batch;
+    size_t pos = 0;
+  };
+
+  size_t page_size() const { return engine_->options().tuples_per_page; }
+  int quantum_tuples() const {
+    return static_cast<int>(page_size()) *
+           engine_->options().work_quantum_pages;
+  }
+
+  Fetch NextInput(size_t idx, Tuple* out) {
+    InputCursor& cur = cursors_[idx];
+    while (true) {
+      if (cur.pos < cur.batch.tuples.size()) {
+        *out = std::move(cur.batch.tuples[cur.pos++]);
+        return Fetch::kTuple;
+      }
+      bool eof = false;
+      if (inputs_[idx]->TryPop(&cur.batch, &eof)) {
+        cur.pos = 0;
+        continue;
+      }
+      return eof ? Fetch::kEof : Fetch::kWait;
+    }
+  }
+
+  Sink EmitTuple(Tuple t) {
+    if (output_ == nullptr) {
+      query_->AppendResult(std::move(t));
+      return Sink::kOk;
+    }
+    out_batch_.tuples.push_back(std::move(t));
+    if (out_batch_.size() >= page_size()) return FlushOut();
+    return Sink::kOk;
+  }
+
+  Sink FlushOut() {
+    if (output_ == nullptr || out_batch_.empty()) return Sink::kOk;
+    switch (output_->TryPush(&out_batch_)) {
+      case ExchangeBuffer::PushResult::kOk:
+        return Sink::kOk;
+      case ExchangeBuffer::PushResult::kFull:
+        return Sink::kFull;
+      case ExchangeBuffer::PushResult::kClosed:
+        return Sink::kClosed;
+    }
+    return Sink::kOk;
+  }
+
+  /// If a previously filled page is still pending, retry it. Returns false
+  /// (with *outcome set) when the packet must park or finish.
+  bool EnsureOutputWritable(RunOutcome* outcome) {
+    if (output_ == nullptr || out_batch_.size() < page_size()) return true;
+    switch (FlushOut()) {
+      case Sink::kOk:
+        return true;
+      case Sink::kFull:
+        block_ = BlockReason::kOutput;
+        *outcome = RunOutcome::kBlocked;
+        return false;
+      case Sink::kClosed:
+        *outcome = FinishEarly();
+        return false;
+    }
+    return true;
+  }
+
+  /// Handles the result of EmitTuple inside a processing loop. Returns true
+  /// to continue; false with *outcome set to stop this invocation.
+  bool HandleSink(Sink sink, RunOutcome* outcome) {
+    switch (sink) {
+      case Sink::kOk:
+        return true;
+      case Sink::kFull:
+        block_ = BlockReason::kOutput;
+        *outcome = RunOutcome::kBlocked;
+        return false;
+      case Sink::kClosed:
+        *outcome = FinishEarly();
+        return false;
+    }
+    return true;
+  }
+
+  /// Normal completion: flush the final partial page and mark EOF.
+  RunOutcome Finish() {
+    switch (FlushOut()) {
+      case Sink::kFull:
+        block_ = BlockReason::kOutput;
+        finishing_ = true;
+        return RunOutcome::kBlocked;
+      case Sink::kOk:
+      case Sink::kClosed:
+        break;
+    }
+    if (output_ != nullptr) output_->MarkEof();
+    return RunOutcome::kDone;
+  }
+
+  /// Early termination (sink closed, query failed): cancel upstream work.
+  RunOutcome FinishEarly() {
+    for (ExchangeBuffer* input : inputs_) input->Close();
+    if (output_ != nullptr) output_->MarkEof();
+    return RunOutcome::kDone;
+  }
+
+  Status Error(Status s) {
+    query_->Fail(std::move(s));
+    return Status::OK();
+  }
+
+  RunOutcome RunSeqScan();
+  RunOutcome RunIndexScan();
+  RunOutcome RunQual();       // filter / project / limit
+  RunOutcome RunNestedLoopJoin();
+  RunOutcome RunHashJoin();
+  RunOutcome RunMergeJoin();
+  RunOutcome RunSort();
+  RunOutcome RunAggregate();
+  RunOutcome RunValues();
+
+  StagedEngine* engine_;
+  StagedQuery* query_;
+  const PhysicalPlan* plan_;
+
+  InputCursor cursors_[2];
+  TupleBatch out_batch_;
+  BlockReason block_ = BlockReason::kNone;
+  bool finishing_ = false;
+
+  // Scan state.
+  std::unique_ptr<storage::HeapFile::Iterator> scan_iter_;
+  std::vector<std::pair<int64_t, storage::Rid>> index_matches_;
+  size_t index_pos_ = 0;
+  bool index_loaded_ = false;
+
+  // Join / sort / aggregate state.
+  int phase_ = 0;
+  std::vector<Tuple> materialized_[2];
+  std::unordered_map<RowKey, std::vector<Tuple>, RowKeyHash> hash_table_;
+  Tuple probe_;
+  bool probe_valid_ = false;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+  size_t inner_pos_ = 0;
+  std::unordered_map<RowKey, std::vector<AggAccumulator>, RowKeyHash> groups_;
+  std::vector<Tuple> staged_rows_;  // sorted / finalized rows to emit
+  size_t emit_pos_ = 0;
+  // Merge-join group cursors.
+  size_t lg_begin_ = 0, lg_end_ = 0, rg_begin_ = 0, rg_end_ = 0;
+  size_t li_ = 0, ri_ = 0;
+  int64_t limit_produced_ = 0;
+  size_t values_pos_ = 0;
+};
+
+RunOutcome OperatorInstance::Run() {
+  block_ = BlockReason::kNone;
+  if (query_->failed()) return FinishEarly();
+  if (finishing_) return Finish();
+  switch (plan_->kind) {
+    case PlanKind::kSeqScan:
+      return RunSeqScan();
+    case PlanKind::kIndexScan:
+      return RunIndexScan();
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kLimit:
+      return RunQual();
+    case PlanKind::kNestedLoopJoin:
+      return RunNestedLoopJoin();
+    case PlanKind::kHashJoin:
+      return RunHashJoin();
+    case PlanKind::kMergeJoin:
+      return RunMergeJoin();
+    case PlanKind::kSort:
+      return RunSort();
+    case PlanKind::kHashAggregate:
+      return RunAggregate();
+    case PlanKind::kValues:
+      return RunValues();
+    default:
+      query_->Fail(Status::Internal("operator kind not stageable"));
+      return FinishEarly();
+  }
+}
+
+bool OperatorInstance::CanMakeProgress() {
+  switch (block_) {
+    case BlockReason::kNone:
+      return true;
+    case BlockReason::kOutput:
+      return output_ == nullptr || output_->HasSpaceOrClosed();
+    case BlockReason::kInput0:
+      return inputs_[0]->HasData() || inputs_[0]->AtEof();
+    case BlockReason::kInput1:
+      return inputs_[1]->HasData() || inputs_[1]->AtEof();
+    case BlockReason::kAnyInput: {
+      for (ExchangeBuffer* input : inputs_) {
+        if (input->HasData() || input->AtEof()) return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+RunOutcome OperatorInstance::RunSeqScan() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  if (!scan_iter_) {
+    scan_iter_ = std::make_unique<storage::HeapFile::Iterator>(
+        plan_->table->heap->Scan());
+  }
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (!scan_iter_->Next()) {
+      if (!scan_iter_->status().ok()) {
+        query_->Fail(scan_iter_->status());
+        return FinishEarly();
+      }
+      return Finish();
+    }
+    auto tuple = catalog::DecodeTuple(plan_->table->schema,
+                                      scan_iter_->record());
+    if (!tuple.ok()) {
+      query_->Fail(tuple.status());
+      return FinishEarly();
+    }
+    if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunIndexScan() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  if (!index_loaded_) {
+    Status s = plan_->index->tree->Scan(plan_->index_lo, plan_->index_hi,
+                                        &index_matches_);
+    if (!s.ok()) {
+      query_->Fail(s);
+      return FinishEarly();
+    }
+    index_loaded_ = true;
+  }
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (index_pos_ >= index_matches_.size()) return Finish();
+    const storage::Rid rid = index_matches_[index_pos_++].second;
+    std::string record;
+    Status s = plan_->table->heap->Get(rid, &record);
+    if (s.IsNotFound()) continue;
+    if (!s.ok()) {
+      query_->Fail(s);
+      return FinishEarly();
+    }
+    auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
+    if (!tuple.ok()) {
+      query_->Fail(tuple.status());
+      return FinishEarly();
+    }
+    if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunQual() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  int budget = quantum_tuples();
+  Tuple t;
+  while (budget-- > 0) {
+    switch (NextInput(0, &t)) {
+      case Fetch::kWait:
+        block_ = BlockReason::kInput0;
+        return RunOutcome::kBlocked;
+      case Fetch::kEof:
+        return Finish();
+      case Fetch::kTuple:
+        break;
+    }
+    switch (plan_->kind) {
+      case PlanKind::kFilter: {
+        auto pass = EvalPredicate(*plan_->predicate, t);
+        if (!pass.ok()) {
+          query_->Fail(pass.status());
+          return FinishEarly();
+        }
+        if (!*pass) continue;
+        if (!HandleSink(EmitTuple(std::move(t)), &oc)) return oc;
+        break;
+      }
+      case PlanKind::kProject: {
+        Tuple out;
+        out.reserve(plan_->exprs.size());
+        for (const auto& expr : plan_->exprs) {
+          auto v = optimizer::Eval(*expr, t);
+          if (!v.ok()) {
+            query_->Fail(v.status());
+            return FinishEarly();
+          }
+          out.push_back(std::move(*v));
+        }
+        if (!HandleSink(EmitTuple(std::move(out)), &oc)) return oc;
+        break;
+      }
+      case PlanKind::kLimit: {
+        if (limit_produced_ >= plan_->limit) {
+          // Satisfied: cancel upstream and finish.
+          return FinishEarly();
+        }
+        ++limit_produced_;
+        if (!HandleSink(EmitTuple(std::move(t)), &oc)) return oc;
+        if (limit_produced_ >= plan_->limit) {
+          for (ExchangeBuffer* input : inputs_) input->Close();
+          return Finish();
+        }
+        break;
+      }
+      default:
+        query_->Fail(Status::Internal("bad qual operator"));
+        return FinishEarly();
+    }
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunNestedLoopJoin() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  int budget = quantum_tuples();
+  Tuple t;
+  if (phase_ == 0) {  // materialize the inner (right) input
+    while (budget-- > 0) {
+      switch (NextInput(1, &t)) {
+        case Fetch::kWait:
+          block_ = BlockReason::kInput1;
+          return RunOutcome::kBlocked;
+        case Fetch::kEof:
+          phase_ = 1;
+          budget = quantum_tuples();
+          goto probe;
+        case Fetch::kTuple:
+          materialized_[1].push_back(std::move(t));
+          break;
+      }
+    }
+    return RunOutcome::kYield;
+  }
+probe:
+  while (budget-- > 0) {
+    if (!probe_valid_) {
+      switch (NextInput(0, &probe_)) {
+        case Fetch::kWait:
+          block_ = BlockReason::kInput0;
+          return RunOutcome::kBlocked;
+        case Fetch::kEof:
+          return Finish();
+        case Fetch::kTuple:
+          probe_valid_ = true;
+          inner_pos_ = 0;
+          break;
+      }
+    }
+    while (inner_pos_ < materialized_[1].size()) {
+      if (budget-- <= 0) return RunOutcome::kYield;
+      Tuple joined = probe_;
+      const Tuple& inner = materialized_[1][inner_pos_++];
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      if (plan_->predicate) {
+        auto pass = EvalPredicate(*plan_->predicate, joined);
+        if (!pass.ok()) {
+          query_->Fail(pass.status());
+          return FinishEarly();
+        }
+        if (!*pass) continue;
+      }
+      if (!HandleSink(EmitTuple(std::move(joined)), &oc)) return oc;
+    }
+    probe_valid_ = false;
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunHashJoin() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  int budget = quantum_tuples();
+  Tuple t;
+  if (phase_ == 0) {  // build on the right input
+    while (budget-- > 0) {
+      switch (NextInput(1, &t)) {
+        case Fetch::kWait:
+          block_ = BlockReason::kInput1;
+          return RunOutcome::kBlocked;
+        case Fetch::kEof:
+          phase_ = 1;
+          budget = quantum_tuples();
+          goto probe;
+        case Fetch::kTuple: {
+          auto key = RowKeyFromColumns(t, plan_->right_keys);
+          if (!key.ok()) {
+            query_->Fail(key.status());
+            return FinishEarly();
+          }
+          if (!key->HasNull()) hash_table_[*key].push_back(std::move(t));
+          break;
+        }
+      }
+    }
+    return RunOutcome::kYield;
+  }
+probe:
+  while (budget-- > 0) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      Tuple joined = probe_;
+      const Tuple& inner = (*matches_)[match_pos_++];
+      joined.insert(joined.end(), inner.begin(), inner.end());
+      if (plan_->predicate) {
+        auto pass = EvalPredicate(*plan_->predicate, joined);
+        if (!pass.ok()) {
+          query_->Fail(pass.status());
+          return FinishEarly();
+        }
+        if (!*pass) continue;
+      }
+      if (!HandleSink(EmitTuple(std::move(joined)), &oc)) return oc;
+      continue;
+    }
+    switch (NextInput(0, &probe_)) {
+      case Fetch::kWait:
+        block_ = BlockReason::kInput0;
+        return RunOutcome::kBlocked;
+      case Fetch::kEof:
+        return Finish();
+      case Fetch::kTuple: {
+        auto key = RowKeyFromColumns(probe_, plan_->left_keys);
+        if (!key.ok()) {
+          query_->Fail(key.status());
+          return FinishEarly();
+        }
+        auto it = hash_table_.find(*key);
+        matches_ = it == hash_table_.end() ? nullptr : &it->second;
+        match_pos_ = 0;
+        break;
+      }
+    }
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunMergeJoin() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  Tuple t;
+  if (phase_ == 0) {  // drain both inputs
+    bool done0 = false, done1 = false;
+    int budget = quantum_tuples();
+    while (budget > 0) {
+      bool progressed = false;
+      for (int side = 0; side < 2; ++side) {
+        bool& done = side == 0 ? done0 : done1;
+        if (done) continue;
+        switch (NextInput(side, &t)) {
+          case Fetch::kTuple:
+            materialized_[side].push_back(std::move(t));
+            progressed = true;
+            --budget;
+            break;
+          case Fetch::kEof:
+            done = true;
+            progressed = true;
+            break;
+          case Fetch::kWait:
+            break;
+        }
+      }
+      if (done0 && done1) {
+        phase_ = 1;
+        break;
+      }
+      if (!progressed) {
+        block_ = BlockReason::kAnyInput;
+        return RunOutcome::kBlocked;
+      }
+    }
+    if (phase_ == 0) return RunOutcome::kYield;
+  }
+  if (phase_ == 1) {  // sort both sides
+    auto sort_side = [&](int side, const std::vector<size_t>& keys) {
+      std::stable_sort(materialized_[side].begin(), materialized_[side].end(),
+                       [&](const Tuple& a, const Tuple& b) {
+                         for (size_t k : keys) {
+                           const int c = a[k].Compare(b[k]);
+                           if (c != 0) return c < 0;
+                         }
+                         return false;
+                       });
+    };
+    sort_side(0, plan_->left_keys);
+    sort_side(1, plan_->right_keys);
+    phase_ = 2;
+    lg_end_ = rg_end_ = 0;
+    li_ = ri_ = 0;
+    lg_begin_ = rg_begin_ = 0;
+    li_ = lg_end_;  // force group advance
+    ri_ = rg_end_;
+  }
+  // phase 2: merge.
+  auto compare_keys = [&](const Tuple& l, const Tuple& r) {
+    for (size_t i = 0; i < plan_->left_keys.size(); ++i) {
+      const int c = l[plan_->left_keys[i]].Compare(r[plan_->right_keys[i]]);
+      if (c != 0) return c;
+    }
+    return 0;
+  };
+  auto key_null = [&](const Tuple& tt, const std::vector<size_t>& keys) {
+    for (size_t k : keys) {
+      if (tt[k].is_null()) return true;
+    }
+    return false;
+  };
+  const std::vector<Tuple>& L = materialized_[0];
+  const std::vector<Tuple>& R = materialized_[1];
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (li_ >= lg_end_ || ri_ >= rg_end_) {
+      // Advance to the next pair of matching key groups.
+      size_t l = lg_end_, r = rg_end_;
+      bool found = false;
+      while (l < L.size() && r < R.size()) {
+        if (key_null(L[l], plan_->left_keys)) {
+          ++l;
+          continue;
+        }
+        if (key_null(R[r], plan_->right_keys)) {
+          ++r;
+          continue;
+        }
+        const int c = compare_keys(L[l], R[r]);
+        if (c < 0) {
+          ++l;
+        } else if (c > 0) {
+          ++r;
+        } else {
+          lg_begin_ = l;
+          lg_end_ = l + 1;
+          while (lg_end_ < L.size() && compare_keys(L[lg_end_], R[r]) == 0) {
+            ++lg_end_;
+          }
+          rg_begin_ = r;
+          rg_end_ = r + 1;
+          while (rg_end_ < R.size() && compare_keys(L[l], R[rg_end_]) == 0) {
+            ++rg_end_;
+          }
+          li_ = lg_begin_;
+          ri_ = rg_begin_;
+          found = true;
+          break;
+        }
+      }
+      if (!found) return Finish();
+    }
+    Tuple joined = L[li_];
+    joined.insert(joined.end(), R[ri_].begin(), R[ri_].end());
+    ++ri_;
+    if (ri_ == rg_end_) {
+      ri_ = rg_begin_;
+      ++li_;
+      if (li_ == lg_end_) ri_ = rg_end_;  // group exhausted
+    }
+    if (plan_->predicate) {
+      auto pass = EvalPredicate(*plan_->predicate, joined);
+      if (!pass.ok()) {
+        query_->Fail(pass.status());
+        return FinishEarly();
+      }
+      if (!*pass) continue;
+    }
+    if (!HandleSink(EmitTuple(std::move(joined)), &oc)) return oc;
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunSort() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  Tuple t;
+  if (phase_ == 0) {
+    int budget = quantum_tuples();
+    while (budget-- > 0) {
+      switch (NextInput(0, &t)) {
+        case Fetch::kWait:
+          block_ = BlockReason::kInput0;
+          return RunOutcome::kBlocked;
+        case Fetch::kEof:
+          phase_ = 1;
+          budget = 0;
+          break;
+        case Fetch::kTuple:
+          staged_rows_.push_back(std::move(t));
+          break;
+      }
+    }
+    if (phase_ == 0) return RunOutcome::kYield;
+  }
+  if (phase_ == 1) {
+    // Precompute keys, then sort (one quantum; sorting is CPU-bound and the
+    // sort stage owns it per the paper's operator grouping).
+    std::vector<std::vector<Value>> keys(staged_rows_.size());
+    for (size_t i = 0; i < staged_rows_.size(); ++i) {
+      for (const auto& key : plan_->sort_keys) {
+        auto v = optimizer::Eval(*key.expr, staged_rows_[i]);
+        if (!v.ok()) {
+          query_->Fail(v.status());
+          return FinishEarly();
+        }
+        keys[i].push_back(std::move(*v));
+      }
+    }
+    std::vector<size_t> order(staged_rows_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      for (size_t k = 0; k < plan_->sort_keys.size(); ++k) {
+        int c = keys[a][k].Compare(keys[b][k]);
+        if (plan_->sort_keys[k].descending) c = -c;
+        if (c != 0) return c < 0;
+      }
+      return false;
+    });
+    std::vector<Tuple> sorted;
+    sorted.reserve(staged_rows_.size());
+    for (size_t i : order) sorted.push_back(std::move(staged_rows_[i]));
+    staged_rows_ = std::move(sorted);
+    emit_pos_ = 0;
+    phase_ = 2;
+  }
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (emit_pos_ >= staged_rows_.size()) return Finish();
+    if (!HandleSink(EmitTuple(std::move(staged_rows_[emit_pos_++])), &oc)) {
+      return oc;
+    }
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunAggregate() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  Tuple t;
+  if (phase_ == 0) {
+    int budget = quantum_tuples();
+    while (budget-- > 0) {
+      switch (NextInput(0, &t)) {
+        case Fetch::kWait:
+          block_ = BlockReason::kInput0;
+          return RunOutcome::kBlocked;
+        case Fetch::kEof:
+          phase_ = 1;
+          budget = 0;
+          break;
+        case Fetch::kTuple: {
+          RowKey key;
+          for (const auto& expr : plan_->exprs) {
+            auto v = optimizer::Eval(*expr, t);
+            if (!v.ok()) {
+              query_->Fail(v.status());
+              return FinishEarly();
+            }
+            key.values.push_back(std::move(*v));
+          }
+          auto& accs = groups_[key];
+          if (accs.empty()) accs.resize(plan_->aggregates.size());
+          for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+            const optimizer::AggSpec& spec = plan_->aggregates[i];
+            Value v = Value::Int(1);
+            if (spec.arg) {
+              auto val = optimizer::Eval(*spec.arg, t);
+              if (!val.ok()) {
+                query_->Fail(val.status());
+                return FinishEarly();
+              }
+              v = std::move(*val);
+              if (v.is_null()) continue;
+            }
+            exec::AggAccumulate(&accs[i], spec, v);
+          }
+          break;
+        }
+      }
+    }
+    if (phase_ == 0) return RunOutcome::kYield;
+  }
+  if (phase_ == 1) {
+    if (groups_.empty() && plan_->exprs.empty()) {
+      groups_[RowKey{}] =
+          std::vector<AggAccumulator>(plan_->aggregates.size());
+    }
+    for (const auto& [key, accs] : groups_) {
+      Tuple row;
+      for (const Value& v : key.values) row.push_back(v);
+      for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+        row.push_back(exec::AggFinalize(plan_->aggregates[i], accs[i]));
+      }
+      staged_rows_.push_back(std::move(row));
+    }
+    groups_.clear();
+    emit_pos_ = 0;
+    phase_ = 2;
+  }
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (emit_pos_ >= staged_rows_.size()) return Finish();
+    if (!HandleSink(EmitTuple(std::move(staged_rows_[emit_pos_++])), &oc)) {
+      return oc;
+    }
+  }
+  return RunOutcome::kYield;
+}
+
+RunOutcome OperatorInstance::RunValues() {
+  RunOutcome oc;
+  if (!EnsureOutputWritable(&oc)) return oc;
+  int budget = quantum_tuples();
+  while (budget-- > 0) {
+    if (values_pos_ >= plan_->rows.size()) return Finish();
+    if (!HandleSink(EmitTuple(plan_->rows[values_pos_++]), &oc)) return oc;
+  }
+  return RunOutcome::kYield;
+}
+
+/// A mutation statement executed as one packet on the dml stage (the staged
+/// prototype of the paper also routed updates through dedicated stages).
+class DmlTask : public StageTask {
+ public:
+  DmlTask(StagedEngine* engine, StagedQuery* query, const PhysicalPlan* plan)
+      : engine_(engine), query_(query), plan_(plan) {
+    set_query_id(query->id);
+  }
+
+  RunOutcome Run() override {
+    exec::ExecContext local_ctx;
+    local_ctx.catalog = engine_->catalog();
+    exec::ExecContext* ctx =
+        query_->exec_ctx != nullptr ? query_->exec_ctx : &local_ctx;
+    auto rows = exec::ExecutePlan(plan_, ctx);
+    if (!rows.ok()) {
+      query_->Fail(rows.status());
+      return RunOutcome::kDone;
+    }
+    for (Tuple& t : *rows) query_->AppendResult(std::move(t));
+    return RunOutcome::kDone;
+  }
+  void OnRetired() override { query_->OnInstanceRetired(); }
+
+ private:
+  StagedEngine* engine_;
+  StagedQuery* query_;
+  const PhysicalPlan* plan_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ StagedEngine --
+
+StagedEngine::StagedEngine(catalog::Catalog* catalog,
+                           StagedEngineOptions options)
+    : catalog_(catalog), options_(options), runtime_(options.scheduler) {
+  const int w = options_.threads_per_stage;
+  if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {
+    execute_stage_ = runtime_.CreateStage("execute", w);
+    return;
+  }
+  iscan_stage_ = runtime_.CreateStage("iscan", w);
+  qual_stage_ = runtime_.CreateStage("qual", w);
+  sort_stage_ = runtime_.CreateStage("sort", w);
+  join_stage_ = runtime_.CreateStage("join", w);
+  aggr_stage_ = runtime_.CreateStage("aggr", w);
+  dml_stage_ = runtime_.CreateStage("dml", w);
+  if (!options_.stage_per_table_scans) {
+    fscan_shared_ = runtime_.CreateStage("fscan", w);
+  }
+}
+
+StagedEngine::~StagedEngine() { runtime_.Shutdown(); }
+
+Stage* StagedEngine::StageFor(const PhysicalPlan& node) {
+  if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {
+    return execute_stage_;
+  }
+  switch (node.kind) {
+    case PlanKind::kSeqScan: {
+      if (!options_.stage_per_table_scans) return fscan_shared_;
+      std::lock_guard<std::mutex> lock(stage_map_mu_);
+      auto it = fscan_stages_.find(node.table->id);
+      if (it != fscan_stages_.end()) return it->second;
+      Stage* stage = runtime_.CreateStage("fscan." + node.table->name,
+                                          options_.threads_per_stage);
+      fscan_stages_[node.table->id] = stage;
+      return stage;
+    }
+    case PlanKind::kIndexScan:
+      return iscan_stage_;
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+    case PlanKind::kLimit:
+    case PlanKind::kValues:
+      return qual_stage_;
+    case PlanKind::kSort:
+      return sort_stage_;
+    case PlanKind::kNestedLoopJoin:
+    case PlanKind::kHashJoin:
+    case PlanKind::kMergeJoin:
+      return join_stage_;
+    case PlanKind::kHashAggregate:
+      return aggr_stage_;
+    case PlanKind::kInsert:
+    case PlanKind::kDelete:
+    case PlanKind::kUpdate:
+      return dml_stage_;
+  }
+  return qual_stage_;
+}
+
+std::shared_ptr<StagedQuery> StagedEngine::Submit(const PhysicalPlan* plan,
+                                                  exec::ExecContext* exec_ctx) {
+  auto query = std::make_shared<StagedQuery>();
+  query->id = next_query_id_.fetch_add(1);
+  query->exec_ctx = exec_ctx;
+
+  const bool is_dml = plan->kind == PlanKind::kInsert ||
+                      plan->kind == PlanKind::kDelete ||
+                      plan->kind == PlanKind::kUpdate;
+  if (is_dml) {
+    auto task = std::make_unique<DmlTask>(this, query.get(), plan);
+    DmlTask* ptr = task.get();
+    query->instances.push_back(std::move(task));
+    query->remaining_ = 1;
+    StageFor(*plan)->Enqueue(ptr);
+    return query;
+  }
+
+  // Build the operator instance tree bottom-up and wire exchange buffers.
+  std::vector<std::pair<OperatorInstance*, Stage*>> leaves;
+  struct Builder {
+    StagedEngine* engine;
+    StagedQuery* query;
+    std::vector<std::pair<OperatorInstance*, Stage*>>* leaves;
+    OperatorInstance* Build(const PhysicalPlan* node) {
+      auto inst = std::make_unique<OperatorInstance>(engine, query, node);
+      OperatorInstance* ptr = inst.get();
+      query->instances.push_back(std::move(inst));
+      for (const auto& child : node->children) {
+        OperatorInstance* child_inst = Build(child.get());
+        auto buffer = std::make_unique<ExchangeBuffer>(
+            engine->options().exchange_capacity_pages);
+        ExchangeBuffer* b = buffer.get();
+        query->buffers.push_back(std::move(buffer));
+        child_inst->output_ = b;
+        ptr->inputs_.push_back(b);
+        b->BindProducer(engine->StageFor(*child), child_inst);
+        b->BindConsumer(engine->StageFor(*node), ptr);
+      }
+      if (node->children.empty()) {
+        leaves->emplace_back(ptr, engine->StageFor(*node));
+      }
+      return ptr;
+    }
+  };
+  Builder builder{this, query.get(), &leaves};
+  builder.Build(plan);
+  query->remaining_ = static_cast<int>(query->instances.size());
+
+  // Bottom-up activation: enqueue packets for the leaf operators; parents are
+  // activated when the first page reaches their input buffer (or its EOF).
+  for (auto& [leaf, stage] : leaves) stage->Enqueue(leaf);
+  return query;
+}
+
+StatusOr<std::vector<Tuple>> StagedEngine::Execute(const PhysicalPlan* plan,
+                                                   exec::ExecContext* ctx) {
+  auto query = Submit(plan, ctx);
+  return query->Await();
+}
+
+}  // namespace stagedb::engine

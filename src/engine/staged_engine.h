@@ -1,0 +1,126 @@
+// The staged relational execution engine (§4.1.2, §4.3 of the paper).
+//
+// Each relational operator of a physical plan becomes an operator instance
+// (a packet) assigned to its stage: fscan stages are replicated per table,
+// iscan / sort / join / aggregate each have a stage, and the cheap qualifier
+// operators (filter, project, limit) share one "qual" stage ("we group
+// together operators which use a small portion of the common or shared data
+// and code"). Mutation statements run as one packet on the dml stage.
+//
+// Activation is bottom-up: leaf scans are enqueued first; a parent operator
+// is activated the first time a child places a page in its input buffer.
+// Data moves through bounded ExchangeBuffers; a full buffer parks the
+// producer (back-pressure), an empty one parks the consumer, exactly the
+// re-enqueue behaviour §4.3 describes.
+#ifndef STAGEDB_ENGINE_STAGED_ENGINE_H_
+#define STAGEDB_ENGINE_STAGED_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "engine/exchange.h"
+#include "engine/runtime.h"
+#include "exec/executor.h"
+#include "optimizer/plan.h"
+
+namespace stagedb::engine {
+
+/// Engine knobs (§4.4 tuning parameters).
+struct StagedEngineOptions {
+  SchedulerPolicy scheduler = SchedulerPolicy::kFreeRun;
+  int threads_per_stage = 1;
+  /// Exchange buffer capacity in pages (back-pressure depth).
+  size_t exchange_capacity_pages = 4;
+  /// Tuples per exchanged page (§4.4c: "the page size for exchanging
+  /// intermediate results among the execution engine stages").
+  size_t tuples_per_page = 64;
+  /// Pages an operator processes per packet invocation before yielding.
+  int work_quantum_pages = 4;
+  /// Fine = operator stages as in Figure 3; coarse = one execute stage
+  /// hosting every operator (the monolithic end of §4.4's granularity
+  /// trade-off).
+  enum class Granularity { kFine, kCoarse };
+  Granularity granularity = Granularity::kFine;
+  /// Replicate fscan stages per table ("the fscan and iscan stages are
+  /// replicated and are separately attached to the database tables").
+  bool stage_per_table_scans = true;
+};
+
+/// Tracks one in-flight query: its operator packets, exchange buffers,
+/// results, and completion state. Created by StagedEngine::Submit; the caller
+/// must Await before releasing its reference.
+class StagedQuery {
+ public:
+  /// Blocks until every packet of this query has retired.
+  StatusOr<std::vector<catalog::Tuple>> Await();
+
+  // --- used by operator drivers ---
+  void AppendResult(catalog::Tuple t);
+  /// Records the first error and cancels the dataflow (closes all buffers).
+  void Fail(Status status);
+  void OnInstanceRetired();
+  bool failed() const;
+
+  int64_t id = 0;
+  std::vector<std::unique_ptr<StageTask>> instances;
+  std::vector<std::unique_ptr<ExchangeBuffer>> buffers;
+  exec::ExecContext* exec_ctx = nullptr;  // for DML packets
+
+ private:
+  friend class StagedEngine;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_ = 0;
+  Status status_;
+  bool failed_ = false;
+  std::vector<catalog::Tuple> rows_;
+};
+
+/// The staged engine: owns the stage runtime and executes physical plans.
+class StagedEngine {
+ public:
+  StagedEngine(catalog::Catalog* catalog, StagedEngineOptions options = {});
+  ~StagedEngine();
+
+  /// Executes a plan to completion and returns the result rows. Thread-safe:
+  /// concurrent calls interleave through the shared stages. `exec_ctx` is
+  /// optional and only consulted by DML packets (mutation logging).
+  StatusOr<std::vector<catalog::Tuple>> Execute(
+      const optimizer::PhysicalPlan* plan,
+      exec::ExecContext* exec_ctx = nullptr);
+
+  /// Asynchronous execution for concurrent-client experiments.
+  std::shared_ptr<StagedQuery> Submit(const optimizer::PhysicalPlan* plan,
+                                      exec::ExecContext* exec_ctx = nullptr);
+
+  StageRuntime* runtime() { return &runtime_; }
+  catalog::Catalog* catalog() { return catalog_; }
+  const StagedEngineOptions& options() const { return options_; }
+
+  /// The stage responsible for a plan node (exposed for tests/monitoring).
+  Stage* StageFor(const optimizer::PhysicalPlan& node);
+
+ private:
+  catalog::Catalog* catalog_;
+  StagedEngineOptions options_;
+  StageRuntime runtime_;
+
+  std::mutex stage_map_mu_;
+  Stage* iscan_stage_ = nullptr;
+  Stage* qual_stage_ = nullptr;
+  Stage* sort_stage_ = nullptr;
+  Stage* join_stage_ = nullptr;
+  Stage* aggr_stage_ = nullptr;
+  Stage* dml_stage_ = nullptr;
+  Stage* execute_stage_ = nullptr;  // coarse granularity
+  std::map<catalog::TableId, Stage*> fscan_stages_;
+  Stage* fscan_shared_ = nullptr;
+
+  std::atomic<int64_t> next_query_id_{1};
+};
+
+}  // namespace stagedb::engine
+
+#endif  // STAGEDB_ENGINE_STAGED_ENGINE_H_

@@ -1,0 +1,112 @@
+// Volcano-style (iterator model) execution engine.
+//
+// This is the execution model of the traditional architectures the paper
+// criticizes: one worker thread pulls tuples through the whole plan. It is
+// the baseline against which the staged engine is compared, and its operator
+// kernels define the behaviour the staged drivers must match (the two engines
+// are differential-tested against each other).
+#ifndef STAGEDB_EXEC_EXECUTOR_H_
+#define STAGEDB_EXEC_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/tuple.h"
+#include "common/status.h"
+#include "optimizer/plan.h"
+
+namespace stagedb::exec {
+
+/// Per-operator activity record: how much work each module performed for one
+/// query. The virtual-time replayer converts these counts into CPU demand
+/// segments (see DESIGN.md E2).
+struct OperatorTraceEntry {
+  optimizer::PlanKind kind;
+  std::string detail;     // e.g. table name
+  int64_t tuples_out = 0;
+  int64_t invocations = 0;
+};
+
+/// Collects operator activity for one query execution.
+class OperatorTrace {
+ public:
+  size_t Register(optimizer::PlanKind kind, std::string detail) {
+    entries_.push_back({kind, std::move(detail), 0, 0});
+    return entries_.size() - 1;
+  }
+  void CountTuple(size_t id) { ++entries_[id].tuples_out; }
+  void CountInvocation(size_t id) { ++entries_[id].invocations; }
+  const std::vector<OperatorTraceEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<OperatorTraceEntry> entries_;
+};
+
+/// One logged catalog mutation, used to roll back SQL-level transactions.
+struct MutationRecord {
+  enum class Op { kInsert, kDelete };
+  catalog::TableInfo* table = nullptr;
+  Op op = Op::kInsert;
+  storage::Rid rid;
+  catalog::Tuple tuple;
+};
+
+/// Undo log for an explicit SQL transaction (BEGIN ... COMMIT/ROLLBACK).
+/// Catalog-level (indexes and statistics are maintained during undo); the
+/// storage-level TransactionManager provides the WAL/locking substrate.
+class MutationLog {
+ public:
+  void LogInsert(catalog::TableInfo* table, const storage::Rid& rid,
+                 catalog::Tuple tuple) {
+    records_.push_back(
+        {table, MutationRecord::Op::kInsert, rid, std::move(tuple)});
+  }
+  void LogDelete(catalog::TableInfo* table, const storage::Rid& rid,
+                 catalog::Tuple tuple) {
+    records_.push_back(
+        {table, MutationRecord::Op::kDelete, rid, std::move(tuple)});
+  }
+  /// Applies inverse operations in reverse order through the catalog.
+  Status Rollback(catalog::Catalog* catalog);
+  size_t size() const { return records_.size(); }
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<MutationRecord> records_;
+};
+
+/// Per-query execution context.
+struct ExecContext {
+  catalog::Catalog* catalog = nullptr;
+  OperatorTrace* trace = nullptr;        // optional
+  MutationLog* mutation_log = nullptr;   // optional (active SQL transaction)
+};
+
+/// Pull-based operator.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Prepares the operator (may consume blocking inputs, e.g. sort).
+  virtual Status Init() = 0;
+  /// Produces the next tuple; returns false at end of stream.
+  virtual StatusOr<bool> Next(catalog::Tuple* out) = 0;
+  const catalog::Schema& schema() const { return schema_; }
+
+ protected:
+  explicit Executor(catalog::Schema schema) : schema_(std::move(schema)) {}
+  catalog::Schema schema_;
+};
+
+/// Builds the executor tree for a physical plan.
+StatusOr<std::unique_ptr<Executor>> CreateExecutor(
+    const optimizer::PhysicalPlan* plan, ExecContext* ctx);
+
+/// Runs a plan to completion and returns all result tuples.
+StatusOr<std::vector<catalog::Tuple>> ExecutePlan(
+    const optimizer::PhysicalPlan* plan, ExecContext* ctx);
+
+}  // namespace stagedb::exec
+
+#endif  // STAGEDB_EXEC_EXECUTOR_H_

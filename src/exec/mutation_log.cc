@@ -1,0 +1,26 @@
+#include "exec/executor.h"
+
+namespace stagedb::exec {
+
+Status MutationLog::Rollback(catalog::Catalog* catalog) {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    switch (it->op) {
+      case MutationRecord::Op::kInsert: {
+        Status s = catalog->DeleteTuple(it->table, it->rid);
+        // The row may already be gone if a later statement in the same
+        // transaction deleted it; that undo already ran.
+        if (!s.ok() && !s.IsNotFound()) return s;
+        break;
+      }
+      case MutationRecord::Op::kDelete: {
+        auto rid = catalog->InsertTuple(it->table, it->tuple);
+        if (!rid.ok()) return rid.status();
+        break;
+      }
+    }
+  }
+  records_.clear();
+  return Status::OK();
+}
+
+}  // namespace stagedb::exec

@@ -1,0 +1,58 @@
+// Bound (name-resolved) expressions and their evaluation over tuples.
+#ifndef STAGEDB_OPTIMIZER_BOUND_EXPR_H_
+#define STAGEDB_OPTIMIZER_BOUND_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "catalog/tuple.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace stagedb::optimizer {
+
+/// An expression with column references resolved to positions in the input
+/// tuple and with a computed result type.
+struct BoundExpr {
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary, kAggRef };
+
+  Kind kind = Kind::kLiteral;
+  catalog::TypeId type = catalog::TypeId::kNull;
+  catalog::Value literal;             // kLiteral
+  size_t column = 0;                  // kColumn / kAggRef slot
+  parser::UnaryOp unary_op = parser::UnaryOp::kNeg;
+  parser::BinaryOp binary_op = parser::BinaryOp::kAdd;
+  std::unique_ptr<BoundExpr> left;
+  std::unique_ptr<BoundExpr> right;
+
+  static std::unique_ptr<BoundExpr> Literal(catalog::Value v);
+  static std::unique_ptr<BoundExpr> Column(size_t index, catalog::TypeId t);
+  static std::unique_ptr<BoundExpr> AggRef(size_t slot, catalog::TypeId t);
+  static std::unique_ptr<BoundExpr> Unary(parser::UnaryOp op,
+                                          std::unique_ptr<BoundExpr> operand);
+  static std::unique_ptr<BoundExpr> Binary(parser::BinaryOp op,
+                                           std::unique_ptr<BoundExpr> l,
+                                           std::unique_ptr<BoundExpr> r);
+
+  std::unique_ptr<BoundExpr> Clone() const;
+  /// True if the expression references any column in [lo, hi).
+  bool ReferencesColumnsIn(size_t lo, size_t hi) const;
+  /// Rewrites column references by `shift` (used when an input is re-based
+  /// on the right side of a join).
+  void ShiftColumns(int64_t shift, size_t at_or_above);
+  std::string ToString() const;
+};
+
+/// Evaluates a bound expression against a tuple. SQL three-valued logic is
+/// approximated: any comparison or arithmetic with NULL yields NULL, and a
+/// NULL predicate result is treated as false by callers.
+StatusOr<catalog::Value> Eval(const BoundExpr& expr, const catalog::Tuple& in);
+
+/// Convenience: evaluates a predicate; NULL/non-bool results are false.
+StatusOr<bool> EvalPredicate(const BoundExpr& expr, const catalog::Tuple& in);
+
+}  // namespace stagedb::optimizer
+
+#endif  // STAGEDB_OPTIMIZER_BOUND_EXPR_H_

@@ -1,0 +1,67 @@
+#include "optimizer/plan.h"
+
+#include "common/string_util.h"
+
+namespace stagedb::optimizer {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSeqScan:
+      return "SeqScan";
+    case PlanKind::kIndexScan:
+      return "IndexScan";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kProject:
+      return "Project";
+    case PlanKind::kNestedLoopJoin:
+      return "NestedLoopJoin";
+    case PlanKind::kHashJoin:
+      return "HashJoin";
+    case PlanKind::kMergeJoin:
+      return "MergeJoin";
+    case PlanKind::kSort:
+      return "Sort";
+    case PlanKind::kHashAggregate:
+      return "HashAggregate";
+    case PlanKind::kLimit:
+      return "Limit";
+    case PlanKind::kValues:
+      return "Values";
+    case PlanKind::kInsert:
+      return "Insert";
+    case PlanKind::kDelete:
+      return "Delete";
+    case PlanKind::kUpdate:
+      return "Update";
+  }
+  return "?";
+}
+
+std::string PhysicalPlan::ToString(int indent) const {
+  std::string pad(indent * 2, ' ');
+  std::string line = pad + PlanKindName(kind);
+  if (table != nullptr) line += " " + table->name;
+  if (kind == PlanKind::kIndexScan) {
+    line += StrFormat(" [%lld..%lld]", static_cast<long long>(index_lo),
+                      static_cast<long long>(index_hi));
+  }
+  if (predicate) line += " pred=" + predicate->ToString();
+  if (!left_keys.empty()) {
+    line += " keys=";
+    for (size_t i = 0; i < left_keys.size(); ++i) {
+      if (i) line += ",";
+      line += StrFormat("#%zu=#%zu", left_keys[i], right_keys[i]);
+    }
+  }
+  if (kind == PlanKind::kLimit) {
+    line += StrFormat(" %lld", static_cast<long long>(limit));
+  }
+  line += StrFormat("  (rows~%.0f cost~%.0f)", estimated_rows,
+                    estimated_cost);
+  line += "\n";
+  for (const auto& child : children) line += child->ToString(indent + 1);
+  return line;
+}
+
+}  // namespace stagedb::optimizer

@@ -1,0 +1,99 @@
+// Physical query plans: the output of the optimize stage and the input of
+// both execution engines (volcano baseline and staged).
+#ifndef STAGEDB_OPTIMIZER_PLAN_H_
+#define STAGEDB_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "optimizer/bound_expr.h"
+#include "parser/ast.h"
+
+namespace stagedb::optimizer {
+
+/// Which operator implements a plan node. These map 1:1 onto the execution
+/// engine stages of the paper's Figure 3 (fscan, iscan, sort, join with three
+/// algorithms, aggregate) plus the mutation operators.
+enum class PlanKind {
+  kSeqScan,
+  kIndexScan,
+  kFilter,
+  kProject,
+  kNestedLoopJoin,
+  kHashJoin,
+  kMergeJoin,
+  kSort,
+  kHashAggregate,
+  kLimit,
+  kValues,
+  kInsert,
+  kDelete,
+  kUpdate,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+/// Aggregate function instance inside a kHashAggregate node.
+struct AggSpec {
+  parser::AggFunc func = parser::AggFunc::kCount;
+  std::unique_ptr<BoundExpr> arg;  // null for COUNT(*)
+  catalog::TypeId result_type = catalog::TypeId::kInt64;
+};
+
+/// Sort key over the input schema.
+struct SortKey {
+  std::unique_ptr<BoundExpr> expr;
+  bool descending = false;
+};
+
+/// A physical plan node. A tagged struct keeps the plan walkable by both
+/// engines without a visitor hierarchy.
+struct PhysicalPlan {
+  PlanKind kind = PlanKind::kSeqScan;
+  catalog::Schema schema;  // output schema
+  std::vector<std::unique_ptr<PhysicalPlan>> children;
+
+  // Scans and mutations.
+  catalog::TableInfo* table = nullptr;
+  catalog::IndexInfo* index = nullptr;
+  int64_t index_lo = INT64_MIN;  // inclusive range for kIndexScan
+  int64_t index_hi = INT64_MAX;
+
+  // kFilter / join residual predicates / kDelete / kUpdate condition.
+  std::unique_ptr<BoundExpr> predicate;
+
+  // kProject expressions; kHashAggregate group-by; kUpdate SET values
+  // (parallel to update_columns).
+  std::vector<std::unique_ptr<BoundExpr>> exprs;
+  std::vector<size_t> update_columns;
+
+  // Equi-join keys (column indices into left/right child schemas).
+  std::vector<size_t> left_keys;
+  std::vector<size_t> right_keys;
+
+  // kSort.
+  std::vector<SortKey> sort_keys;
+
+  // kHashAggregate.
+  std::vector<AggSpec> aggregates;
+
+  // kLimit.
+  int64_t limit = -1;
+
+  // kValues literal rows (INSERT source).
+  std::vector<catalog::Tuple> rows;
+
+  // Cost-model annotations.
+  double estimated_rows = 0.0;
+  double estimated_cost = 0.0;
+
+  /// EXPLAIN-style tree rendering.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace stagedb::optimizer
+
+#endif  // STAGEDB_OPTIMIZER_PLAN_H_

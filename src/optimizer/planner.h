@@ -1,0 +1,76 @@
+// The optimize stage: binds a parsed statement against the catalog and
+// produces a costed physical plan (predicate pushdown, access-path selection,
+// greedy join ordering, join-algorithm choice).
+#ifndef STAGEDB_OPTIMIZER_PLANNER_H_
+#define STAGEDB_OPTIMIZER_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "optimizer/plan.h"
+#include "parser/ast.h"
+
+namespace stagedb::optimizer {
+
+/// Planner knobs. The join-algorithm override exists because the paper's join
+/// stage hosts all three algorithms (nested-loop, sort-merge, hash) and the
+/// ablation benches compare them.
+struct PlannerOptions {
+  enum class JoinAlgo { kAuto, kHash, kMerge, kNestedLoop };
+  JoinAlgo join_algorithm = JoinAlgo::kAuto;
+  bool enable_index_scan = true;
+  bool enable_predicate_pushdown = true;
+  bool enable_join_reorder = true;
+};
+
+/// Stateless per-statement planner over a catalog.
+class Planner {
+ public:
+  explicit Planner(catalog::Catalog* catalog, PlannerOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  StatusOr<std::unique_ptr<PhysicalPlan>> Plan(const parser::Statement& stmt);
+
+ private:
+  struct Relation {
+    catalog::TableInfo* table = nullptr;
+    std::string name;  // effective (aliased) name
+    catalog::Schema schema;
+  };
+
+  struct AggContext;
+
+  StatusOr<std::unique_ptr<PhysicalPlan>> PlanSelect(
+      const parser::SelectStmt& stmt);
+  StatusOr<std::unique_ptr<PhysicalPlan>> PlanInsert(
+      const parser::InsertStmt& stmt);
+  StatusOr<std::unique_ptr<PhysicalPlan>> PlanDelete(
+      const parser::DeleteStmt& stmt);
+  StatusOr<std::unique_ptr<PhysicalPlan>> PlanUpdate(
+      const parser::UpdateStmt& stmt);
+
+  /// Builds the scan (+filter) plan for one relation given its local
+  /// predicates; consumes usable predicates for an index range when possible.
+  StatusOr<std::unique_ptr<PhysicalPlan>> PlanBaseRelation(
+      const Relation& rel, std::vector<const parser::Expr*> local_conjuncts);
+
+  /// Binds a parser expression against a schema (optionally in aggregate
+  /// context).
+  StatusOr<std::unique_ptr<BoundExpr>> Bind(const parser::Expr& expr,
+                                            const catalog::Schema& schema,
+                                            AggContext* agg = nullptr) const;
+
+  catalog::Catalog* catalog_;
+  PlannerOptions options_;
+};
+
+/// Splits an expression on top-level ANDs.
+void SplitConjuncts(const parser::Expr* expr,
+                    std::vector<const parser::Expr*>* out);
+
+}  // namespace stagedb::optimizer
+
+#endif  // STAGEDB_OPTIMIZER_PLANNER_H_

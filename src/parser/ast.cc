@@ -1,0 +1,146 @@
+#include "parser/ast.h"
+
+#include "common/string_util.h"
+
+namespace stagedb::parser {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::Literal(catalog::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::ColumnRef(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Unary(UnaryOp op, std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->unary_op = op;
+  e->left = std::move(operand);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinaryOp op, std::unique_ptr<Expr> l,
+                                   std::unique_ptr<Expr> r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->binary_op = op;
+  e->left = std::move(l);
+  e->right = std::move(r);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Aggregate(AggFunc f, std::unique_ptr<Expr> arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggregate;
+  e->agg_func = f;
+  e->left = std::move(arg);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->agg_func = agg_func;
+  if (left) e->left = left->Clone();
+  if (right) e->right = right->Clone();
+  return e;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == Kind::kAggregate) return true;
+  if (left && left->ContainsAggregate()) return true;
+  if (right && right->ContainsAggregate()) return true;
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.type() == catalog::TypeId::kVarchar
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case Kind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case Kind::kUnary:
+      return std::string(unary_op == UnaryOp::kNeg ? "-" : "NOT ") +
+             left->ToString();
+    case Kind::kBinary:
+      return "(" + left->ToString() + " " + BinaryOpName(binary_op) + " " +
+             right->ToString() + ")";
+    case Kind::kAggregate:
+      return std::string(AggFuncName(agg_func)) + "(" +
+             (left ? left->ToString() : "*") + ")";
+    case Kind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+}  // namespace stagedb::parser

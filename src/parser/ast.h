@@ -1,0 +1,190 @@
+// Abstract syntax tree for the SQL dialect.
+#ifndef STAGEDB_PARSER_AST_H_
+#define STAGEDB_PARSER_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "catalog/value.h"
+
+namespace stagedb::parser {
+
+// ------------------------------------------------------------- Expressions --
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggFuncName(AggFunc f);
+
+/// Expression node (tagged union style; children owned).
+struct Expr {
+  enum class Kind {
+    kLiteral,
+    kColumnRef,
+    kUnary,
+    kBinary,
+    kAggregate,
+    kStar,  // only inside COUNT(*) or SELECT *
+  };
+
+  Kind kind;
+  // kLiteral
+  catalog::Value literal;
+  // kColumnRef
+  std::string table;   // optional qualifier
+  std::string column;
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::unique_ptr<Expr> left;
+  std::unique_ptr<Expr> right;
+  // kAggregate
+  AggFunc agg_func = AggFunc::kCount;
+  // aggregate argument is in `left` (null for COUNT(*))
+
+  static std::unique_ptr<Expr> Literal(catalog::Value v);
+  static std::unique_ptr<Expr> ColumnRef(std::string table, std::string column);
+  static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> l,
+                                      std::unique_ptr<Expr> r);
+  static std::unique_ptr<Expr> Aggregate(AggFunc f, std::unique_ptr<Expr> arg);
+  static std::unique_ptr<Expr> Star();
+
+  std::unique_ptr<Expr> Clone() const;
+  /// True if any node in the tree is an aggregate call.
+  bool ContainsAggregate() const;
+  std::string ToString() const;
+};
+
+// -------------------------------------------------------------- Statements --
+
+struct Statement {
+  enum class Kind {
+    kCreateTable,
+    kCreateIndex,
+    kDropTable,
+    kInsert,
+    kSelect,
+    kDelete,
+    kUpdate,
+    kBegin,
+    kCommit,
+    kRollback,
+  };
+  explicit Statement(Kind k) : kind(k) {}
+  virtual ~Statement() = default;
+  Kind kind;
+};
+
+struct ColumnDef {
+  std::string name;
+  catalog::TypeId type;
+};
+
+struct CreateTableStmt : Statement {
+  CreateTableStmt() : Statement(Kind::kCreateTable) {}
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStmt : Statement {
+  CreateIndexStmt() : Statement(Kind::kCreateIndex) {}
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStmt : Statement {
+  DropTableStmt() : Statement(Kind::kDropTable) {}
+  std::string table;
+};
+
+struct InsertStmt : Statement {
+  InsertStmt() : Statement(Kind::kInsert) {}
+  std::string table;
+  /// One or more rows of literal expressions.
+  std::vector<std::vector<std::unique_ptr<Expr>>> rows;
+};
+
+/// FROM-clause table with optional alias.
+struct TableRef {
+  std::string table;
+  std::string alias;  // empty = use table name
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct JoinClause {
+  TableRef table;
+  std::unique_ptr<Expr> on;  // join condition
+};
+
+struct SelectItem {
+  std::unique_ptr<Expr> expr;  // null for *
+  std::string alias;
+};
+
+struct OrderByItem {
+  std::unique_ptr<Expr> expr;
+  bool descending = false;
+};
+
+struct SelectStmt : Statement {
+  SelectStmt() : Statement(Kind::kSelect) {}
+  std::vector<SelectItem> items;
+  TableRef from;
+  std::vector<JoinClause> joins;
+  std::unique_ptr<Expr> where;
+  std::vector<std::unique_ptr<Expr>> group_by;
+  std::unique_ptr<Expr> having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;  // -1 = no limit
+};
+
+struct DeleteStmt : Statement {
+  DeleteStmt() : Statement(Kind::kDelete) {}
+  std::string table;
+  std::unique_ptr<Expr> where;
+};
+
+struct UpdateStmt : Statement {
+  UpdateStmt() : Statement(Kind::kUpdate) {}
+  std::string table;
+  std::vector<std::pair<std::string, std::unique_ptr<Expr>>> assignments;
+  std::unique_ptr<Expr> where;
+};
+
+struct BeginStmt : Statement {
+  BeginStmt() : Statement(Kind::kBegin) {}
+};
+struct CommitStmt : Statement {
+  CommitStmt() : Statement(Kind::kCommit) {}
+};
+struct RollbackStmt : Statement {
+  RollbackStmt() : Statement(Kind::kRollback) {}
+};
+
+}  // namespace stagedb::parser
+
+#endif  // STAGEDB_PARSER_AST_H_

@@ -1,0 +1,213 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace stagedb::parser {
+
+namespace {
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kKeywords = {
+      "SELECT", "FROM",   "WHERE",  "GROUP",    "BY",     "ORDER",  "LIMIT",
+      "ASC",    "DESC",   "AS",     "AND",      "OR",     "NOT",    "JOIN",
+      "INNER",  "ON",     "CREATE", "TABLE",    "INDEX",  "DROP",   "INSERT",
+      "INTO",   "VALUES", "DELETE", "UPDATE",   "SET",    "NULL",   "TRUE",
+      "FALSE",  "COUNT",  "SUM",    "AVG",      "MIN",    "MAX",    "INTEGER",
+      "BIGINT", "DOUBLE", "FLOAT",  "VARCHAR",  "TEXT",   "BOOLEAN",
+      "BEGIN",  "COMMIT", "ROLLBACK", "ABORT",  "HAVING", "DISTINCT",
+  };
+  return kKeywords;
+}
+}  // namespace
+
+bool Lexer::IsReservedKeyword(const std::string& upper) {
+  return Keywords().count(upper) > 0;
+}
+
+StatusOr<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    auto tok = Next();
+    if (!tok.ok()) return tok.status();
+    const bool eof = tok->type == TokenType::kEof;
+    tokens.push_back(std::move(*tok));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+StatusOr<Token> Lexer::Next() {
+  // Skip whitespace and -- comments.
+  while (pos_ < input_.size()) {
+    if (std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    } else if (Peek() == '-' && Peek(1) == '-') {
+      while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+    } else {
+      break;
+    }
+  }
+  Token tok;
+  tok.position = pos_;
+  if (pos_ >= input_.size()) {
+    tok.type = TokenType::kEof;
+    return tok;
+  }
+  const char c = input_[pos_];
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '_')) {
+      ++pos_;
+    }
+    std::string word = input_.substr(start, pos_ - start);
+    std::string upper = ToUpper(word);
+    if (Keywords().count(upper)) {
+      tok.type = TokenType::kKeyword;
+      tok.text = upper;
+    } else {
+      tok.type = TokenType::kIdentifier;
+      tok.text = ToLower(word);  // identifiers are case-insensitive
+    }
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_double = true;
+        while (pos_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        pos_ = save;
+      }
+    }
+    const std::string num = input_.substr(start, pos_ - start);
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::stod(num);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      try {
+        tok.int_value = std::stoll(num);
+      } catch (...) {
+        return Status::InvalidArgument(
+            StrFormat("integer literal out of range at %zu", start));
+      }
+    }
+    return tok;
+  }
+
+  if (c == '\'') {
+    ++pos_;
+    std::string s;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '\'') {
+        if (Peek(1) == '\'') {  // escaped quote
+          s += '\'';
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        tok.type = TokenType::kStringLiteral;
+        tok.text = std::move(s);
+        return tok;
+      }
+      s += input_[pos_++];
+    }
+    return Status::InvalidArgument(
+        StrFormat("unterminated string literal at %zu", tok.position));
+  }
+
+  ++pos_;
+  switch (c) {
+    case ',':
+      tok.type = TokenType::kComma;
+      return tok;
+    case '(':
+      tok.type = TokenType::kLParen;
+      return tok;
+    case ')':
+      tok.type = TokenType::kRParen;
+      return tok;
+    case ';':
+      tok.type = TokenType::kSemicolon;
+      return tok;
+    case '.':
+      tok.type = TokenType::kDot;
+      return tok;
+    case '*':
+      tok.type = TokenType::kStar;
+      return tok;
+    case '+':
+      tok.type = TokenType::kPlus;
+      return tok;
+    case '-':
+      tok.type = TokenType::kMinus;
+      return tok;
+    case '/':
+      tok.type = TokenType::kSlash;
+      return tok;
+    case '%':
+      tok.type = TokenType::kPercent;
+      return tok;
+    case '=':
+      tok.type = TokenType::kEq;
+      return tok;
+    case '!':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kNeq;
+        return tok;
+      }
+      break;
+    case '<':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kLe;
+      } else if (Peek() == '>') {
+        ++pos_;
+        tok.type = TokenType::kNeq;
+      } else {
+        tok.type = TokenType::kLt;
+      }
+      return tok;
+    case '>':
+      if (Peek() == '=') {
+        ++pos_;
+        tok.type = TokenType::kGe;
+      } else {
+        tok.type = TokenType::kGt;
+      }
+      return tok;
+    default:
+      break;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unexpected character '%c' at %zu", c, tok.position));
+}
+
+}  // namespace stagedb::parser

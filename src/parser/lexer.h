@@ -1,0 +1,37 @@
+// Hand-written SQL lexer.
+#ifndef STAGEDB_PARSER_LEXER_H_
+#define STAGEDB_PARSER_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace stagedb::parser {
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case.
+class Lexer {
+ public:
+  explicit Lexer(std::string input) : input_(std::move(input)) {}
+
+  /// Produces the full token stream (ending with kEof).
+  StatusOr<std::vector<Token>> Tokenize();
+
+  /// True if `upper` is a reserved SQL keyword of this dialect.
+  static bool IsReservedKeyword(const std::string& upper);
+
+ private:
+  StatusOr<Token> Next();
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+
+  std::string input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace stagedb::parser
+
+#endif  // STAGEDB_PARSER_LEXER_H_

@@ -1,0 +1,572 @@
+#include "parser/parser.h"
+
+#include "common/string_util.h"
+
+namespace stagedb::parser {
+
+using catalog::TypeId;
+using catalog::Value;
+
+StatusOr<std::unique_ptr<Statement>> ParseStatement(
+    const std::string& sql, catalog::SymbolTable* symbols) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  internal::Parser parser(std::move(*tokens), symbols);
+  return parser.ParseSingle();
+}
+
+StatusOr<std::vector<std::unique_ptr<Statement>>> ParseScript(
+    const std::string& sql, catalog::SymbolTable* symbols) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  internal::Parser parser(std::move(*tokens), symbols);
+  return parser.ParseAll();
+}
+
+namespace internal {
+
+const Token& Parser::Peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+Token Parser::Advance() {
+  Token t = Peek();
+  if (pos_ < tokens_.size() - 1) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenType t) {
+  if (Peek().type == t) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (Peek().IsKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType t, const char* what) {
+  if (Peek().type != t) {
+    return Status::InvalidArgument(
+        StrFormat("expected %s at position %zu (got '%s')", what,
+                  Peek().position, Peek().text.c_str()));
+  }
+  Advance();
+  return Status::OK();
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!Peek().IsKeyword(kw)) {
+    return Status::InvalidArgument(
+        StrFormat("expected %s at position %zu", kw, Peek().position));
+  }
+  Advance();
+  return Status::OK();
+}
+
+std::string Parser::Intern(const std::string& name) {
+  if (symbols_ != nullptr) symbols_->Intern(name);
+  return name;
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseSingle() {
+  auto stmt = ParseStatementInner();
+  if (!stmt.ok()) return stmt.status();
+  Match(TokenType::kSemicolon);
+  if (Peek().type != TokenType::kEof) {
+    return Status::InvalidArgument(
+        StrFormat("trailing input at position %zu", Peek().position));
+  }
+  return stmt;
+}
+
+StatusOr<std::vector<std::unique_ptr<Statement>>> Parser::ParseAll() {
+  std::vector<std::unique_ptr<Statement>> out;
+  while (Peek().type != TokenType::kEof) {
+    auto stmt = ParseStatementInner();
+    if (!stmt.ok()) return stmt.status();
+    out.push_back(std::move(*stmt));
+    if (!Match(TokenType::kSemicolon) && Peek().type != TokenType::kEof) {
+      return Status::InvalidArgument(
+          StrFormat("expected ';' at position %zu", Peek().position));
+    }
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseStatementInner() {
+  const Token& t = Peek();
+  if (t.IsKeyword("CREATE")) return ParseCreate();
+  if (t.IsKeyword("DROP")) return ParseDrop();
+  if (t.IsKeyword("INSERT")) return ParseInsert();
+  if (t.IsKeyword("SELECT")) return ParseSelect();
+  if (t.IsKeyword("DELETE")) return ParseDelete();
+  if (t.IsKeyword("UPDATE")) return ParseUpdate();
+  if (MatchKeyword("BEGIN")) {
+    return StatusOr<std::unique_ptr<Statement>>(std::make_unique<BeginStmt>());
+  }
+  if (MatchKeyword("COMMIT")) {
+    return StatusOr<std::unique_ptr<Statement>>(std::make_unique<CommitStmt>());
+  }
+  if (MatchKeyword("ROLLBACK") || MatchKeyword("ABORT")) {
+    return StatusOr<std::unique_ptr<Statement>>(
+        std::make_unique<RollbackStmt>());
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown statement at position %zu", t.position));
+}
+
+StatusOr<TypeId> Parser::ParseType() {
+  const Token t = Advance();
+  if (t.type != TokenType::kKeyword) {
+    return Status::InvalidArgument(
+        StrFormat("expected type name at position %zu", t.position));
+  }
+  if (t.text == "INTEGER" || t.text == "BIGINT") return TypeId::kInt64;
+  if (t.text == "DOUBLE" || t.text == "FLOAT") return TypeId::kDouble;
+  if (t.text == "VARCHAR" || t.text == "TEXT") {
+    // Optional length, e.g. VARCHAR(52); length is advisory.
+    if (Match(TokenType::kLParen)) {
+      if (Peek().type != TokenType::kIntLiteral) {
+        return Status::InvalidArgument("expected length after VARCHAR(");
+      }
+      Advance();
+      STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    }
+    return TypeId::kVarchar;
+  }
+  if (t.text == "BOOLEAN") return TypeId::kBool;
+  return Status::InvalidArgument(
+      StrFormat("unknown type '%s'", t.text.c_str()));
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseCreate() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("CREATE"));
+  if (MatchKeyword("TABLE")) {
+    auto stmt = std::make_unique<CreateTableStmt>();
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name");
+    }
+    stmt->table = Intern(Advance().text);
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    do {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Status::InvalidArgument("expected column name");
+      }
+      ColumnDef def;
+      def.name = Intern(Advance().text);
+      auto type = ParseType();
+      if (!type.ok()) return type.status();
+      def.type = *type;
+      stmt->columns.push_back(std::move(def));
+    } while (Match(TokenType::kComma));
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+  }
+  if (MatchKeyword("INDEX")) {
+    auto stmt = std::make_unique<CreateIndexStmt>();
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected index name");
+    }
+    stmt->index = Intern(Advance().text);
+    STAGEDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected table name");
+    }
+    stmt->table = Intern(Advance().text);
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected column name");
+    }
+    stmt->column = Intern(Advance().text);
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+  }
+  return Status::InvalidArgument("expected TABLE or INDEX after CREATE");
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseDrop() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("DROP"));
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+  auto stmt = std::make_unique<DropTableStmt>();
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected table name");
+  }
+  stmt->table = Intern(Advance().text);
+  return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseInsert() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+  auto stmt = std::make_unique<InsertStmt>();
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected table name");
+  }
+  stmt->table = Intern(Advance().text);
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+  do {
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+    std::vector<std::unique_ptr<Expr>> row;
+    do {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      row.push_back(std::move(*e));
+    } while (Match(TokenType::kComma));
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+    stmt->rows.push_back(std::move(row));
+  } while (Match(TokenType::kComma));
+  return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+}
+
+StatusOr<TableRef> Parser::ParseTableRef() {
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument(
+        StrFormat("expected table name at position %zu", Peek().position));
+  }
+  TableRef ref;
+  ref.table = Intern(Advance().text);
+  if (MatchKeyword("AS")) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected alias after AS");
+    }
+    ref.alias = Intern(Advance().text);
+  } else if (Peek().type == TokenType::kIdentifier) {
+    ref.alias = Intern(Advance().text);
+  }
+  return ref;
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseSelect() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  auto stmt = std::make_unique<SelectStmt>();
+  MatchKeyword("DISTINCT");  // accepted and ignored (documented)
+  do {
+    SelectItem item;
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      item.expr = nullptr;  // SELECT *
+    } else {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(*e);
+      if (MatchKeyword("AS")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::InvalidArgument("expected alias after AS");
+        }
+        item.alias = Intern(Advance().text);
+      }
+    }
+    stmt->items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto from = ParseTableRef();
+  if (!from.ok()) return from.status();
+  stmt->from = std::move(*from);
+
+  while (Peek().IsKeyword("JOIN") || Peek().IsKeyword("INNER")) {
+    MatchKeyword("INNER");
+    STAGEDB_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+    JoinClause join;
+    auto ref = ParseTableRef();
+    if (!ref.ok()) return ref.status();
+    join.table = std::move(*ref);
+    STAGEDB_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    auto on = ParseExpr();
+    if (!on.ok()) return on.status();
+    join.on = std::move(*on);
+    stmt->joins.push_back(std::move(join));
+  }
+
+  if (MatchKeyword("WHERE")) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = std::move(*e);
+  }
+  if (MatchKeyword("GROUP")) {
+    STAGEDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      stmt->group_by.push_back(std::move(*e));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->having = std::move(*e);
+  }
+  if (MatchKeyword("ORDER")) {
+    STAGEDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderByItem item;
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      item.expr = std::move(*e);
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (Peek().type != TokenType::kIntLiteral) {
+      return Status::InvalidArgument("expected integer after LIMIT");
+    }
+    stmt->limit = Advance().int_value;
+    if (stmt->limit < 0) {
+      return Status::InvalidArgument("LIMIT must be non-negative");
+    }
+  }
+  return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseDelete() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected table name");
+  }
+  stmt->table = Intern(Advance().text);
+  if (MatchKeyword("WHERE")) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = std::move(*e);
+  }
+  return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+}
+
+StatusOr<std::unique_ptr<Statement>> Parser::ParseUpdate() {
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  if (Peek().type != TokenType::kIdentifier) {
+    return Status::InvalidArgument("expected table name");
+  }
+  stmt->table = Intern(Advance().text);
+  STAGEDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+  do {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Status::InvalidArgument("expected column name in SET");
+    }
+    std::string col = Intern(Advance().text);
+    STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kEq, "="));
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->assignments.emplace_back(std::move(col), std::move(*e));
+  } while (Match(TokenType::kComma));
+  if (MatchKeyword("WHERE")) {
+    auto e = ParseExpr();
+    if (!e.ok()) return e.status();
+    stmt->where = std::move(*e);
+  }
+  return StatusOr<std::unique_ptr<Statement>>(std::move(stmt));
+}
+
+// ------------------------------------------------------------- Expressions --
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseExpr() { return ParseOr(); }
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseOr() {
+  auto left = ParseAnd();
+  if (!left.ok()) return left;
+  while (MatchKeyword("OR")) {
+    auto right = ParseAnd();
+    if (!right.ok()) return right;
+    left = Expr::Binary(BinaryOp::kOr, std::move(*left), std::move(*right));
+  }
+  return left;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAnd() {
+  auto left = ParseNot();
+  if (!left.ok()) return left;
+  while (MatchKeyword("AND")) {
+    auto right = ParseNot();
+    if (!right.ok()) return right;
+    left = Expr::Binary(BinaryOp::kAnd, std::move(*left), std::move(*right));
+  }
+  return left;
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    auto operand = ParseNot();
+    if (!operand.ok()) return operand;
+    return Expr::Unary(UnaryOp::kNot, std::move(*operand));
+  }
+  return ParseComparison();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseComparison() {
+  auto left = ParseAdditive();
+  if (!left.ok()) return left;
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq:
+      op = BinaryOp::kEq;
+      break;
+    case TokenType::kNeq:
+      op = BinaryOp::kNeq;
+      break;
+    case TokenType::kLt:
+      op = BinaryOp::kLt;
+      break;
+    case TokenType::kLe:
+      op = BinaryOp::kLe;
+      break;
+    case TokenType::kGt:
+      op = BinaryOp::kGt;
+      break;
+    case TokenType::kGe:
+      op = BinaryOp::kGe;
+      break;
+    default:
+      return left;
+  }
+  Advance();
+  auto right = ParseAdditive();
+  if (!right.ok()) return right;
+  return Expr::Binary(op, std::move(*left), std::move(*right));
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseAdditive() {
+  auto left = ParseMultiplicative();
+  if (!left.ok()) return left;
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kPlus) {
+      op = BinaryOp::kAdd;
+    } else if (Peek().type == TokenType::kMinus) {
+      op = BinaryOp::kSub;
+    } else {
+      return left;
+    }
+    Advance();
+    auto right = ParseMultiplicative();
+    if (!right.ok()) return right;
+    left = Expr::Binary(op, std::move(*left), std::move(*right));
+  }
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseMultiplicative() {
+  auto left = ParseUnary();
+  if (!left.ok()) return left;
+  while (true) {
+    BinaryOp op;
+    if (Peek().type == TokenType::kStar) {
+      op = BinaryOp::kMul;
+    } else if (Peek().type == TokenType::kSlash) {
+      op = BinaryOp::kDiv;
+    } else if (Peek().type == TokenType::kPercent) {
+      op = BinaryOp::kMod;
+    } else {
+      return left;
+    }
+    Advance();
+    auto right = ParseUnary();
+    if (!right.ok()) return right;
+    left = Expr::Binary(op, std::move(*left), std::move(*right));
+  }
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    auto operand = ParseUnary();
+    if (!operand.ok()) return operand;
+    return Expr::Unary(UnaryOp::kNeg, std::move(*operand));
+  }
+  if (Match(TokenType::kPlus)) return ParseUnary();
+  return ParsePrimary();
+}
+
+StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kIntLiteral: {
+      const int64_t v = Advance().int_value;
+      return Expr::Literal(Value::Int(v));
+    }
+    case TokenType::kDoubleLiteral: {
+      const double v = Advance().double_value;
+      return Expr::Literal(Value::Double(v));
+    }
+    case TokenType::kStringLiteral: {
+      std::string s = Advance().text;
+      return Expr::Literal(Value::Varchar(std::move(s)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e;
+      STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      return e;
+    }
+    case TokenType::kKeyword: {
+      if (MatchKeyword("NULL")) return Expr::Literal(Value::Null());
+      if (MatchKeyword("TRUE")) return Expr::Literal(Value::Bool(true));
+      if (MatchKeyword("FALSE")) return Expr::Literal(Value::Bool(false));
+      // Aggregate functions.
+      AggFunc f;
+      if (t.IsKeyword("COUNT")) {
+        f = AggFunc::kCount;
+      } else if (t.IsKeyword("SUM")) {
+        f = AggFunc::kSum;
+      } else if (t.IsKeyword("AVG")) {
+        f = AggFunc::kAvg;
+      } else if (t.IsKeyword("MIN")) {
+        f = AggFunc::kMin;
+      } else if (t.IsKeyword("MAX")) {
+        f = AggFunc::kMax;
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("unexpected keyword '%s' at position %zu",
+                      t.text.c_str(), t.position));
+      }
+      Advance();
+      STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kLParen, "("));
+      std::unique_ptr<Expr> arg;
+      if (Peek().type == TokenType::kStar) {
+        if (f != AggFunc::kCount) {
+          return Status::InvalidArgument("only COUNT accepts *");
+        }
+        Advance();
+      } else {
+        auto e = ParseExpr();
+        if (!e.ok()) return e;
+        arg = std::move(*e);
+      }
+      STAGEDB_RETURN_IF_ERROR(Expect(TokenType::kRParen, ")"));
+      return Expr::Aggregate(f, std::move(arg));
+    }
+    case TokenType::kIdentifier: {
+      std::string first = Intern(Advance().text);
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::InvalidArgument("expected column after '.'");
+        }
+        std::string col = Intern(Advance().text);
+        return Expr::ColumnRef(std::move(first), std::move(col));
+      }
+      return Expr::ColumnRef("", std::move(first));
+    }
+    default:
+      return Status::InvalidArgument(
+          StrFormat("unexpected token at position %zu", t.position));
+  }
+}
+
+}  // namespace internal
+}  // namespace stagedb::parser

@@ -1,0 +1,76 @@
+// Recursive-descent SQL parser. This is the code the paper's "parse" stage
+// executes: tokenizing, syntax checking, and symbol-table interning of every
+// identifier (its common working set).
+#ifndef STAGEDB_PARSER_PARSER_H_
+#define STAGEDB_PARSER_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/symbol_table.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "parser/lexer.h"
+
+namespace stagedb::parser {
+
+/// Parses one SQL statement (a trailing semicolon is allowed).
+/// If `symbols` is given, every identifier is interned through it.
+StatusOr<std::unique_ptr<Statement>> ParseStatement(
+    const std::string& sql, catalog::SymbolTable* symbols = nullptr);
+
+/// Parses a script of semicolon-separated statements.
+StatusOr<std::vector<std::unique_ptr<Statement>>> ParseScript(
+    const std::string& sql, catalog::SymbolTable* symbols = nullptr);
+
+namespace internal {
+
+/// The actual parser; exposed for tests.
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, catalog::SymbolTable* symbols)
+      : tokens_(std::move(tokens)), symbols_(symbols) {}
+
+  StatusOr<std::unique_ptr<Statement>> ParseSingle();
+  StatusOr<std::vector<std::unique_ptr<Statement>>> ParseAll();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const;
+  Token Advance();
+  bool Match(TokenType t);
+  bool MatchKeyword(const char* kw);
+  Status Expect(TokenType t, const char* what);
+  Status ExpectKeyword(const char* kw);
+  std::string Intern(const std::string& name);
+
+  StatusOr<std::unique_ptr<Statement>> ParseStatementInner();
+  StatusOr<std::unique_ptr<Statement>> ParseCreate();
+  StatusOr<std::unique_ptr<Statement>> ParseDrop();
+  StatusOr<std::unique_ptr<Statement>> ParseInsert();
+  StatusOr<std::unique_ptr<Statement>> ParseSelect();
+  StatusOr<std::unique_ptr<Statement>> ParseDelete();
+  StatusOr<std::unique_ptr<Statement>> ParseUpdate();
+  StatusOr<catalog::TypeId> ParseType();
+  StatusOr<TableRef> ParseTableRef();
+
+  // Expression precedence climbing: OR < AND < NOT < cmp < add < mul < unary.
+  StatusOr<std::unique_ptr<Expr>> ParseExpr();
+  StatusOr<std::unique_ptr<Expr>> ParseOr();
+  StatusOr<std::unique_ptr<Expr>> ParseAnd();
+  StatusOr<std::unique_ptr<Expr>> ParseNot();
+  StatusOr<std::unique_ptr<Expr>> ParseComparison();
+  StatusOr<std::unique_ptr<Expr>> ParseAdditive();
+  StatusOr<std::unique_ptr<Expr>> ParseMultiplicative();
+  StatusOr<std::unique_ptr<Expr>> ParseUnary();
+  StatusOr<std::unique_ptr<Expr>> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  catalog::SymbolTable* symbols_;
+};
+
+}  // namespace internal
+}  // namespace stagedb::parser
+
+#endif  // STAGEDB_PARSER_PARSER_H_

@@ -1,0 +1,50 @@
+// SQL tokens.
+#ifndef STAGEDB_PARSER_TOKEN_H_
+#define STAGEDB_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace stagedb::parser {
+
+enum class TokenType {
+  kEof,
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  // punctuation / operators
+  kComma,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // identifier/keyword text (keywords upper-cased)
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t position = 0;  // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kKeyword && text == kw;
+  }
+};
+
+}  // namespace stagedb::parser
+
+#endif  // STAGEDB_PARSER_TOKEN_H_

@@ -1,0 +1,51 @@
+// Trace capture: executes a query for real (parser, planner, operators over
+// real storage) and converts the observed work — tokens parsed, plan nodes
+// costed, tuples processed per operator, pages touched — into a per-module
+// CPU/I-O demand trace.
+//
+// This is the substitution documented in DESIGN.md §3: the work amounts come
+// from real execution; the cost model converts them to the wall-clock scale
+// of the paper's 1 GHz Pentium III testbed, which we do not have.
+#ifndef STAGEDB_REPLAY_CAPTURE_H_
+#define STAGEDB_REPLAY_CAPTURE_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "replay/trace.h"
+
+namespace stagedb::replay {
+
+/// Work-unit to microsecond conversion factors. Calibrated in DESIGN.md so
+/// that Workload A queries land at the paper's 40-80 ms and Workload B at
+/// 2-3 s on the simulated machine.
+struct CaptureCostModel {
+  /// Calibrated so the parser's common working-set load (trace.cc) is ~7% of
+  /// a short selection query's parse time — the paper's §3.1.3 measurement.
+  double parse_micros_per_char = 125.0;
+  double optimize_micros_per_node = 400.0;
+  double exec_micros_per_tuple = 100.0;
+  /// Rows per heap page for I/O accounting (cold buffer pool assumed for
+  /// Workload A's "almost always incur disk I/O").
+  int64_t rows_per_io_page = 50;
+  /// When false, scans are charged no I/O (Workload B's memory-resident
+  /// tables; "the only I/O needed is for logging purposes").
+  bool charge_scan_io = true;
+  /// Fixed log-write I/Os charged to the send segment (Workload B logging).
+  int log_ios = 0;
+};
+
+/// Parses, plans, and executes `sql` against `catalog`, returning the trace.
+/// `include_frontend` adds connect/parse/optimize/send segments; otherwise
+/// only execution-engine segments are produced (the §3.1.1 experiment
+/// measures "the throughput of the execution engine" with queries already
+/// parsed and optimized).
+StatusOr<QueryTrace> CaptureQueryTrace(catalog::Catalog* catalog,
+                                       const std::string& sql,
+                                       const CaptureCostModel& cost,
+                                       bool include_frontend = false);
+
+}  // namespace stagedb::replay
+
+#endif  // STAGEDB_REPLAY_CAPTURE_H_

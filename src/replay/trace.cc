@@ -1,0 +1,59 @@
+#include "replay/trace.h"
+
+namespace stagedb::replay {
+
+const char* ServerModuleName(simcache::ModuleId id) {
+  switch (id) {
+    case kConnect:
+      return "connect";
+    case kParse:
+      return "parse";
+    case kOptimize:
+      return "optimize";
+    case kFscan:
+      return "fscan";
+    case kIscan:
+      return "iscan";
+    case kQual:
+      return "qual";
+    case kSort:
+      return "sort";
+    case kJoin:
+      return "join";
+    case kAggr:
+      return "aggr";
+    case kSend:
+      return "send";
+    case kDisconnect:
+      return "disconnect";
+    default:
+      return "?";
+  }
+}
+
+simcache::ModuleTable DefaultServerModules(double scale) {
+  simcache::ModuleTable t;
+  // (name, common working-set load us, private backpack restore us).
+  // Loads reflect each module's code + common data footprint relative to the
+  // cache (parser: grammar tables + symbol table; optimizer: catalog +
+  // statistics; join: the largest footprint). Restores reflect the private
+  // state a query carries through that module.
+  auto add = [&](const char* name, double load, double restore) {
+    t.Add(name, static_cast<int64_t>(load * scale),
+          static_cast<int64_t>(restore * scale));
+  };
+  add("connect", 200, 50);
+  add("parse", 700, 150);
+  add("optimize", 900, 250);
+  add("fscan", 500, 200);
+  add("iscan", 500, 200);
+  add("qual", 300, 150);
+  add("sort", 600, 400);
+  add("join", 1000, 2000);  // hash/merge state is the big private footprint
+  add("aggr", 600, 400);
+  add("send", 150, 50);
+  add("disconnect", 150, 50);
+  return t;
+}
+
+}  // namespace stagedb::replay

@@ -1,0 +1,62 @@
+// Query traces: per-module CPU/I-O demand sequences captured from real engine
+// executions, replayed under virtual time by replay/virtual_cpu.h.
+#ifndef STAGEDB_REPLAY_TRACE_H_
+#define STAGEDB_REPLAY_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcache/module_profile.h"
+
+namespace stagedb::replay {
+
+/// Well-known server modules (the paper's Figure 3 stages).
+enum ServerModule : simcache::ModuleId {
+  kConnect = 0,
+  kParse,
+  kOptimize,
+  kFscan,
+  kIscan,
+  kQual,   // filter / project / limit
+  kSort,
+  kJoin,
+  kAggr,
+  kSend,
+  kDisconnect,
+  kNumServerModules,
+};
+
+const char* ServerModuleName(simcache::ModuleId id);
+
+/// Builds the module table with the default working-set cost parameters.
+/// `scale` multiplies every load/restore cost (0 disables affinity effects).
+simcache::ModuleTable DefaultServerModules(double scale = 1.0);
+
+/// One contiguous piece of work in one module.
+struct TraceSegment {
+  simcache::ModuleId module = 0;
+  double cpu_micros = 0;
+  int io_count = 0;  // blocking I/Os spread uniformly through the segment
+};
+
+/// The full demand sequence of one query.
+struct QueryTrace {
+  int64_t id = 0;
+  std::vector<TraceSegment> segments;
+
+  double TotalCpuMicros() const {
+    double s = 0;
+    for (const TraceSegment& seg : segments) s += seg.cpu_micros;
+    return s;
+  }
+  int TotalIos() const {
+    int n = 0;
+    for (const TraceSegment& seg : segments) n += seg.io_count;
+    return n;
+  }
+};
+
+}  // namespace stagedb::replay
+
+#endif  // STAGEDB_REPLAY_TRACE_H_

@@ -1,0 +1,384 @@
+#include "replay/virtual_cpu.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/string_util.h"
+
+namespace stagedb::replay {
+
+namespace {
+
+/// Execution position of one worker inside its current job.
+struct WorkerState {
+  int job = -1;           // index into jobs; -1 = idle (no job left)
+  size_t seg = 0;         // current segment
+  double cpu_left = 0;    // CPU left in the current chunk
+  int ios_left = 0;       // I/Os left in the current segment
+  double chunk = 0;       // chunk size between I/Os
+  bool charged = false;   // cache charge applied for the current dispatch
+  double dispatch_time = -1;  // first time this job got CPU
+};
+
+class ThreadPoolReplay {
+ public:
+  ThreadPoolReplay(const simcache::ModuleTable& modules,
+                   const std::vector<QueryTrace>& jobs,
+                   const ReplayConfig& config)
+      : modules_(modules), jobs_(jobs), config_(config),
+        cache_(&modules, config.cache_module_capacity,
+               config.cache_state_capacity) {}
+
+  ReplayResult Run() {
+    const int n_workers = std::max(1, config_.num_threads);
+    workers_.resize(n_workers);
+    for (int w = 0; w < n_workers; ++w) {
+      if (AssignNextJob(&workers_[w])) runnable_.push_back(w);
+    }
+    int last_on_cpu = -1;
+
+    while (completed_ < static_cast<int64_t>(jobs_.size())) {
+      if (runnable_.empty()) {
+        // CPU idles until the next I/O completion.
+        const double wake = blocked_.top().first;
+        result_.idle_micros += wake - t_;
+        t_ = wake;
+        WakeBlocked();
+        continue;
+      }
+      const int w = runnable_.front();
+      runnable_.pop_front();
+      WorkerState& ws = workers_[w];
+      if (last_on_cpu != w && last_on_cpu != -1) {
+        Record(TimelineEvent::Kind::kSwitch, w, ws, t_,
+               t_ + config_.context_switch_micros);
+        t_ += config_.context_switch_micros;
+        result_.busy_switch_micros += config_.context_switch_micros;
+        ++result_.context_switches;
+      }
+      last_on_cpu = w;
+      RunQuantum(&ws, w);
+      WakeBlocked();
+    }
+    Finalize();
+    return std::move(result_);
+  }
+
+ private:
+  bool AssignNextJob(WorkerState* ws) {
+    if (next_job_ >= jobs_.size()) {
+      ws->job = -1;
+      return false;
+    }
+    ws->job = static_cast<int>(next_job_++);
+    ws->seg = 0;
+    ws->charged = false;
+    ws->dispatch_time = -1;
+    SetupSegment(ws);
+    return true;
+  }
+
+  void SetupSegment(WorkerState* ws) {
+    const TraceSegment& seg = jobs_[ws->job].segments[ws->seg];
+    ws->ios_left = seg.io_count;
+    ws->chunk = seg.cpu_micros / (seg.io_count + 1);
+    ws->cpu_left = ws->chunk;
+    ws->charged = false;  // module may have changed
+  }
+
+  void ChargeCache(WorkerState* ws, int w, double* quantum_left) {
+    const TraceSegment& seg = jobs_[ws->job].segments[ws->seg];
+    const simcache::CacheCharge charge =
+        cache_.BeginExecution(seg.module, jobs_[ws->job].id);
+    if (charge.state_restore_micros > 0) {
+      Record(TimelineEvent::Kind::kRestore, w, *ws, t_,
+             t_ + charge.state_restore_micros);
+      t_ += charge.state_restore_micros;
+      result_.busy_restore_micros += charge.state_restore_micros;
+      *quantum_left -= charge.state_restore_micros;
+      ++result_.state_restores;
+    }
+    if (charge.module_load_micros > 0) {
+      Record(TimelineEvent::Kind::kLoad, w, *ws, t_,
+             t_ + charge.module_load_micros);
+      t_ += charge.module_load_micros;
+      result_.busy_load_micros += charge.module_load_micros;
+      *quantum_left -= charge.module_load_micros;
+      ++result_.module_loads;
+    }
+    ws->charged = true;
+  }
+
+  void RunQuantum(WorkerState* ws, int w) {
+    double quantum_left = config_.quantum_micros;
+    if (ws->dispatch_time < 0) ws->dispatch_time = t_;
+    while (quantum_left > 0 && ws->job >= 0) {
+      if (!ws->charged) {
+        ChargeCache(ws, w, &quantum_left);
+        // Cache warm-up overlaps with useful execution; even when the reload
+        // cost exceeds a tiny quantum the thread retains a minimum useful
+        // slice (otherwise 1 ms quanta with 2 ms restores would livelock).
+        quantum_left = std::max(quantum_left, 0.25 * config_.quantum_micros);
+      }
+      const double run = std::min(quantum_left, ws->cpu_left);
+      if (run > 0) {
+        Record(TimelineEvent::Kind::kExec, w, *ws, t_, t_ + run);
+        t_ += run;
+        result_.busy_exec_micros += run;
+        quantum_left -= run;
+        ws->cpu_left -= run;
+      }
+      if (ws->cpu_left > 1e-9) break;  // quantum expired mid-chunk
+      // Chunk finished: I/O, next chunk, next segment, or job completion.
+      if (ws->ios_left > 0) {
+        --ws->ios_left;
+        ws->cpu_left = ws->chunk;
+        Record(TimelineEvent::Kind::kIo, w, *ws, t_,
+               t_ + config_.io_latency_micros);
+        blocked_.push({t_ + config_.io_latency_micros, w});
+        return;  // worker blocks; CPU moves on
+      }
+      ++ws->seg;
+      if (ws->seg >= jobs_[ws->job].segments.size()) {
+        ++completed_;
+        service_sum_ += t_ - ws->dispatch_time;
+        if (!AssignNextJob(ws)) return;  // worker retires
+        continue;
+      }
+      SetupSegment(ws);
+    }
+    if (ws->job >= 0) {
+      runnable_.push_back(w);  // preempted: back of the round-robin queue
+      ws->charged = false;     // must re-check residency on redispatch
+    }
+  }
+
+  void WakeBlocked() {
+    while (!blocked_.empty() && blocked_.top().first <= t_ + 1e-9) {
+      const int w = blocked_.top().second;
+      blocked_.pop();
+      workers_[w].charged = false;
+      runnable_.push_back(w);
+    }
+  }
+
+  void Record(TimelineEvent::Kind kind, int w, const WorkerState& ws,
+              double start, double end) {
+    if (!config_.record_timeline) return;
+    TimelineEvent e;
+    e.kind = kind;
+    e.start = start;
+    e.end = end;
+    e.worker = w;
+    e.query = ws.job >= 0 ? jobs_[ws.job].id : -1;
+    e.module = ws.job >= 0 ? jobs_[ws.job].segments[ws.seg].module : 0;
+    result_.timeline.push_back(e);
+  }
+
+  void Finalize() {
+    result_.completed = completed_;
+    result_.makespan_micros = t_;
+    if (t_ > 0) result_.throughput_qps = completed_ / (t_ / 1e6);
+    if (completed_ > 0) result_.mean_service_micros = service_sum_ / completed_;
+  }
+
+  const simcache::ModuleTable& modules_;
+  const std::vector<QueryTrace>& jobs_;
+  const ReplayConfig& config_;
+  simcache::CacheModel cache_;
+  std::vector<WorkerState> workers_;
+  std::deque<int> runnable_;
+  // min-heap of (wake_time, worker)
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>,
+                      std::greater<>> blocked_;
+  size_t next_job_ = 0;
+  int64_t completed_ = 0;
+  double t_ = 0;
+  double service_sum_ = 0;
+  ReplayResult result_;
+};
+
+/// Production-line cohort scheduling: the CPU visits module queues cyclically
+/// and serves each exhaustively; the first packet after a module switch pays
+/// the load. I/O latency defers a packet's arrival at its next module but
+/// does not hold the CPU (other packets of the same stage overlap it).
+class StagedReplay {
+ public:
+  StagedReplay(const simcache::ModuleTable& modules,
+               const std::vector<QueryTrace>& jobs,
+               const ReplayConfig& config)
+      : modules_(modules), jobs_(jobs), config_(config),
+        cache_(&modules, config.cache_module_capacity,
+               config.cache_state_capacity),
+        queues_(modules.size()) {}
+
+  ReplayResult Run() {
+    for (size_t j = 0; j < jobs_.size(); ++j) {
+      if (!jobs_[j].segments.empty()) {
+        Enqueue(static_cast<int>(j), 0, 0.0);
+      } else {
+        ++completed_;
+      }
+    }
+    size_t current = 0;
+    while (completed_ < static_cast<int64_t>(jobs_.size())) {
+      // Find the next module (cyclically) with a ready packet.
+      int chosen = -1;
+      for (size_t k = 0; k < queues_.size(); ++k) {
+        const size_t m = (current + k) % queues_.size();
+        if (HasReady(m)) {
+          chosen = static_cast<int>(m);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        // Everything is waiting on I/O: idle to the earliest ready time.
+        double next_ready = 1e300;
+        for (const auto& q : queues_) {
+          for (const auto& p : q) next_ready = std::min(next_ready, p.ready);
+        }
+        result_.idle_micros += next_ready - t_;
+        t_ = next_ready;
+        continue;
+      }
+      ServeExhaustively(static_cast<size_t>(chosen));
+      current = (chosen + 1) % queues_.size();
+    }
+    result_.completed = completed_;
+    result_.makespan_micros = t_;
+    if (t_ > 0) result_.throughput_qps = completed_ / (t_ / 1e6);
+    if (completed_ > 0) {
+      result_.mean_service_micros = service_sum_ / completed_;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  struct Packet {
+    int job;
+    size_t seg;
+    double ready;
+    double dispatch_time = -1;
+  };
+
+  void Enqueue(int job, size_t seg, double ready) {
+    const simcache::ModuleId m = jobs_[job].segments[seg].module;
+    queues_[m].push_back({job, seg, ready, -1});
+  }
+
+  bool HasReady(size_t m) const {
+    for (const Packet& p : queues_[m]) {
+      if (p.ready <= t_ + 1e-9) return true;
+    }
+    return false;
+  }
+
+  void ServeExhaustively(size_t m) {
+    while (true) {
+      auto it = std::find_if(queues_[m].begin(), queues_[m].end(),
+                             [&](const Packet& p) { return p.ready <= t_ + 1e-9; });
+      if (it == queues_[m].end()) return;
+      Packet p = *it;
+      queues_[m].erase(it);
+      const TraceSegment& seg = jobs_[p.job].segments[p.seg];
+      const simcache::CacheCharge charge =
+          cache_.BeginExecution(seg.module, jobs_[p.job].id);
+      if (charge.state_restore_micros > 0) {
+        Record(TimelineEvent::Kind::kRestore, p, t_,
+               t_ + charge.state_restore_micros);
+        t_ += charge.state_restore_micros;
+        result_.busy_restore_micros += charge.state_restore_micros;
+        ++result_.state_restores;
+      }
+      if (charge.module_load_micros > 0) {
+        Record(TimelineEvent::Kind::kLoad, p, t_,
+               t_ + charge.module_load_micros);
+        t_ += charge.module_load_micros;
+        result_.busy_load_micros += charge.module_load_micros;
+        ++result_.module_loads;
+      }
+      Record(TimelineEvent::Kind::kExec, p, t_, t_ + seg.cpu_micros);
+      t_ += seg.cpu_micros;
+      result_.busy_exec_micros += seg.cpu_micros;
+      const double done_at =
+          t_ + seg.io_count * config_.io_latency_micros;  // overlapped I/O
+      if (p.seg + 1 >= jobs_[p.job].segments.size()) {
+        ++completed_;
+        service_sum_ += done_at;
+      } else {
+        Enqueue(p.job, p.seg + 1, done_at);
+      }
+    }
+  }
+
+  void Record(TimelineEvent::Kind kind, const Packet& p, double start,
+              double end) {
+    if (!config_.record_timeline) return;
+    TimelineEvent e;
+    e.kind = kind;
+    e.start = start;
+    e.end = end;
+    e.worker = 0;
+    e.query = jobs_[p.job].id;
+    e.module = jobs_[p.job].segments[p.seg].module;
+    result_.timeline.push_back(e);
+  }
+
+  const simcache::ModuleTable& modules_;
+  const std::vector<QueryTrace>& jobs_;
+  const ReplayConfig& config_;
+  simcache::CacheModel cache_;
+  std::vector<std::deque<Packet>> queues_;
+  double t_ = 0;
+  int64_t completed_ = 0;
+  double service_sum_ = 0;
+  ReplayResult result_;
+};
+
+}  // namespace
+
+ReplayResult Replay(const simcache::ModuleTable& modules,
+                    const std::vector<QueryTrace>& jobs,
+                    const ReplayConfig& config) {
+  if (config.staged) return StagedReplay(modules, jobs, config).Run();
+  return ThreadPoolReplay(modules, jobs, config).Run();
+}
+
+std::string RenderTimeline(const std::vector<TimelineEvent>& timeline,
+                           const simcache::ModuleTable& modules,
+                           size_t max_events) {
+  std::string out;
+  for (size_t i = 0; i < timeline.size() && i < max_events; ++i) {
+    const TimelineEvent& e = timeline[i];
+    const char* kind = "";
+    switch (e.kind) {
+      case TimelineEvent::Kind::kSwitch:
+        kind = "context-switch";
+        break;
+      case TimelineEvent::Kind::kRestore:
+        kind = "load query state";
+        break;
+      case TimelineEvent::Kind::kLoad:
+        kind = "load module";
+        break;
+      case TimelineEvent::Kind::kExec:
+        kind = "execute";
+        break;
+      case TimelineEvent::Kind::kIo:
+        kind = "I/O wait";
+        break;
+    }
+    out += StrFormat("%9.2f..%9.2f ms  thread %d  Q%lld  %-9s %s\n",
+                     e.start / 1000.0, e.end / 1000.0, e.worker,
+                     static_cast<long long>(e.query),
+                     modules.Get(e.module).name.c_str(), kind);
+  }
+  if (timeline.size() > max_events) {
+    out += StrFormat("... (%zu more events)\n", timeline.size() - max_events);
+  }
+  return out;
+}
+
+}  // namespace stagedb::replay

@@ -1,0 +1,84 @@
+// Virtual-time replayer: executes captured query traces on a simulated
+// single-CPU database server, either under the traditional worker-thread-pool
+// model (preemptive round-robin with an alarm-timer quantum — §3.1 and the
+// Figure 2 experiment) or under staged cohort scheduling (the contrast for
+// Figure 1).
+//
+// Deterministic: all timing comes from the trace cost model, the cache model
+// (simcache), and the configured quantum / I-O latency.
+#ifndef STAGEDB_REPLAY_VIRTUAL_CPU_H_
+#define STAGEDB_REPLAY_VIRTUAL_CPU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "replay/trace.h"
+#include "simcache/cache_model.h"
+
+namespace stagedb::replay {
+
+struct ReplayConfig {
+  /// Worker threads in the pool (the Figure 2 x-axis).
+  int num_threads = 10;
+  /// Preemption quantum; the paper's prototype used a ~10 ms alarm timer.
+  double quantum_micros = 10000.0;
+  /// Per-I/O blocking latency (disk service time; I/Os overlap across
+  /// threads).
+  double io_latency_micros = 12000.0;
+  /// Fixed kernel context-switch cost charged when the CPU changes threads.
+  double context_switch_micros = 20.0;
+  /// How many module working sets fit in the cache (paper model: 1).
+  int cache_module_capacity = 1;
+  /// How many queries' private working sets stay resident.
+  int cache_state_capacity = 4;
+  /// Production-line cohort scheduling instead of the thread pool.
+  bool staged = false;
+  /// Record the execution timeline (Figure 1 rendering).
+  bool record_timeline = false;
+};
+
+struct TimelineEvent {
+  enum class Kind { kSwitch, kRestore, kLoad, kExec, kIo };
+  double start = 0, end = 0;
+  int worker = 0;
+  int64_t query = 0;
+  simcache::ModuleId module = 0;
+  Kind kind = Kind::kExec;
+};
+
+struct ReplayResult {
+  double makespan_micros = 0;
+  double throughput_qps = 0;
+  int64_t completed = 0;
+  // CPU time breakdown (the striped boxes of Figure 1).
+  double busy_exec_micros = 0;
+  double busy_load_micros = 0;     // module common working-set loads
+  double busy_restore_micros = 0;  // per-query state restores
+  double busy_switch_micros = 0;   // kernel context switches
+  double idle_micros = 0;          // CPU idle (I/O not overlapped)
+  int64_t context_switches = 0;
+  int64_t module_loads = 0;
+  int64_t state_restores = 0;
+  double mean_service_micros = 0;  // dispatch-to-completion per query
+  std::vector<TimelineEvent> timeline;
+
+  double BusyTotal() const {
+    return busy_exec_micros + busy_load_micros + busy_restore_micros +
+           busy_switch_micros;
+  }
+};
+
+/// Replays `jobs` and returns the aggregate metrics.
+ReplayResult Replay(const simcache::ModuleTable& modules,
+                    const std::vector<QueryTrace>& jobs,
+                    const ReplayConfig& config);
+
+/// Renders a timeline as ASCII rows (one per event) for the Figure 1 bench.
+std::string RenderTimeline(const std::vector<TimelineEvent>& timeline,
+                           const simcache::ModuleTable& modules,
+                           size_t max_events = 80);
+
+}  // namespace stagedb::replay
+
+#endif  // STAGEDB_REPLAY_VIRTUAL_CPU_H_

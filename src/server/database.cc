@@ -1,0 +1,177 @@
+#include "server/database.h"
+
+#include "common/string_util.h"
+#include "engine/staged_engine.h"
+#include "parser/parser.h"
+
+namespace stagedb::server {
+
+using catalog::Schema;
+using catalog::TypeId;
+using optimizer::PhysicalPlan;
+using optimizer::Planner;
+
+/// Owns the staged engine (kept out of database.h to avoid the heavy
+/// include in the public API).
+class StagedEngineHandle {
+ public:
+  StagedEngineHandle(catalog::Catalog* catalog,
+                     engine::StagedEngineOptions options)
+      : engine(catalog, options) {}
+  engine::StagedEngine engine;
+};
+
+std::string QueryResult::ToString() const {
+  return StrFormat("%zu row(s)", rows.size());
+}
+
+Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
+
+Database::~Database() = default;
+
+StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
+  std::unique_ptr<Database> db(new Database(std::move(options)));
+  db->disk_ = std::make_unique<storage::MemDiskManager>(
+      db->options_.disk_latency_micros);
+  db->pool_ = std::make_unique<storage::BufferPool>(
+      db->disk_.get(), db->options_.buffer_pool_pages);
+  db->catalog_ = std::make_unique<catalog::Catalog>(db->pool_.get());
+  db->wal_ = std::make_unique<storage::WriteAheadLog>();
+  db->txn_mgr_ =
+      std::make_unique<storage::TransactionManager>(db->wal_.get());
+  if (db->options_.mode == ExecutionMode::kStaged) {
+    engine::StagedEngineOptions opts;
+    opts.exchange_capacity_pages = db->options_.exchange_buffer_pages;
+    opts.tuples_per_page = db->options_.tuples_per_page;
+    opts.threads_per_stage = db->options_.threads_per_stage;
+    db->staged_ =
+        std::make_unique<StagedEngineHandle>(db->catalog_.get(), opts);
+  }
+  return db;
+}
+
+int64_t Database::statements_executed() const {
+  return const_cast<StatsRegistry&>(stats_)
+      .GetCounter("db.statements")
+      ->value();
+}
+
+StatusOr<std::string> Database::Explain(const std::string& sql) {
+  auto stmt = parser::ParseStatement(sql, catalog_->symbols());
+  if (!stmt.ok()) return stmt.status();
+  Planner planner(catalog_.get(), options_.planner);
+  auto plan = planner.Plan(**stmt);
+  if (!plan.ok()) return plan.status();
+  return (*plan)->ToString();
+}
+
+StatusOr<QueryResult> Database::Execute(const std::string& sql) {
+  stats_.GetCounter("db.statements")->Add(1);
+  // --- parse stage ---
+  auto stmt_or = parser::ParseStatement(sql, catalog_->symbols());
+  if (!stmt_or.ok()) return stmt_or.status();
+  stats_.GetCounter("stage.parse.packets")->Add(1);
+  const parser::Statement& stmt = **stmt_or;
+
+  QueryResult result;
+  using Kind = parser::Statement::Kind;
+  switch (stmt.kind) {
+    case Kind::kCreateTable: {
+      const auto& ct = static_cast<const parser::CreateTableStmt&>(stmt);
+      std::vector<catalog::Column> cols;
+      for (const auto& def : ct.columns) {
+        cols.push_back({def.name, def.type, ""});
+      }
+      auto table = catalog_->CreateTable(ct.table, Schema(std::move(cols)));
+      if (!table.ok()) return table.status();
+      txn_mgr_->RegisterTable((*table)->id, (*table)->heap.get());
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    case Kind::kCreateIndex: {
+      const auto& ci = static_cast<const parser::CreateIndexStmt&>(stmt);
+      auto index = catalog_->CreateIndex(ci.index, ci.table, ci.column);
+      if (!index.ok()) return index.status();
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    case Kind::kDropTable: {
+      const auto& dt = static_cast<const parser::DropTableStmt&>(stmt);
+      STAGEDB_RETURN_IF_ERROR(catalog_->DropTable(dt.table));
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    case Kind::kBegin: {
+      std::lock_guard<std::mutex> lock(txn_mu_);
+      if (active_txn_ != nullptr) {
+        return Status::InvalidArgument("transaction already in progress");
+      }
+      active_txn_ = std::make_unique<exec::MutationLog>();
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    case Kind::kCommit: {
+      std::lock_guard<std::mutex> lock(txn_mu_);
+      if (active_txn_ == nullptr) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      active_txn_.reset();
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    case Kind::kRollback: {
+      std::lock_guard<std::mutex> lock(txn_mu_);
+      if (active_txn_ == nullptr) {
+        return Status::InvalidArgument("no transaction in progress");
+      }
+      STAGEDB_RETURN_IF_ERROR(active_txn_->Rollback(catalog_.get()));
+      active_txn_.reset();
+      result.schema = Schema({{"status", TypeId::kVarchar, ""}});
+      result.rows = {{catalog::Value::Varchar("ok")}};
+      return result;
+    }
+    default:
+      break;
+  }
+
+  // --- optimize stage ---
+  Planner planner(catalog_.get(), options_.planner);
+  auto plan_or = planner.Plan(stmt);
+  if (!plan_or.ok()) return plan_or.status();
+  stats_.GetCounter("stage.optimize.packets")->Add(1);
+  const std::unique_ptr<PhysicalPlan>& plan = *plan_or;
+
+  return ExecutePlanned(plan.get());
+}
+
+StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
+  QueryResult result;
+  result.schema = plan->schema;
+  result.plan_text = plan->ToString();
+
+  exec::ExecContext ctx;
+  ctx.catalog = catalog_.get();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    ctx.mutation_log = active_txn_.get();
+  }
+
+  stats_.GetCounter("stage.execute.packets")->Add(1);
+  if (options_.mode == ExecutionMode::kStaged) {
+    auto rows = staged_->engine.Execute(plan, &ctx);
+    if (!rows.ok()) return rows.status();
+    result.rows = std::move(*rows);
+  } else {
+    auto rows = exec::ExecutePlan(plan, &ctx);
+    if (!rows.ok()) return rows.status();
+    result.rows = std::move(*rows);
+  }
+  return result;
+}
+
+}  // namespace stagedb::server

@@ -1,0 +1,99 @@
+// The embedded database facade: the public API a downstream user programs
+// against. Wraps storage, catalog, parser, optimizer, and both execution
+// engines behind a single Execute(sql) entry point.
+#ifndef STAGEDB_SERVER_DATABASE_H_
+#define STAGEDB_SERVER_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "storage/disk_manager.h"
+#include "storage/txn.h"
+#include "storage/wal.h"
+
+namespace stagedb::server {
+
+/// How SELECT plans are executed.
+enum class ExecutionMode {
+  kVolcano,  ///< single-worker iterator model (the traditional baseline)
+  kStaged,   ///< the paper's staged engine (operator stages + packets)
+};
+
+struct DatabaseOptions {
+  size_t buffer_pool_pages = 8192;
+  /// Injected per-I/O latency on the (memory-backed) disk; 0 = fast.
+  int64_t disk_latency_micros = 0;
+  optimizer::PlannerOptions planner;
+  ExecutionMode mode = ExecutionMode::kVolcano;
+  /// Staged engine knobs (ignored in volcano mode).
+  size_t exchange_buffer_pages = 4;
+  size_t tuples_per_page = 64;
+  int threads_per_stage = 1;
+};
+
+/// Result of one statement.
+struct QueryResult {
+  catalog::Schema schema;
+  std::vector<catalog::Tuple> rows;
+  std::string plan_text;  // EXPLAIN-style rendering of the executed plan
+  /// A short human-readable summary ("3 rows", "ok").
+  std::string ToString() const;
+};
+
+/// An embedded staged database instance. Thread-compatible: concurrent
+/// Execute calls are allowed in both modes (the staged engine serializes
+/// through its stages; the volcano engine runs on the caller's thread).
+class Database {
+ public:
+  ~Database();
+
+  static StatusOr<std::unique_ptr<Database>> Open(DatabaseOptions options = {});
+
+  /// Parses, plans, and executes one SQL statement.
+  StatusOr<QueryResult> Execute(const std::string& sql);
+
+  /// Parses and plans only (EXPLAIN).
+  StatusOr<std::string> Explain(const std::string& sql);
+
+  /// Executes an already-planned statement (used by the staged server's
+  /// execute stage; Figure 3's precompiled-query bypass).
+  StatusOr<QueryResult> ExecutePlanned(const optimizer::PhysicalPlan* plan);
+
+  catalog::Catalog* catalog() { return catalog_.get(); }
+  storage::BufferPool* buffer_pool() { return pool_.get(); }
+  storage::MemDiskManager* disk() { return disk_.get(); }
+  StatsRegistry* stats() { return &stats_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Statement counts by lifecycle stage (connect/parse/optimize/execute),
+  /// mirroring the monitoring hooks of the staged design.
+  int64_t statements_executed() const;
+
+ private:
+  explicit Database(DatabaseOptions options);
+
+  DatabaseOptions options_;
+  std::unique_ptr<storage::MemDiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::unique_ptr<storage::TransactionManager> txn_mgr_;
+  StatsRegistry stats_;
+
+  // Explicit SQL transaction state (single implicit session).
+  std::mutex txn_mu_;
+  std::unique_ptr<exec::MutationLog> active_txn_;
+
+  // Staged engine instance (created lazily in staged mode).
+  std::unique_ptr<class StagedEngineHandle> staged_;
+};
+
+}  // namespace stagedb::server
+
+#endif  // STAGEDB_SERVER_DATABASE_H_

@@ -1,0 +1,225 @@
+#include "server/server.h"
+
+#include "common/string_util.h"
+#include "optimizer/planner.h"
+#include "parser/parser.h"
+
+namespace stagedb::server {
+
+using engine::RunOutcome;
+using engine::Stage;
+using engine::StageTask;
+
+// ---------------------------------------------------------------- Request ---
+
+StatusOr<QueryResult> Request::Await() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  if (!status_.ok()) return status_;
+  return result_;
+}
+
+void Request::Complete(StatusOr<QueryResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    if (result.ok()) {
+      result_ = std::move(*result);
+    } else {
+      status_ = result.status();
+    }
+  }
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------- LifecycleTask ---
+
+namespace {
+enum class Phase { kConnect, kParse, kOptimize, kExecute, kDisconnect };
+}  // namespace
+
+/// The packet of Figure 3: carries the query's backpack (SQL text, parsed
+/// statement, plan, result) through the five top-level stages.
+class LifecycleTask : public StageTask {
+ public:
+  LifecycleTask(StagedServer* server, std::shared_ptr<Request> request)
+      : server_(server), request_(std::move(request)) {}
+
+  RunOutcome Run() override;
+  void OnRetired() override;
+
+ private:
+  StagedServer* server_;
+  std::shared_ptr<Request> request_;
+  Phase phase_ = Phase::kConnect;
+  // The backpack.
+  std::unique_ptr<parser::Statement> stmt_;
+  std::unique_ptr<optimizer::PhysicalPlan> plan_;
+  StatusOr<QueryResult> result_{Status::Internal("not executed")};
+  bool failed_ = false;
+};
+
+RunOutcome LifecycleTask::Run() {
+  Database* db = server_->db_;
+  switch (phase_) {
+    case Phase::kConnect: {
+      // Client/session bookkeeping; precompiled queries could route straight
+      // to execute here (Figure 3's bypass edge).
+      db->stats()->GetCounter("stage.connect.packets")->Add(1);
+      phase_ = Phase::kParse;
+      set_next_stage(server_->parse_);
+      return RunOutcome::kMoved;
+    }
+    case Phase::kParse: {
+      db->stats()->GetCounter("stage.parse.packets")->Add(1);
+      auto stmt = parser::ParseStatement(request_->sql(),
+                                         db->catalog()->symbols());
+      if (!stmt.ok()) {
+        result_ = stmt.status();
+        failed_ = true;
+        phase_ = Phase::kDisconnect;
+        set_next_stage(server_->disconnect_);
+        return RunOutcome::kMoved;
+      }
+      stmt_ = std::move(*stmt);
+      phase_ = Phase::kOptimize;
+      set_next_stage(server_->optimize_);
+      return RunOutcome::kMoved;
+    }
+    case Phase::kOptimize: {
+      db->stats()->GetCounter("stage.optimize.packets")->Add(1);
+      // DDL / txn-control statements bypass the planner (the "additional
+      // routing information" of §4.3): execute them directly here.
+      using Kind = parser::Statement::Kind;
+      const Kind kind = stmt_->kind;
+      if (kind != Kind::kSelect && kind != Kind::kInsert &&
+          kind != Kind::kDelete && kind != Kind::kUpdate) {
+        result_ = db->Execute(request_->sql());
+        failed_ = !result_.ok();
+        phase_ = Phase::kDisconnect;
+        set_next_stage(server_->disconnect_);
+        return RunOutcome::kMoved;
+      }
+      optimizer::Planner planner(db->catalog(), db->options().planner);
+      auto plan = planner.Plan(*stmt_);
+      if (!plan.ok()) {
+        result_ = plan.status();
+        failed_ = true;
+        phase_ = Phase::kDisconnect;
+        set_next_stage(server_->disconnect_);
+        return RunOutcome::kMoved;
+      }
+      plan_ = std::move(*plan);
+      phase_ = Phase::kExecute;
+      set_next_stage(server_->execute_);
+      return RunOutcome::kMoved;
+    }
+    case Phase::kExecute: {
+      db->stats()->GetCounter("stage.execute.packets")->Add(1);
+      result_ = db->ExecutePlanned(plan_.get());
+      phase_ = Phase::kDisconnect;
+      set_next_stage(server_->disconnect_);
+      return RunOutcome::kMoved;
+    }
+    case Phase::kDisconnect: {
+      db->stats()->GetCounter("stage.disconnect.packets")->Add(1);
+      return RunOutcome::kDone;
+    }
+  }
+  return RunOutcome::kDone;
+}
+
+void LifecycleTask::OnRetired() {
+  request_->Complete(std::move(result_));
+  StagedServer* server = server_;
+  {
+    std::lock_guard<std::mutex> lock(server->admission_mu_);
+    --server->inflight_;
+  }
+  server->admission_cv_.notify_one();
+  delete this;  // packet owns itself once submitted
+}
+
+// ------------------------------------------------------------ StagedServer --
+
+StagedServer::StagedServer(Database* db, ServerOptions options)
+    : db_(db), options_(options), runtime_(options.scheduler) {
+  connect_ = runtime_.CreateStage("connect", options_.threads_per_stage);
+  parse_ = runtime_.CreateStage("parse", options_.threads_per_stage);
+  optimize_ = runtime_.CreateStage("optimize", options_.threads_per_stage);
+  execute_ = runtime_.CreateStage("execute", options_.threads_per_stage);
+  disconnect_ = runtime_.CreateStage("disconnect", options_.threads_per_stage);
+}
+
+StagedServer::~StagedServer() {
+  // Wait for in-flight packets, then stop the stages.
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  admission_cv_.wait(lock, [&] { return inflight_ == 0; });
+  lock.unlock();
+  runtime_.Shutdown();
+}
+
+std::shared_ptr<Request> StagedServer::Submit(std::string sql) {
+  auto request = std::make_shared<Request>(std::move(sql));
+  {
+    // Admission control: block while the server is at capacity ("new queries
+    // queue up in the first stage").
+    std::unique_lock<std::mutex> lock(admission_mu_);
+    admission_cv_.wait(
+        lock, [&] { return inflight_ < options_.admission_capacity; });
+    ++inflight_;
+  }
+  auto* task = new LifecycleTask(this, request);
+  connect_->Enqueue(task);
+  return request;
+}
+
+std::string StagedServer::StatsReport() const {
+  std::string out = "StagedServer stages:\n";
+  for (const auto& stage : runtime_.stages()) {
+    out += StrFormat("  %-12s processed=%-8lld queue=%zu\n",
+                     stage->name().c_str(),
+                     static_cast<long long>(stage->packets_processed()),
+                     stage->queue_depth());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- ThreadedServer --
+
+ThreadedServer::ThreadedServer(Database* db, ServerOptions options)
+    : db_(db), options_(options), queue_(options.admission_capacity) {
+  for (int i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadedServer::~ThreadedServer() {
+  queue_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
+  auto request = std::make_shared<Request>(std::move(sql));
+  if (!queue_.Enqueue(request)) {
+    request->Complete(Status::Aborted("server shut down"));
+  }
+  return request;
+}
+
+void ThreadedServer::WorkerLoop() {
+  while (auto request = queue_.Dequeue()) {
+    (*request)->Complete(db_->Execute((*request)->sql()));
+    served_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::string ThreadedServer::StatsReport() const {
+  return StrFormat("ThreadedServer: workers=%d served=%lld queue=%zu\n",
+                   options_.worker_threads,
+                   static_cast<long long>(served_.load()), queue_.size());
+}
+
+}  // namespace stagedb::server

@@ -1,0 +1,119 @@
+// The two server architectures the paper compares:
+//
+//   StagedServer   — Figure 3's design: new clients queue up at the connect
+//                    stage, each query is encapsulated into a packet that
+//                    travels connect -> parse -> optimize -> execute ->
+//                    disconnect, every stage with its own queue and worker
+//                    pool, with admission control (back-pressure) at connect.
+//   ThreadedServer — the traditional work-centric model of §3.1: a pool of
+//                    worker threads, each picking a client from the input
+//                    queue and carrying its query through all phases.
+//
+// Both execute against the same Database instance and expose per-stage
+// statistics (§5.2: monitoring at stage granularity).
+#ifndef STAGEDB_SERVER_SERVER_H_
+#define STAGEDB_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/status.h"
+#include "engine/runtime.h"
+#include "server/database.h"
+
+namespace stagedb::server {
+
+/// One client request travelling through a server.
+class Request {
+ public:
+  explicit Request(std::string sql) : sql_(std::move(sql)) {}
+
+  /// Blocks until the request completes.
+  StatusOr<QueryResult> Await();
+
+  const std::string& sql() const { return sql_; }
+
+  // -- internal --
+  void Complete(StatusOr<QueryResult> result);
+
+ private:
+  std::string sql_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status status_;
+  QueryResult result_;
+};
+
+struct ServerOptions {
+  int threads_per_stage = 1;  // staged server
+  int worker_threads = 8;     // threaded server
+  /// Admission (connect) queue capacity; a full queue blocks Submit — the
+  /// §5.2 overload back-pressure.
+  size_t admission_capacity = 128;
+  engine::SchedulerPolicy scheduler = engine::SchedulerPolicy::kFreeRun;
+};
+
+/// Abstract server interface shared by both architectures.
+class Server {
+ public:
+  virtual ~Server() = default;
+  /// Enqueues a SQL request; blocks when admission control pushes back.
+  virtual std::shared_ptr<Request> Submit(std::string sql) = 0;
+  /// Per-stage (or per-pool) utilization report.
+  virtual std::string StatsReport() const = 0;
+};
+
+/// Figure 3's staged server over a Database.
+class StagedServer : public Server {
+ public:
+  StagedServer(Database* db, ServerOptions options = {});
+  ~StagedServer() override;
+
+  std::shared_ptr<Request> Submit(std::string sql) override;
+  std::string StatsReport() const override;
+  const engine::StageRuntime& runtime() const { return runtime_; }
+
+ private:
+  friend class LifecycleTask;
+  Database* db_;
+  ServerOptions options_;
+  engine::StageRuntime runtime_;
+  engine::Stage* connect_ = nullptr;
+  engine::Stage* parse_ = nullptr;
+  engine::Stage* optimize_ = nullptr;
+  engine::Stage* execute_ = nullptr;
+  engine::Stage* disconnect_ = nullptr;
+  // Admission control: bounds the number of in-flight lifecycle packets.
+  std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  size_t inflight_ = 0;
+};
+
+/// The traditional thread-pool server (§3.1 baseline).
+class ThreadedServer : public Server {
+ public:
+  ThreadedServer(Database* db, ServerOptions options = {});
+  ~ThreadedServer() override;
+
+  std::shared_ptr<Request> Submit(std::string sql) override;
+  std::string StatsReport() const override;
+
+ private:
+  void WorkerLoop();
+
+  Database* db_;
+  ServerOptions options_;
+  BoundedQueue<std::shared_ptr<Request>> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<int64_t> served_{0};
+};
+
+}  // namespace stagedb::server
+
+#endif  // STAGEDB_SERVER_SERVER_H_

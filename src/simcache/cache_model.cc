@@ -1,0 +1,53 @@
+#include "simcache/cache_model.h"
+
+#include <algorithm>
+
+namespace stagedb::simcache {
+
+CacheCharge CacheModel::BeginExecution(ModuleId module, int64_t query_id) {
+  CacheCharge charge;
+  const ModuleProfile& profile = modules_->Get(module);
+  if (IsResident(module)) {
+    ++module_hits_;
+  } else {
+    ++module_misses_;
+    charge.module_load_micros = profile.common_load_micros;
+  }
+  Touch(module);
+  const bool state_resident =
+      std::find(query_lru_.begin(), query_lru_.end(), query_id) !=
+      query_lru_.end();
+  if (state_resident) {
+    ++state_hits_;
+  } else {
+    ++state_misses_;
+    charge.state_restore_micros = profile.private_restore_micros;
+  }
+  TouchQuery(query_id);
+  return charge;
+}
+
+bool CacheModel::IsResident(ModuleId module) const {
+  return std::find(lru_.begin(), lru_.end(), module) != lru_.end();
+}
+
+void CacheModel::Flush() {
+  lru_.clear();
+  query_lru_.clear();
+}
+
+void CacheModel::Touch(ModuleId module) {
+  lru_.remove(module);
+  lru_.push_front(module);
+  while (static_cast<int>(lru_.size()) > capacity_) lru_.pop_back();
+}
+
+void CacheModel::TouchQuery(int64_t query_id) {
+  query_lru_.remove(query_id);
+  query_lru_.push_front(query_id);
+  while (static_cast<int>(query_lru_.size()) > state_capacity_) {
+    query_lru_.pop_back();
+  }
+}
+
+}  // namespace stagedb::simcache

@@ -1,0 +1,77 @@
+// The simulated memory hierarchy of the paper's §4.2 model.
+//
+// "The model assumes, without loss of generality, that the entire set of a
+//  module's data structures that are shared on average by all requests can fit
+//  in the cache, and that a total eviction of that set takes place when the
+//  CPU switches to a different module."
+//
+// We generalize the single-slot assumption to an LRU of `capacity` module
+// working sets (capacity 1 reproduces the paper's model exactly), and also
+// track which query ran last so that private-state restore costs (Figure 1's
+// "load query's state" segments) can be charged.
+#ifndef STAGEDB_SIMCACHE_CACHE_MODEL_H_
+#define STAGEDB_SIMCACHE_CACHE_MODEL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "simcache/module_profile.h"
+
+namespace stagedb::simcache {
+
+/// Charge breakdown returned by CacheModel::BeginExecution.
+struct CacheCharge {
+  int64_t module_load_micros = 0;   ///< l_i paid because the module was cold.
+  int64_t state_restore_micros = 0; ///< private backpack reload cost.
+  int64_t total() const { return module_load_micros + state_restore_micros; }
+};
+
+/// Tracks cache residency of module working sets on one (simulated) CPU.
+class CacheModel {
+ public:
+  /// `capacity` = how many module working sets fit simultaneously (the
+  /// paper's model corresponds to capacity 1). `state_capacity` = how many
+  /// queries' private working sets ("backpacks") stay resident; a query
+  /// resumed while still resident pays no state-restore cost. This is what
+  /// makes Workload B of Figure 2 degrade once the thread pool exceeds the
+  /// number of private working sets the cache can hold.
+  explicit CacheModel(const ModuleTable* modules, int capacity = 1,
+                      int state_capacity = 1)
+      : modules_(modules), capacity_(capacity),
+        state_capacity_(state_capacity) {}
+
+  /// Declares that `query_id` begins (or resumes) executing `module` on this
+  /// CPU. Returns the extra CPU demand charged by the model and updates
+  /// residency state.
+  CacheCharge BeginExecution(ModuleId module, int64_t query_id);
+
+  /// True if the module's common working set is currently resident.
+  bool IsResident(ModuleId module) const;
+
+  /// Forgets everything (e.g., after a simulated cache flush).
+  void Flush();
+
+  int64_t module_hits() const { return module_hits_; }
+  int64_t module_misses() const { return module_misses_; }
+  int64_t state_hits() const { return state_hits_; }
+  int64_t state_misses() const { return state_misses_; }
+
+ private:
+  void Touch(ModuleId module);
+  void TouchQuery(int64_t query_id);
+
+  const ModuleTable* modules_;
+  const int capacity_;
+  const int state_capacity_;
+  std::list<ModuleId> lru_;        // front = most recent
+  std::list<int64_t> query_lru_;   // resident private working sets
+  int64_t module_hits_ = 0;
+  int64_t module_misses_ = 0;
+  int64_t state_hits_ = 0;
+  int64_t state_misses_ = 0;
+};
+
+}  // namespace stagedb::simcache
+
+#endif  // STAGEDB_SIMCACHE_CACHE_MODEL_H_

@@ -1,0 +1,54 @@
+// Module working-set profiles: the cost-model inputs of the paper's §4.2.
+//
+// Each server module (parser, optimizer, each operator stage, ...) has a
+// "common" working set — data structures and instructions shared on average by
+// all queries executing in that module (Table 1 of the paper: catalog, symbol
+// table, module code) — and each query has a private working set (its
+// "backpack": execution plan, client state, intermediate results).
+#ifndef STAGEDB_SIMCACHE_MODULE_PROFILE_H_
+#define STAGEDB_SIMCACHE_MODULE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stagedb::simcache {
+
+using ModuleId = int32_t;
+constexpr ModuleId kNoModule = -1;
+
+/// Cost-model description of one server module.
+struct ModuleProfile {
+  ModuleId id = kNoModule;
+  std::string name;
+  /// Time (microseconds) to fetch the module's common data structures and code
+  /// into the cache when they are not resident — the quantity l_i in Figure 4.
+  int64_t common_load_micros = 0;
+  /// Time to restore a suspended query's private working set after another
+  /// query has run in between (the "load query's state" boxes of Figure 1).
+  int64_t private_restore_micros = 0;
+};
+
+/// A set of module profiles, indexed by ModuleId.
+class ModuleTable {
+ public:
+  /// Adds a module; ids must be dense starting at 0.
+  ModuleId Add(std::string name, int64_t common_load_micros,
+               int64_t private_restore_micros) {
+    ModuleId id = static_cast<ModuleId>(modules_.size());
+    modules_.push_back(ModuleProfile{id, std::move(name), common_load_micros,
+                                     private_restore_micros});
+    return id;
+  }
+
+  const ModuleProfile& Get(ModuleId id) const { return modules_.at(id); }
+  size_t size() const { return modules_.size(); }
+  const std::vector<ModuleProfile>& modules() const { return modules_; }
+
+ private:
+  std::vector<ModuleProfile> modules_;
+};
+
+}  // namespace stagedb::simcache
+
+#endif  // STAGEDB_SIMCACHE_MODULE_PROFILE_H_

@@ -1,0 +1,30 @@
+// Jobs (queries) flowing through the production-line model of Figure 4.
+#ifndef STAGEDB_SIMSCHED_JOB_H_
+#define STAGEDB_SIMSCHED_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stagedb::simsched {
+
+/// One query in the production-line model. Times are in microseconds.
+struct Job {
+  int64_t id = 0;
+  double arrival = 0.0;
+  /// Private-service demand at each module (the m_i of Figure 4). The common
+  /// load l_i is a property of the module, charged by the cache model.
+  std::vector<double> demand;
+  // --- outputs ---
+  double completion = -1.0;
+
+  double TotalDemand() const {
+    double s = 0;
+    for (double d : demand) s += d;
+    return s;
+  }
+  double ResponseTime() const { return completion - arrival; }
+};
+
+}  // namespace stagedb::simsched
+
+#endif  // STAGEDB_SIMSCHED_JOB_H_

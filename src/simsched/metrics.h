@@ -1,0 +1,31 @@
+// Aggregate output of one simulation run.
+#ifndef STAGEDB_SIMSCHED_METRICS_H_
+#define STAGEDB_SIMSCHED_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+
+namespace stagedb::simsched {
+
+/// Steady-state metrics over the measured (post-warm-up) jobs.
+struct Metrics {
+  int64_t jobs_completed = 0;
+  double mean_response_micros = 0.0;
+  double p50_response_micros = 0.0;
+  double p95_response_micros = 0.0;
+  double makespan_micros = 0.0;
+  double throughput_per_sec = 0.0;
+  /// Fraction of CPU busy time spent loading module working sets (the cost the
+  /// staged design amortizes across a batch).
+  double load_fraction = 0.0;
+  /// Average number of jobs served per module visit (batch size); 1.0 for
+  /// FCFS-like behaviour, larger when cohorts form.
+  double mean_batch_size = 0.0;
+  stagedb::Histogram response_histogram;
+};
+
+}  // namespace stagedb::simsched
+
+#endif  // STAGEDB_SIMSCHED_METRICS_H_

@@ -1,0 +1,56 @@
+// Scheduling policies compared in Figure 5 of the paper.
+//
+// PS and FCFS are the conventional baselines. The staged policies differ in
+// how a batch is formed when the CPU visits a module (the paper describes the
+// search space as: how many queries form a batch, how long they receive
+// service, and the module visiting order; the concrete named variants come
+// from [HA02], which is not retrievable offline — DESIGN.md §3 documents the
+// definitions used here):
+//
+//   kNonGated  — exhaustive service: the CPU stays at a module until its queue
+//                is empty, admitting work that arrives during service.
+//   kDGated    — departure-gated: the gate closes when the CPU arrives; only
+//                jobs present at that instant are served this visit.
+//   kTGated    — gated, but the module may re-gate up to `gate_rounds` times
+//                per visit before the CPU moves on. T-gated(2) re-gates once.
+#ifndef STAGEDB_SIMSCHED_POLICY_H_
+#define STAGEDB_SIMSCHED_POLICY_H_
+
+#include <string>
+
+namespace stagedb::simsched {
+
+enum class Policy {
+  kProcessorSharing,
+  kFcfs,
+  kNonGated,
+  kDGated,
+  kTGated,
+};
+
+inline const char* PolicyName(Policy p) {
+  switch (p) {
+    case Policy::kProcessorSharing:
+      return "PS";
+    case Policy::kFcfs:
+      return "FCFS";
+    case Policy::kNonGated:
+      return "non-gated";
+    case Policy::kDGated:
+      return "D-gated";
+    case Policy::kTGated:
+      return "T-gated";
+  }
+  return "?";
+}
+
+/// Knobs for a production-line simulation run.
+struct PolicyParams {
+  Policy policy = Policy::kNonGated;
+  /// Maximum gate rounds per module visit for kTGated (2 = "T-gated(2)").
+  int gate_rounds = 2;
+};
+
+}  // namespace stagedb::simsched
+
+#endif  // STAGEDB_SIMSCHED_POLICY_H_

@@ -1,0 +1,252 @@
+#include "simsched/production_line.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace stagedb::simsched {
+
+namespace {
+constexpr double kEps = 1e-7;
+}  // namespace
+
+ProductionLine::ProductionLine(ProductionLineConfig config)
+    : config_(std::move(config)) {
+  assert(config_.num_modules >= 1);
+  assert(config_.load_fraction >= 0.0 && config_.load_fraction < 1.0);
+  assert(config_.utilization > 0.0 && config_.utilization < 1.0);
+}
+
+std::vector<double> ProductionLine::ModuleLoads(
+    const ProductionLineConfig& config) {
+  const double l_total =
+      config.mean_total_demand_micros * config.load_fraction;
+  return std::vector<double>(config.num_modules,
+                             l_total / config.num_modules);
+}
+
+std::vector<Job> ProductionLine::GenerateJobs(
+    const ProductionLineConfig& config) {
+  Rng rng(config.seed);
+  const double mean_interarrival =
+      config.mean_total_demand_micros / config.utilization;
+  const double m_total =
+      config.mean_total_demand_micros * (1.0 - config.load_fraction);
+  std::vector<Job> jobs(config.num_jobs);
+  double t = 0.0;
+  for (int64_t i = 0; i < config.num_jobs; ++i) {
+    t += rng.Exponential(mean_interarrival);
+    Job& job = jobs[i];
+    job.id = i;
+    job.arrival = t;
+    double total = m_total;
+    if (config.exponential_demand) total = rng.Exponential(m_total);
+    job.demand.assign(config.num_modules, total / config.num_modules);
+  }
+  return jobs;
+}
+
+Metrics ProductionLine::Collect(const std::vector<Job>& jobs, double load_time,
+                                double service_time, double batch_visits,
+                                double batch_served) const {
+  Metrics m;
+  const int64_t warmup =
+      static_cast<int64_t>(jobs.size() * config_.warmup_fraction);
+  double first_arrival = -1.0, last_completion = 0.0, sum_resp = 0.0;
+  for (size_t i = warmup; i < jobs.size(); ++i) {
+    const Job& job = jobs[i];
+    assert(job.completion >= job.arrival);
+    if (first_arrival < 0) first_arrival = job.arrival;
+    last_completion = std::max(last_completion, job.completion);
+    sum_resp += job.ResponseTime();
+    m.response_histogram.Record(job.ResponseTime());
+    ++m.jobs_completed;
+  }
+  if (m.jobs_completed > 0) {
+    m.mean_response_micros = sum_resp / m.jobs_completed;
+    m.p50_response_micros = m.response_histogram.Percentile(50);
+    m.p95_response_micros = m.response_histogram.Percentile(95);
+    m.makespan_micros = last_completion - first_arrival;
+    if (m.makespan_micros > 0) {
+      m.throughput_per_sec = m.jobs_completed / (m.makespan_micros / 1e6);
+    }
+  }
+  const double busy = load_time + service_time;
+  m.load_fraction = busy > 0 ? load_time / busy : 0.0;
+  m.mean_batch_size = batch_visits > 0 ? batch_served / batch_visits : 0.0;
+  return m;
+}
+
+Metrics ProductionLine::Run() {
+  std::vector<Job> jobs = GenerateJobs(config_);
+  switch (config_.policy.policy) {
+    case Policy::kFcfs:
+      return RunFcfs(jobs);
+    case Policy::kProcessorSharing:
+      return RunProcessorSharing(jobs);
+    case Policy::kNonGated:
+    case Policy::kDGated:
+    case Policy::kTGated:
+      return RunStaged(jobs);
+  }
+  return Metrics{};
+}
+
+// FCFS runs each query through all modules to completion before the next
+// query starts. With a single-module-resident cache every module transition
+// is cold, so each query pays its full load l in addition to its demand.
+Metrics ProductionLine::RunFcfs(std::vector<Job>& jobs) {
+  const std::vector<double> loads = ModuleLoads(config_);
+  double l_total = 0.0;
+  for (double l : loads) l_total += l;
+  double t = 0.0, load_time = 0.0, service_time = 0.0;
+  for (Job& job : jobs) {
+    t = std::max(t, job.arrival);
+    const double service = job.TotalDemand();
+    t += service + l_total;
+    load_time += l_total;
+    service_time += service;
+    job.completion = t;
+  }
+  return Collect(jobs, load_time, service_time, jobs.size(), jobs.size());
+}
+
+// Exact event-driven M/G/1 processor sharing. PS context-switches among all
+// active queries obliviously to their current module, so no reuse ever occurs
+// and each query's effective demand is m + l (this is the paper's calibration:
+// l is "the percentage of execution time spent servicing cache misses ...
+// under the default server configuration (e.g. using PS)").
+Metrics ProductionLine::RunProcessorSharing(std::vector<Job>& jobs) {
+  const std::vector<double> loads = ModuleLoads(config_);
+  double l_total = 0.0;
+  for (double l : loads) l_total += l;
+
+  struct Active {
+    Job* job;
+    double remaining;
+  };
+  std::vector<Active> active;
+  active.reserve(256);
+  size_t next = 0;
+  double t = 0.0, load_time = 0.0, service_time = 0.0;
+  int64_t completed = 0;
+  const int64_t n = static_cast<int64_t>(jobs.size());
+
+  while (completed < n) {
+    if (active.empty()) {
+      assert(next < jobs.size());
+      t = std::max(t, jobs[next].arrival);
+      active.push_back({&jobs[next], jobs[next].TotalDemand() + l_total});
+      ++next;
+      continue;
+    }
+    const double k = static_cast<double>(active.size());
+    double min_rem = std::numeric_limits<double>::max();
+    for (const Active& a : active) min_rem = std::min(min_rem, a.remaining);
+    const double t_complete = t + min_rem * k;
+    if (next < jobs.size() && jobs[next].arrival < t_complete - kEps) {
+      const double dt = (jobs[next].arrival - t) / k;
+      for (Active& a : active) a.remaining -= dt;
+      t = jobs[next].arrival;
+      active.push_back({&jobs[next], jobs[next].TotalDemand() + l_total});
+      ++next;
+    } else {
+      for (Active& a : active) a.remaining -= min_rem;
+      t = t_complete;
+      for (size_t i = 0; i < active.size();) {
+        if (active[i].remaining <= kEps) {
+          active[i].job->completion = t;
+          ++completed;
+          active[i] = active.back();
+          active.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  load_time = l_total * n;
+  for (const Job& job : jobs) service_time += job.TotalDemand();
+  return Collect(jobs, load_time, service_time, jobs.size(), jobs.size());
+}
+
+// Cohort scheduling over the production line: the CPU visits modules in cyclic
+// order and serves a batch at each visit according to the gate policy. Only
+// the first query served after the CPU switches to a module pays l_i.
+Metrics ProductionLine::RunStaged(std::vector<Job>& jobs) {
+  const int num_modules = config_.num_modules;
+  const std::vector<double> loads = ModuleLoads(config_);
+  std::vector<std::deque<Job*>> queues(num_modules);
+  size_t next = 0;
+  const int64_t n = static_cast<int64_t>(jobs.size());
+  int64_t completed = 0;
+  double t = 0.0, load_time = 0.0, service_time = 0.0;
+  int resident = -1;
+  int64_t visits = 0, served_total = 0;
+  int current = 0;
+
+  auto admit = [&](double now) {
+    while (next < jobs.size() && jobs[next].arrival <= now + kEps) {
+      queues[0].push_back(&jobs[next]);
+      ++next;
+    }
+  };
+
+  const int max_rounds = config_.policy.policy == Policy::kNonGated
+                             ? std::numeric_limits<int>::max()
+                             : (config_.policy.policy == Policy::kTGated
+                                    ? std::max(1, config_.policy.gate_rounds)
+                                    : 1);
+
+  while (completed < n) {
+    admit(t);
+    int module = -1;
+    for (int k = 0; k < num_modules; ++k) {
+      const int idx = (current + k) % num_modules;
+      if (!queues[idx].empty()) {
+        module = idx;
+        break;
+      }
+    }
+    if (module < 0) {
+      // System empty: idle until the next arrival.
+      assert(next < jobs.size());
+      t = std::max(t, jobs[next].arrival);
+      continue;
+    }
+    // Serve a visit at `module`.
+    ++visits;
+    for (int round = 0; round < max_rounds && !queues[module].empty();
+         ++round) {
+      const size_t gate = queues[module].size();
+      for (size_t j = 0; j < gate; ++j) {
+        Job* job = queues[module].front();
+        queues[module].pop_front();
+        if (resident != module) {
+          t += loads[module];
+          load_time += loads[module];
+          resident = module;
+        }
+        t += job->demand[module];
+        service_time += job->demand[module];
+        admit(t);
+        if (module + 1 == num_modules) {
+          job->completion = t;
+          ++completed;
+        } else {
+          queues[module + 1].push_back(job);
+        }
+        ++served_total;
+      }
+    }
+    current = (module + 1) % num_modules;
+  }
+  return Collect(jobs, load_time, service_time,
+                 static_cast<double>(visits),
+                 static_cast<double>(served_total));
+}
+
+}  // namespace stagedb::simsched

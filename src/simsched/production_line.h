@@ -1,0 +1,71 @@
+// Discrete-event simulation of the production-line staged server (Figure 4):
+// Poisson arrivals enter module 1, pass through N modules in order, and leave.
+// A single CPU serves the modules under one of the Figure 5 policies; the
+// first query in a batch at module i pays the module loading time l_i
+// (simcache::CacheModel semantics with capacity 1).
+//
+// This reproduces the experiment behind Figure 5 of the paper, which was
+// itself produced by simulation ("we developed a simple simulated execution
+// environment that is also analytically tractable").
+#ifndef STAGEDB_SIMSCHED_PRODUCTION_LINE_H_
+#define STAGEDB_SIMSCHED_PRODUCTION_LINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "simsched/job.h"
+#include "simsched/metrics.h"
+#include "simsched/policy.h"
+
+namespace stagedb::simsched {
+
+/// Configuration of one production-line run. Times in microseconds.
+struct ProductionLineConfig {
+  /// Number of modules in series (the paper uses 5 with equal breakdown).
+  int num_modules = 5;
+  /// Mean total CPU demand per query, m + l (the paper uses 100 ms).
+  double mean_total_demand_micros = 100000.0;
+  /// l / (m + l): fraction of the demand that is module loading (x-axis of
+  /// Figure 5, 0.0 .. 0.6). l is split equally across modules.
+  double load_fraction = 0.0;
+  /// Offered load rho = lambda * (m + l) under the default (no-reuse) server
+  /// configuration. Figure 5 uses 0.95.
+  double utilization = 0.95;
+  /// Number of queries to simulate.
+  int64_t num_jobs = 200000;
+  /// Leading fraction of jobs excluded from the metrics (warm-up).
+  double warmup_fraction = 0.1;
+  /// When true, per-job private demand is exponential with mean m (service
+  /// variability ablation); otherwise deterministic.
+  bool exponential_demand = false;
+  uint64_t seed = 42;
+  PolicyParams policy;
+};
+
+/// Runs one simulation and returns steady-state metrics.
+class ProductionLine {
+ public:
+  explicit ProductionLine(ProductionLineConfig config);
+
+  Metrics Run();
+
+  /// The Poisson job stream for this configuration (exposed for tests).
+  static std::vector<Job> GenerateJobs(const ProductionLineConfig& config);
+
+  /// Per-module loading time l_i for this configuration.
+  static std::vector<double> ModuleLoads(const ProductionLineConfig& config);
+
+ private:
+  Metrics RunFcfs(std::vector<Job>& jobs);
+  Metrics RunProcessorSharing(std::vector<Job>& jobs);
+  Metrics RunStaged(std::vector<Job>& jobs);
+  Metrics Collect(const std::vector<Job>& jobs, double load_time,
+                  double service_time, double batch_visits,
+                  double batch_served) const;
+
+  ProductionLineConfig config_;
+};
+
+}  // namespace stagedb::simsched
+
+#endif  // STAGEDB_SIMSCHED_PRODUCTION_LINE_H_

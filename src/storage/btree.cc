@@ -1,0 +1,381 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stagedb::storage {
+
+namespace {
+
+// On-page node format. Keys are kept sorted; leaves form a forward chain.
+struct NodeHeader {
+  uint16_t is_leaf;
+  uint16_t num_keys;
+  PageId next;  // leaf chain; unused for internal nodes
+};
+
+constexpr int kLeafCapacity = 400;
+constexpr int kInternalCapacity = 400;
+
+static_assert(sizeof(NodeHeader) + kLeafCapacity * (sizeof(int64_t) +
+                  sizeof(Rid)) <= kPageSize,
+              "leaf layout exceeds page");
+static_assert(sizeof(NodeHeader) + kInternalCapacity * sizeof(int64_t) +
+                  (kInternalCapacity + 1) * sizeof(PageId) <= kPageSize,
+              "internal layout exceeds page");
+
+NodeHeader* Header(Page* p) { return reinterpret_cast<NodeHeader*>(p->data()); }
+int64_t* Keys(Page* p) {
+  return reinterpret_cast<int64_t*>(p->data() + sizeof(NodeHeader));
+}
+Rid* Values(Page* p) {
+  return reinterpret_cast<Rid*>(p->data() + sizeof(NodeHeader) +
+                                kLeafCapacity * sizeof(int64_t));
+}
+PageId* Children(Page* p) {
+  return reinterpret_cast<PageId*>(p->data() + sizeof(NodeHeader) +
+                                   kInternalCapacity * sizeof(int64_t));
+}
+
+void InitLeaf(Page* p) {
+  NodeHeader* h = Header(p);
+  h->is_leaf = 1;
+  h->num_keys = 0;
+  h->next = kInvalidPageId;
+}
+
+// Index of first key >= key.
+int LowerBound(const int64_t* keys, int n, int64_t key) {
+  return static_cast<int>(std::lower_bound(keys, keys + n, key) - keys);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<BPlusTree>> BPlusTree::Create(BufferPool* pool) {
+  auto page_or = pool->NewPage();
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  InitLeaf(page);
+  const PageId root = page->page_id();
+  STAGEDB_RETURN_IF_ERROR(pool->Unpin(root, true));
+  return std::unique_ptr<BPlusTree>(new BPlusTree(pool, root));
+}
+
+std::unique_ptr<BPlusTree> BPlusTree::Open(BufferPool* pool, PageId root) {
+  return std::unique_ptr<BPlusTree>(new BPlusTree(pool, root));
+}
+
+Status BPlusTree::InsertRec(PageId node_id, int64_t key, const Rid& rid,
+                            SplitResult* split) {
+  auto page_or = pool_->FetchPage(node_id);
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  NodeHeader* h = Header(page);
+
+  if (h->is_leaf) {
+    int64_t* keys = Keys(page);
+    Rid* vals = Values(page);
+    const int n = h->num_keys;
+    const int pos = LowerBound(keys, n, key);
+    if (pos < n && keys[pos] == key) {
+      STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node_id, false));
+      return Status::AlreadyExists(StrFormat("key %lld", (long long)key));
+    }
+    // Shift and insert.
+    std::memmove(keys + pos + 1, keys + pos, (n - pos) * sizeof(int64_t));
+    std::memmove(vals + pos + 1, vals + pos, (n - pos) * sizeof(Rid));
+    keys[pos] = key;
+    vals[pos] = rid;
+    h->num_keys = static_cast<uint16_t>(n + 1);
+
+    if (h->num_keys < kLeafCapacity) {
+      split->split = false;
+      return pool_->Unpin(node_id, true);
+    }
+    // Split the leaf.
+    auto right_or = pool_->NewPage();
+    if (!right_or.ok()) {
+      STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node_id, true));
+      return right_or.status();
+    }
+    Page* right = *right_or;
+    InitLeaf(right);
+    NodeHeader* rh = Header(right);
+    const int total = h->num_keys;
+    const int keep = total / 2;
+    const int move = total - keep;
+    std::memcpy(Keys(right), keys + keep, move * sizeof(int64_t));
+    std::memcpy(Values(right), vals + keep, move * sizeof(Rid));
+    rh->num_keys = static_cast<uint16_t>(move);
+    rh->next = h->next;
+    h->num_keys = static_cast<uint16_t>(keep);
+    h->next = right->page_id();
+    split->split = true;
+    split->up_key = Keys(right)[0];
+    split->right = right->page_id();
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(right->page_id(), true));
+    return pool_->Unpin(node_id, true);
+  }
+
+  // Internal node: descend.
+  const int n = h->num_keys;
+  const int pos = LowerBound(Keys(page), n, key);
+  // Child index: keys[i] is the smallest key in child i+1.
+  int child_idx = pos;
+  if (pos < n && Keys(page)[pos] == key) child_idx = pos + 1;
+  const PageId child = Children(page)[child_idx];
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node_id, false));
+
+  SplitResult child_split;
+  STAGEDB_RETURN_IF_ERROR(InsertRec(child, key, rid, &child_split));
+  if (!child_split.split) {
+    split->split = false;
+    return Status::OK();
+  }
+
+  // Re-fetch and insert the separator.
+  page_or = pool_->FetchPage(node_id);
+  if (!page_or.ok()) return page_or.status();
+  page = *page_or;
+  h = Header(page);
+  int64_t* keys = Keys(page);
+  PageId* children = Children(page);
+  const int m = h->num_keys;
+  const int ipos = LowerBound(keys, m, child_split.up_key);
+  std::memmove(keys + ipos + 1, keys + ipos, (m - ipos) * sizeof(int64_t));
+  std::memmove(children + ipos + 2, children + ipos + 1,
+               (m - ipos) * sizeof(PageId));
+  keys[ipos] = child_split.up_key;
+  children[ipos + 1] = child_split.right;
+  h->num_keys = static_cast<uint16_t>(m + 1);
+
+  if (h->num_keys < kInternalCapacity) {
+    split->split = false;
+    return pool_->Unpin(node_id, true);
+  }
+  // Split the internal node: middle key moves up.
+  auto right_or = pool_->NewPage();
+  if (!right_or.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node_id, true));
+    return right_or.status();
+  }
+  Page* right = *right_or;
+  NodeHeader* rh = Header(right);
+  rh->is_leaf = 0;
+  rh->next = kInvalidPageId;
+  const int total = h->num_keys;
+  const int mid = total / 2;
+  const int move = total - mid - 1;
+  std::memcpy(Keys(right), keys + mid + 1, move * sizeof(int64_t));
+  std::memcpy(Children(right), children + mid + 1,
+              (move + 1) * sizeof(PageId));
+  rh->num_keys = static_cast<uint16_t>(move);
+  split->split = true;
+  split->up_key = keys[mid];
+  split->right = right->page_id();
+  h->num_keys = static_cast<uint16_t>(mid);
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(right->page_id(), true));
+  return pool_->Unpin(node_id, true);
+}
+
+Status BPlusTree::Insert(int64_t key, const Rid& rid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SplitResult split;
+  STAGEDB_RETURN_IF_ERROR(InsertRec(root_, key, rid, &split));
+  if (!split.split) return Status::OK();
+  // Grow a new root.
+  auto page_or = pool_->NewPage();
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  NodeHeader* h = Header(page);
+  h->is_leaf = 0;
+  h->num_keys = 1;
+  h->next = kInvalidPageId;
+  Keys(page)[0] = split.up_key;
+  Children(page)[0] = root_;
+  Children(page)[1] = split.right;
+  root_ = page->page_id();
+  return pool_->Unpin(root_, true);
+}
+
+StatusOr<Rid> BPlusTree::Get(int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId node = root_;
+  while (true) {
+    auto page_or = pool_->FetchPage(node);
+    if (!page_or.ok()) return page_or.status();
+    Page* page = *page_or;
+    const NodeHeader* h = Header(page);
+    if (h->is_leaf) {
+      const int n = h->num_keys;
+      const int pos = LowerBound(Keys(page), n, key);
+      if (pos < n && Keys(page)[pos] == key) {
+        Rid rid = Values(page)[pos];
+        STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+        return rid;
+      }
+      STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+      return Status::NotFound(StrFormat("key %lld", (long long)key));
+    }
+    const int n = h->num_keys;
+    const int pos = LowerBound(Keys(page), n, key);
+    int child_idx = pos;
+    if (pos < n && Keys(page)[pos] == key) child_idx = pos + 1;
+    const PageId next = Children(page)[child_idx];
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+    node = next;
+  }
+}
+
+Status BPlusTree::Delete(int64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PageId node = root_;
+  while (true) {
+    auto page_or = pool_->FetchPage(node);
+    if (!page_or.ok()) return page_or.status();
+    Page* page = *page_or;
+    NodeHeader* h = Header(page);
+    if (h->is_leaf) {
+      int64_t* keys = Keys(page);
+      Rid* vals = Values(page);
+      const int n = h->num_keys;
+      const int pos = LowerBound(keys, n, key);
+      if (pos >= n || keys[pos] != key) {
+        STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+        return Status::NotFound(StrFormat("key %lld", (long long)key));
+      }
+      std::memmove(keys + pos, keys + pos + 1, (n - pos - 1) * sizeof(int64_t));
+      std::memmove(vals + pos, vals + pos + 1, (n - pos - 1) * sizeof(Rid));
+      h->num_keys = static_cast<uint16_t>(n - 1);
+      return pool_->Unpin(node, true);
+    }
+    const int n = h->num_keys;
+    const int pos = LowerBound(Keys(page), n, key);
+    int child_idx = pos;
+    if (pos < n && Keys(page)[pos] == key) child_idx = pos + 1;
+    const PageId next = Children(page)[child_idx];
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+    node = next;
+  }
+}
+
+Status BPlusTree::Scan(int64_t lo, int64_t hi,
+                       std::vector<std::pair<int64_t, Rid>>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Descend to the leaf containing lo.
+  PageId node = root_;
+  while (true) {
+    auto page_or = pool_->FetchPage(node);
+    if (!page_or.ok()) return page_or.status();
+    Page* page = *page_or;
+    const NodeHeader* h = Header(page);
+    if (h->is_leaf) {
+      STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+      break;
+    }
+    const int n = h->num_keys;
+    const int pos = LowerBound(Keys(page), n, lo);
+    int child_idx = pos;
+    if (pos < n && Keys(page)[pos] == lo) child_idx = pos + 1;
+    const PageId next = Children(page)[child_idx];
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+    node = next;
+  }
+  // Walk the leaf chain.
+  while (node != kInvalidPageId) {
+    auto page_or = pool_->FetchPage(node);
+    if (!page_or.ok()) return page_or.status();
+    Page* page = *page_or;
+    const NodeHeader* h = Header(page);
+    const int n = h->num_keys;
+    const int64_t* keys = Keys(page);
+    const Rid* vals = Values(page);
+    int pos = LowerBound(keys, n, lo);
+    bool done = false;
+    for (; pos < n; ++pos) {
+      if (keys[pos] > hi) {
+        done = true;
+        break;
+      }
+      out->emplace_back(keys[pos], vals[pos]);
+    }
+    const PageId next = h->next;
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+    if (done) break;
+    node = next;
+  }
+  return Status::OK();
+}
+
+StatusOr<int> BPlusTree::Height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int height = 1;
+  PageId node = root_;
+  while (true) {
+    auto page_or = pool_->FetchPage(node);
+    if (!page_or.ok()) return page_or.status();
+    Page* page = *page_or;
+    const NodeHeader* h = Header(page);
+    if (h->is_leaf) {
+      STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+      return height;
+    }
+    const PageId next = Children(page)[0];
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+    node = next;
+    ++height;
+  }
+}
+
+Status BPlusTree::CheckNode(PageId node, int64_t lo, int64_t hi, int depth,
+                            int* leaf_depth) const {
+  auto page_or = pool_->FetchPage(node);
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  const NodeHeader* h = Header(page);
+  const int n = h->num_keys;
+  const int64_t* keys = Keys(page);
+  Status status;
+  for (int i = 0; i + 1 < n && status.ok(); ++i) {
+    if (keys[i] >= keys[i + 1]) status = Status::Corruption("keys unsorted");
+  }
+  for (int i = 0; i < n && status.ok(); ++i) {
+    if (keys[i] < lo || keys[i] > hi) {
+      status = Status::Corruption("key outside separator range");
+    }
+  }
+  if (status.ok()) {
+    if (h->is_leaf) {
+      if (*leaf_depth < 0) {
+        *leaf_depth = depth;
+      } else if (*leaf_depth != depth) {
+        status = Status::Corruption("leaves at different depths");
+      }
+    }
+  }
+  std::vector<PageId> children;
+  std::vector<int64_t> key_copy(keys, keys + n);
+  if (status.ok() && !h->is_leaf) {
+    const PageId* c = Children(page);
+    children.assign(c, c + n + 1);
+  }
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(node, false));
+  STAGEDB_RETURN_IF_ERROR(status);
+  for (size_t i = 0; i < children.size(); ++i) {
+    const int64_t clo = (i == 0) ? lo : key_copy[i - 1];
+    const int64_t chi = (i == key_copy.size()) ? hi : key_copy[i] - 1;
+    STAGEDB_RETURN_IF_ERROR(
+        CheckNode(children[i], clo, chi, depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int leaf_depth = -1;
+  return CheckNode(root_, INT64_MIN, INT64_MAX, 0, &leaf_depth);
+}
+
+}  // namespace stagedb::storage

@@ -1,0 +1,69 @@
+// B+-tree index over int64 keys -> Rid, stored in buffer-pool pages.
+// Backs the iscan stages of the execution engine.
+//
+// Simplifications (documented in DESIGN.md): unique keys only; deletes are
+// lazy (no node merging — standard for research prototypes; lookups and scans
+// remain correct because empty leaves are skipped).
+#ifndef STAGEDB_STORAGE_BTREE_H_
+#define STAGEDB_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace stagedb::storage {
+
+/// A disk-resident B+-tree. Thread-safe via a single tree latch (index
+/// operations are short; finer latching is out of scope for this prototype).
+class BPlusTree {
+ public:
+  /// Creates an empty tree (allocates the root leaf).
+  static StatusOr<std::unique_ptr<BPlusTree>> Create(BufferPool* pool);
+  /// Opens an existing tree rooted at `root`.
+  static std::unique_ptr<BPlusTree> Open(BufferPool* pool, PageId root);
+
+  /// Inserts a unique key. AlreadyExists if the key is present.
+  Status Insert(int64_t key, const Rid& rid);
+  /// Point lookup.
+  StatusOr<Rid> Get(int64_t key) const;
+  /// Removes a key. NotFound if absent.
+  Status Delete(int64_t key);
+
+  /// Inclusive range scan [lo, hi]; appends (key, rid) pairs in key order.
+  Status Scan(int64_t lo, int64_t hi,
+              std::vector<std::pair<int64_t, Rid>>* out) const;
+
+  PageId root() const { return root_; }
+  /// Height of the tree (1 = root is a leaf). For tests.
+  StatusOr<int> Height() const;
+  /// Verifies ordering and fanout invariants on every node. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  BPlusTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  struct SplitResult {
+    bool split = false;
+    int64_t up_key = 0;
+    PageId right = kInvalidPageId;
+  };
+
+  Status InsertRec(PageId node, int64_t key, const Rid& rid,
+                   SplitResult* split);
+  Status CheckNode(PageId node, int64_t lo, int64_t hi, int depth,
+                   int* leaf_depth) const;
+
+  BufferPool* pool_;
+  PageId root_;
+  mutable std::mutex mu_;
+};
+
+}  // namespace stagedb::storage
+
+#endif  // STAGEDB_STORAGE_BTREE_H_

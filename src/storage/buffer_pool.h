@@ -1,0 +1,95 @@
+// Buffer pool: caches disk pages in memory with LRU replacement and pin/unpin
+// semantics. Thread-safe; shared by all stages (Table 1: "shared" data).
+#ifndef STAGEDB_STORAGE_BUFFER_POOL_H_
+#define STAGEDB_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace stagedb::storage {
+
+/// Fixed-capacity page cache over a DiskManager.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  /// Returns the page pinned; caller must Unpin.
+  StatusOr<Page*> FetchPage(PageId id);
+  /// Allocates a new page on disk and returns it pinned.
+  StatusOr<Page*> NewPage();
+  /// Releases one pin; marks dirty if the caller modified the page.
+  Status Unpin(PageId id, bool dirty);
+  /// Writes a page back if dirty.
+  Status FlushPage(PageId id);
+  /// Writes all dirty pages back.
+  Status FlushAll();
+
+  size_t capacity() const { return frames_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  /// Number of currently pinned pages (for leak tests).
+  int64_t pinned_pages() const;
+
+ private:
+  /// Finds a victim frame (free list first, then LRU unpinned). Returns -1 if
+  /// every frame is pinned.
+  int FindVictim();
+  void TouchLru(int frame);
+
+  DiskManager* disk_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, int> page_table_;
+  std::list<int> lru_;  // front = least recently used, unpinned frames only
+  std::vector<int> free_frames_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+/// RAII pin guard: unpins on destruction.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page) : pool_(pool), page_(page) {}
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept {
+    Release();
+    pool_ = o.pool_;
+    page_ = o.page_;
+    dirty_ = o.dirty_;
+    o.pool_ = nullptr;
+    o.page_ = nullptr;
+    return *this;
+  }
+  ~PageGuard() { Release(); }
+
+  Page* get() { return page_; }
+  Page* operator->() { return page_; }
+  void MarkDirty() { dirty_ = true; }
+  void Release() {
+    if (pool_ != nullptr && page_ != nullptr) {
+      pool_->Unpin(page_->page_id(), dirty_);
+    }
+    pool_ = nullptr;
+    page_ = nullptr;
+    dirty_ = false;
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace stagedb::storage
+
+#endif  // STAGEDB_STORAGE_BUFFER_POOL_H_

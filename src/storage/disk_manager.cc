@@ -1,0 +1,127 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stagedb::storage {
+
+// ---------------------------------------------------------------- MemDisk ---
+
+MemDiskManager::MemDiskManager(int64_t latency_micros, Clock* clock)
+    : latency_micros_(latency_micros),
+      clock_(clock != nullptr ? clock : RealClock::Instance()) {}
+
+void MemDiskManager::ChargeLatency() {
+  if (latency_micros_ > 0) clock_->SleepMicros(latency_micros_);
+}
+
+StatusOr<PageId> MemDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto page = std::make_unique<char[]>(kPageSize);
+  std::memset(page.get(), 0, kPageSize);
+  pages_.push_back(std::move(page));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status MemDiskManager::ReadPage(PageId id, char* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<PageId>(pages_.size())) {
+      return Status::InvalidArgument(
+          StrFormat("read of unallocated page %d", id));
+    }
+    std::memcpy(out, pages_[id].get(), kPageSize);
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  ChargeLatency();
+  return Status::OK();
+}
+
+Status MemDiskManager::WritePage(PageId id, const char* data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id < 0 || id >= static_cast<PageId>(pages_.size())) {
+      return Status::InvalidArgument(
+          StrFormat("write of unallocated page %d", id));
+    }
+    std::memcpy(pages_[id].get(), data, kPageSize);
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  ChargeLatency();
+  return Status::OK();
+}
+
+PageId MemDiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<PageId>(pages_.size());
+}
+
+// --------------------------------------------------------------- FileDisk ---
+
+FileDiskManager::FileDiskManager(std::FILE* file, PageId num_pages,
+                                 std::string path)
+    : file_(file), num_pages_(num_pages), path_(std::move(path)) {}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  const PageId pages = static_cast<PageId>(size / kPageSize);
+  return std::unique_ptr<FileDiskManager>(new FileDiskManager(f, pages, path));
+}
+
+StatusOr<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageId id = num_pages_++;
+  char zero[kPageSize] = {};
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(zero, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("allocate: write failed");
+  }
+  return id;
+}
+
+Status FileDiskManager::ReadPage(PageId id, char* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= num_pages_) {
+    return Status::InvalidArgument(StrFormat("read of unallocated page %d", id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("read of page %d failed", id));
+  }
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const char* data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < 0 || id >= num_pages_) {
+    return Status::InvalidArgument(
+        StrFormat("write of unallocated page %d", id));
+  }
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError(StrFormat("write of page %d failed", id));
+  }
+  std::fflush(file_);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+PageId FileDiskManager::num_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return num_pages_;
+}
+
+}  // namespace stagedb::storage

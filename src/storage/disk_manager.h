@@ -1,0 +1,91 @@
+// Disk managers: where pages live when they are not in the buffer pool.
+//
+// Two implementations: a file-backed manager (real I/O) and an in-memory
+// manager. Both support an injected per-operation latency so that experiments
+// can model the paper's Workload A ("short queries that almost always incur
+// disk I/O") deterministically — see DESIGN.md §3 on substitutions.
+#ifndef STAGEDB_STORAGE_DISK_MANAGER_H_
+#define STAGEDB_STORAGE_DISK_MANAGER_H_
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace stagedb::storage {
+
+/// Abstract page store.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a new page and returns its id.
+  virtual StatusOr<PageId> AllocatePage() = 0;
+  /// Reads page `id` into `out` (kPageSize bytes).
+  virtual Status ReadPage(PageId id, char* out) = 0;
+  /// Writes kPageSize bytes from `data` to page `id`.
+  virtual Status WritePage(PageId id, const char* data) = 0;
+  /// Number of pages allocated so far.
+  virtual PageId num_pages() const = 0;
+
+  int64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  int64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ protected:
+  std::atomic<int64_t> reads_{0};
+  std::atomic<int64_t> writes_{0};
+};
+
+/// Heap-allocated page store. Fast and used by most tests; with a configured
+/// latency it stands in for a disk with the given per-access service time.
+class MemDiskManager : public DiskManager {
+ public:
+  /// `latency_micros` is added (as a real sleep) to every read/write; clock
+  /// defaults to the real clock.
+  explicit MemDiskManager(int64_t latency_micros = 0, Clock* clock = nullptr);
+
+  StatusOr<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId num_pages() const override;
+
+ private:
+  void ChargeLatency();
+
+  const int64_t latency_micros_;
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+};
+
+/// File-backed page store (one file, pages addressed by offset).
+class FileDiskManager : public DiskManager {
+ public:
+  ~FileDiskManager() override;
+
+  static StatusOr<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+
+  StatusOr<PageId> AllocatePage() override;
+  Status ReadPage(PageId id, char* out) override;
+  Status WritePage(PageId id, const char* data) override;
+  PageId num_pages() const override;
+
+ private:
+  FileDiskManager(std::FILE* file, PageId num_pages, std::string path);
+
+  mutable std::mutex mu_;
+  std::FILE* file_;
+  PageId num_pages_;
+  std::string path_;
+};
+
+}  // namespace stagedb::storage
+
+#endif  // STAGEDB_STORAGE_DISK_MANAGER_H_

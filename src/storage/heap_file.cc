@@ -1,0 +1,152 @@
+#include "storage/heap_file.h"
+
+#include "storage/slotted_page.h"
+
+namespace stagedb::storage {
+
+StatusOr<std::unique_ptr<HeapFile>> HeapFile::Create(BufferPool* pool) {
+  auto page_or = pool->NewPage();
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  sp.Init();
+  const PageId id = page->page_id();
+  STAGEDB_RETURN_IF_ERROR(pool->Unpin(id, /*dirty=*/true));
+  return std::unique_ptr<HeapFile>(new HeapFile(pool, id, id));
+}
+
+StatusOr<std::unique_ptr<HeapFile>> HeapFile::Open(BufferPool* pool,
+                                                   PageId first_page) {
+  // Find the last page by walking the chain.
+  PageId last = first_page;
+  while (true) {
+    auto page_or = pool->FetchPage(last);
+    if (!page_or.ok()) return page_or.status();
+    SlottedPage sp(*page_or);
+    const PageId next = sp.next_page();
+    STAGEDB_RETURN_IF_ERROR(pool->Unpin(last, false));
+    if (next == kInvalidPageId) break;
+    last = next;
+  }
+  return std::unique_ptr<HeapFile>(new HeapFile(pool, first_page, last));
+}
+
+StatusOr<Rid> HeapFile::Insert(std::string_view record) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  auto page_or = pool_->FetchPage(last_page_);
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  auto slot_or = sp.Insert(record);
+  if (slot_or.ok()) {
+    const Rid rid{page->page_id(), *slot_or};
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), true));
+    return rid;
+  }
+  if (!slot_or.status().IsResourceExhausted()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), false));
+    return slot_or.status();
+  }
+  // Page full: chain a new page.
+  auto new_or = pool_->NewPage();
+  if (!new_or.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), false));
+    return new_or.status();
+  }
+  Page* fresh = *new_or;
+  SlottedPage fresh_sp(fresh);
+  fresh_sp.Init();
+  sp.set_next_page(fresh->page_id());
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), true));
+  last_page_ = fresh->page_id();
+  auto slot2_or = fresh_sp.Insert(record);
+  if (!slot2_or.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(fresh->page_id(), true));
+    return slot2_or.status();
+  }
+  const Rid rid{fresh->page_id(), *slot2_or};
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(fresh->page_id(), true));
+  return rid;
+}
+
+Status HeapFile::Get(const Rid& rid, std::string* out) const {
+  auto page_or = pool_->FetchPage(rid.page_id);
+  if (!page_or.ok()) return page_or.status();
+  SlottedPage sp(*page_or);
+  auto rec_or = sp.Get(rid.slot);
+  if (!rec_or.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, false));
+    return rec_or.status();
+  }
+  out->assign(rec_or->data(), rec_or->size());
+  return pool_->Unpin(rid.page_id, false);
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  auto page_or = pool_->FetchPage(rid.page_id);
+  if (!page_or.ok()) return page_or.status();
+  SlottedPage sp(*page_or);
+  Status s = sp.Delete(rid.slot);
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, s.ok()));
+  return s;
+}
+
+StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
+  auto page_or = pool_->FetchPage(rid.page_id);
+  if (!page_or.ok()) return page_or.status();
+  SlottedPage sp(*page_or);
+  Status s = sp.UpdateInPlace(rid.slot, record);
+  if (s.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, true));
+    return rid;
+  }
+  if (!s.IsResourceExhausted()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, false));
+    return s;
+  }
+  // Record grew: delete here, re-insert at the tail.
+  STAGEDB_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, true));
+  return Insert(record);
+}
+
+StatusOr<int64_t> HeapFile::CountRecords() const {
+  int64_t n = 0;
+  Iterator it = Scan();
+  while (it.Next()) ++n;
+  if (!it.status().ok()) return it.status();
+  return n;
+}
+
+HeapFile::Iterator::Iterator(const HeapFile* file, PageId page_id)
+    : file_(file), page_id_(page_id) {}
+
+bool HeapFile::Iterator::Next() {
+  while (page_id_ != kInvalidPageId) {
+    auto page_or = file_->pool_->FetchPage(page_id_);
+    if (!page_or.ok()) {
+      status_ = page_or.status();
+      return false;
+    }
+    SlottedPage sp(*page_or);
+    const uint16_t slots = sp.num_slots();
+    while (next_slot_ < slots) {
+      const uint16_t slot = static_cast<uint16_t>(next_slot_++);
+      auto rec_or = sp.Get(slot);
+      if (rec_or.ok()) {
+        rid_ = Rid{page_id_, slot};
+        record_.assign(rec_or->data(), rec_or->size());
+        status_ = file_->pool_->Unpin(page_id_, false);
+        return status_.ok();
+      }
+    }
+    const PageId next = sp.next_page();
+    status_ = file_->pool_->Unpin(page_id_, false);
+    if (!status_.ok()) return false;
+    page_id_ = next;
+    next_slot_ = 0;
+  }
+  return false;
+}
+
+}  // namespace stagedb::storage

@@ -1,0 +1,78 @@
+// Heap files: unordered collections of records in a chain of slotted pages.
+// One heap file per table; the fscan stages of the execution engine iterate
+// these page by page.
+#ifndef STAGEDB_STORAGE_HEAP_FILE_H_
+#define STAGEDB_STORAGE_HEAP_FILE_H_
+
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace stagedb::storage {
+
+/// A heap file over a buffer pool. Thread-safe for concurrent readers with a
+/// single writer per call (internal mutex serializes structural changes).
+class HeapFile {
+ public:
+  /// Creates a new empty heap file; allocates its first page.
+  static StatusOr<std::unique_ptr<HeapFile>> Create(BufferPool* pool);
+  /// Opens an existing heap file rooted at `first_page`.
+  static StatusOr<std::unique_ptr<HeapFile>> Open(BufferPool* pool,
+                                                  PageId first_page);
+
+  /// Appends a record; returns its Rid.
+  StatusOr<Rid> Insert(std::string_view record);
+  /// Reads a record into `out`.
+  Status Get(const Rid& rid, std::string* out) const;
+  /// Deletes a record (Rids of other records stay valid).
+  Status Delete(const Rid& rid);
+  /// Updates a record; may relocate it. Returns the (possibly new) Rid.
+  StatusOr<Rid> Update(const Rid& rid, std::string_view record);
+
+  PageId first_page() const { return first_page_; }
+
+  /// Forward iterator over live records. Not stable under concurrent
+  /// structural modification of the same pages.
+  class Iterator {
+   public:
+    Iterator(const HeapFile* file, PageId page_id);
+    /// Advances to the next live record; returns false at end.
+    bool Next();
+    const Rid& rid() const { return rid_; }
+    const std::string& record() const { return record_; }
+    /// Non-OK when iteration stopped because of an error (not end-of-file).
+    const Status& status() const { return status_; }
+
+   private:
+    const HeapFile* file_;
+    PageId page_id_;
+    int next_slot_ = 0;
+    Rid rid_;
+    std::string record_;
+    Status status_;
+  };
+
+  Iterator Scan() const { return Iterator(this, first_page_); }
+
+  /// Number of live records (walks the file).
+  StatusOr<int64_t> CountRecords() const;
+
+ private:
+  HeapFile(BufferPool* pool, PageId first_page, PageId last_page)
+      : pool_(pool), first_page_(first_page), last_page_(last_page) {}
+
+  BufferPool* pool_;
+  PageId first_page_;
+  PageId last_page_;
+  std::mutex append_mu_;
+
+  friend class Iterator;
+};
+
+}  // namespace stagedb::storage
+
+#endif  // STAGEDB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,275 @@
+#include "storage/txn.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace stagedb::storage {
+
+// ------------------------------------------------------------ LockManager ---
+
+Status LockManager::AcquireShared(TxnId txn, int32_t table_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TableLock& l = locks_[table_id];
+  if (l.shared.count(txn) || l.exclusive == txn) return Status::OK();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros_);
+  while (!CanGrantShared(l, txn)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Aborted("lock timeout (possible deadlock)");
+    }
+  }
+  l.shared.insert(txn);
+  return Status::OK();
+}
+
+Status LockManager::AcquireExclusive(TxnId txn, int32_t table_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  TableLock& l = locks_[table_id];
+  if (l.exclusive == txn) return Status::OK();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros_);
+  while (!CanGrantExclusive(l, txn)) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return Status::Aborted("lock timeout (possible deadlock)");
+    }
+  }
+  l.shared.erase(txn);  // upgrade
+  l.exclusive = txn;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    TableLock& l = it->second;
+    l.shared.erase(txn);
+    if (l.exclusive == txn) l.exclusive = -1;
+    if (l.shared.empty() && l.exclusive == -1) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  cv_.notify_all();
+}
+
+size_t LockManager::locked_tables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+// ----------------------------------------------------- TransactionManager ---
+
+void TransactionManager::RegisterTable(int32_t table_id, HeapFile* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[table_id] = file;
+}
+
+StatusOr<Transaction*> TransactionManager::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto txn = std::make_unique<Transaction>();
+  txn->id = next_txn_++;
+  Transaction* ptr = txn.get();
+  txns_[ptr->id] = std::move(txn);
+  txn_log_[ptr->id] = {};
+  WalRecord r;
+  r.txn_id = ptr->id;
+  r.type = WalRecord::Type::kBegin;
+  auto lsn_or = wal_->Append(std::move(r));
+  if (!lsn_or.ok()) return lsn_or.status();
+  return ptr;
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (txn->state != TxnState::kActive) {
+    return Status::InvalidArgument("commit of non-active transaction");
+  }
+  WalRecord r;
+  r.txn_id = txn->id;
+  r.type = WalRecord::Type::kCommit;
+  {
+    auto lsn_or = wal_->Append(std::move(r));
+    if (!lsn_or.ok()) return lsn_or.status();
+  }
+  txn->state = TxnState::kCommitted;
+  locks_.ReleaseAll(txn->id);
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_log_.erase(txn->id);
+  return Status::OK();
+}
+
+Status TransactionManager::Undo(const WalRecord& record) {
+  HeapFile* file = tables_.at(record.table_id);
+  switch (record.type) {
+    case WalRecord::Type::kInsert:
+      return file->Delete(record.rid);
+    case WalRecord::Type::kDelete: {
+      // Re-insert the before image. The Rid may change; logical undo.
+      auto rid_or = file->Insert(record.before);
+      return rid_or.ok() ? Status::OK() : rid_or.status();
+    }
+    case WalRecord::Type::kUpdate: {
+      auto rid_or = file->Update(record.rid, record.before);
+      return rid_or.ok() ? Status::OK() : rid_or.status();
+    }
+    default:
+      return Status::Internal("undo of non-data record");
+  }
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (txn->state != TxnState::kActive) {
+    return Status::InvalidArgument("abort of non-active transaction");
+  }
+  std::vector<WalRecord> ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops = txn_log_[txn->id];
+  }
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    STAGEDB_RETURN_IF_ERROR(Undo(*it));
+  }
+  WalRecord r;
+  r.txn_id = txn->id;
+  r.type = WalRecord::Type::kAbort;
+  {
+    auto lsn_or = wal_->Append(std::move(r));
+    if (!lsn_or.ok()) return lsn_or.status();
+  }
+  txn->state = TxnState::kAborted;
+  locks_.ReleaseAll(txn->id);
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_log_.erase(txn->id);
+  return Status::OK();
+}
+
+StatusOr<Rid> TransactionManager::Insert(Transaction* txn, int32_t table_id,
+                                         std::string_view row) {
+  STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
+  HeapFile* file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(table_id);
+    if (it == tables_.end()) return Status::NotFound("unregistered table");
+    file = it->second;
+  }
+  WalRecord r;
+  r.txn_id = txn->id;
+  r.type = WalRecord::Type::kInsert;
+  r.table_id = table_id;
+  r.after.assign(row.data(), row.size());
+  // Write-ahead: log first, then mutate; fill in the rid afterwards for undo.
+  auto rid_or = file->Insert(row);
+  if (!rid_or.ok()) return rid_or.status();
+  r.rid = *rid_or;
+  {
+    auto lsn_or = wal_->Append(r);
+    if (!lsn_or.ok()) return lsn_or.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_log_[txn->id].push_back(std::move(r));
+  return *rid_or;
+}
+
+Status TransactionManager::Delete(Transaction* txn, int32_t table_id,
+                                  const Rid& rid) {
+  STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
+  HeapFile* file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(table_id);
+    if (it == tables_.end()) return Status::NotFound("unregistered table");
+    file = it->second;
+  }
+  WalRecord r;
+  r.txn_id = txn->id;
+  r.type = WalRecord::Type::kDelete;
+  r.table_id = table_id;
+  r.rid = rid;
+  STAGEDB_RETURN_IF_ERROR(file->Get(rid, &r.before));
+  {
+    auto lsn_or = wal_->Append(r);
+    if (!lsn_or.ok()) return lsn_or.status();
+  }
+  STAGEDB_RETURN_IF_ERROR(file->Delete(rid));
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_log_[txn->id].push_back(std::move(r));
+  return Status::OK();
+}
+
+StatusOr<Rid> TransactionManager::Update(Transaction* txn, int32_t table_id,
+                                         const Rid& rid,
+                                         std::string_view new_row) {
+  STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
+  HeapFile* file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(table_id);
+    if (it == tables_.end()) return Status::NotFound("unregistered table");
+    file = it->second;
+  }
+  WalRecord r;
+  r.txn_id = txn->id;
+  r.type = WalRecord::Type::kUpdate;
+  r.table_id = table_id;
+  r.rid = rid;
+  STAGEDB_RETURN_IF_ERROR(file->Get(rid, &r.before));
+  r.after.assign(new_row.data(), new_row.size());
+  {
+    auto lsn_or = wal_->Append(r);
+    if (!lsn_or.ok()) return lsn_or.status();
+  }
+  auto new_rid_or = file->Update(rid, new_row);
+  if (!new_rid_or.ok()) return new_rid_or.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  txn_log_[txn->id].push_back(std::move(r));
+  return *new_rid_or;
+}
+
+Status TransactionManager::Recover() {
+  std::set<TxnId> committed;
+  for (TxnId id : wal_->CommittedTxns()) committed.insert(id);
+  return wal_->Replay([&](const WalRecord& r) -> Status {
+    if (committed.count(r.txn_id) == 0) return Status::OK();
+    std::unordered_map<int32_t, HeapFile*>::iterator it;
+    switch (r.type) {
+      case WalRecord::Type::kInsert: {
+        it = tables_.find(r.table_id);
+        if (it == tables_.end()) return Status::NotFound("recover: table");
+        auto rid_or = it->second->Insert(r.after);
+        return rid_or.ok() ? Status::OK() : rid_or.status();
+      }
+      case WalRecord::Type::kDelete:
+      case WalRecord::Type::kUpdate: {
+        // Logical redo over re-assigned rids: find the row by before-image.
+        it = tables_.find(r.table_id);
+        if (it == tables_.end()) return Status::NotFound("recover: table");
+        HeapFile* file = it->second;
+        auto scan = file->Scan();
+        while (scan.Next()) {
+          if (scan.record() == r.before) {
+            if (r.type == WalRecord::Type::kDelete) {
+              return file->Delete(scan.rid());
+            }
+            auto rid_or = file->Update(scan.rid(), r.after);
+            return rid_or.ok() ? Status::OK() : rid_or.status();
+          }
+        }
+        return scan.status();
+      }
+      default:
+        return Status::OK();
+    }
+  });
+}
+
+int64_t TransactionManager::active_transactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t n = 0;
+  for (const auto& [id, txn] : txns_) {
+    if (txn->state == TxnState::kActive) ++n;
+  }
+  return n;
+}
+
+}  // namespace stagedb::storage

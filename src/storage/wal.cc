@@ -1,0 +1,125 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace stagedb::storage {
+
+const char* WalRecordTypeName(WalRecord::Type type) {
+  switch (type) {
+    case WalRecord::Type::kBegin:
+      return "BEGIN";
+    case WalRecord::Type::kCommit:
+      return "COMMIT";
+    case WalRecord::Type::kAbort:
+      return "ABORT";
+    case WalRecord::Type::kInsert:
+      return "INSERT";
+    case WalRecord::Type::kDelete:
+      return "DELETE";
+    case WalRecord::Type::kUpdate:
+      return "UPDATE";
+  }
+  return "?";
+}
+
+StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    const std::string& path) {
+  auto wal = std::make_unique<WriteAheadLog>();
+  wal->path_ = path;
+  STAGEDB_RETURN_IF_ERROR(wal->LoadFromFile());
+  return wal;
+}
+
+StatusOr<int64_t> WriteAheadLog::Append(WalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  record.lsn = next_lsn_++;
+  if (!path_.empty()) {
+    STAGEDB_RETURN_IF_ERROR(AppendToFile(record));
+  }
+  const int64_t lsn = record.lsn;
+  records_.push_back(std::move(record));
+  return lsn;
+}
+
+Status WriteAheadLog::Replay(
+    const std::function<Status(const WalRecord&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const WalRecord& r : records_) {
+    STAGEDB_RETURN_IF_ERROR(fn(r));
+  }
+  return Status::OK();
+}
+
+std::vector<int64_t> WriteAheadLog::CommittedTxns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> out;
+  for (const WalRecord& r : records_) {
+    if (r.type == WalRecord::Type::kCommit) out.push_back(r.txn_id);
+  }
+  return out;
+}
+
+int64_t WriteAheadLog::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+int64_t WriteAheadLog::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+namespace {
+// Binary framing helpers for the file mirror.
+bool WriteBlob(std::FILE* f, const std::string& s) {
+  const uint32_t len = static_cast<uint32_t>(s.size());
+  return std::fwrite(&len, sizeof(len), 1, f) == 1 &&
+         (len == 0 || std::fwrite(s.data(), 1, len, f) == len);
+}
+bool ReadBlob(std::FILE* f, std::string* s) {
+  uint32_t len = 0;
+  if (std::fread(&len, sizeof(len), 1, f) != 1) return false;
+  s->resize(len);
+  return len == 0 || std::fread(s->data(), 1, len, f) == len;
+}
+}  // namespace
+
+Status WriteAheadLog::AppendToFile(const WalRecord& r) {
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) return Status::IOError("wal: cannot open " + path_);
+  bool ok = std::fwrite(&r.lsn, sizeof(r.lsn), 1, f) == 1 &&
+            std::fwrite(&r.txn_id, sizeof(r.txn_id), 1, f) == 1 &&
+            std::fwrite(&r.type, sizeof(r.type), 1, f) == 1 &&
+            std::fwrite(&r.table_id, sizeof(r.table_id), 1, f) == 1 &&
+            std::fwrite(&r.rid, sizeof(r.rid), 1, f) == 1 &&
+            WriteBlob(f, r.before) && WriteBlob(f, r.after);
+  std::fflush(f);
+  std::fclose(f);
+  if (!ok) return Status::IOError("wal: append failed");
+  return Status::OK();
+}
+
+Status WriteAheadLog::LoadFromFile() {
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return Status::OK();  // no log yet
+  while (true) {
+    WalRecord r;
+    if (std::fread(&r.lsn, sizeof(r.lsn), 1, f) != 1) break;
+    bool ok = std::fread(&r.txn_id, sizeof(r.txn_id), 1, f) == 1 &&
+              std::fread(&r.type, sizeof(r.type), 1, f) == 1 &&
+              std::fread(&r.table_id, sizeof(r.table_id), 1, f) == 1 &&
+              std::fread(&r.rid, sizeof(r.rid), 1, f) == 1 &&
+              ReadBlob(f, &r.before) && ReadBlob(f, &r.after);
+    if (!ok) {
+      std::fclose(f);
+      return Status::Corruption("wal: truncated record");
+    }
+    next_lsn_ = r.lsn + 1;
+    records_.push_back(std::move(r));
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace stagedb::storage

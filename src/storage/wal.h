@@ -1,0 +1,75 @@
+// Write-ahead log with logical records (before/after images) used for
+// transaction undo and for logical redo at recovery.
+#ifndef STAGEDB_STORAGE_WAL_H_
+#define STAGEDB_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace stagedb::storage {
+
+/// One log record. `before`/`after` are serialized row images.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kBegin = 0,
+    kCommit,
+    kAbort,
+    kInsert,
+    kDelete,
+    kUpdate,
+  };
+
+  int64_t lsn = 0;
+  int64_t txn_id = 0;
+  Type type = Type::kBegin;
+  int32_t table_id = -1;
+  Rid rid;
+  std::string before;
+  std::string after;
+};
+
+const char* WalRecordTypeName(WalRecord::Type type);
+
+/// Append-only log. Records are kept in memory and optionally mirrored to a
+/// file (binary framing) so recovery can replay them after a restart.
+class WriteAheadLog {
+ public:
+  /// In-memory-only log.
+  WriteAheadLog() = default;
+
+  /// Opens (or creates) a file-backed log and loads existing records.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path);
+
+  /// Appends a record (assigning its lsn) and returns the lsn.
+  StatusOr<int64_t> Append(WalRecord record);
+
+  /// Applies `fn` to every record in lsn order.
+  Status Replay(const std::function<Status(const WalRecord&)>& fn) const;
+
+  /// The set of txn ids with a commit record.
+  std::vector<int64_t> CommittedTxns() const;
+
+  int64_t num_records() const;
+  int64_t next_lsn() const;
+
+ private:
+  Status AppendToFile(const WalRecord& record);
+  Status LoadFromFile();
+
+  mutable std::mutex mu_;
+  std::vector<WalRecord> records_;
+  int64_t next_lsn_ = 1;
+  std::string path_;  // empty = memory-only
+};
+
+}  // namespace stagedb::storage
+
+#endif  // STAGEDB_STORAGE_WAL_H_

@@ -1,0 +1,134 @@
+#include "workload/wisconsin.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace stagedb::workload {
+
+using catalog::Schema;
+using catalog::TypeId;
+using catalog::Value;
+
+namespace {
+
+/// Wisconsin string columns: 52 chars, first 7 significant ("A..A" pattern
+/// keyed by the number).
+std::string WisconsinString(int64_t value) {
+  std::string s(7, 'A');
+  for (int i = 6; i >= 0 && value > 0; --i) {
+    s[i] = static_cast<char>('A' + (value % 26));
+    value /= 26;
+  }
+  return s + std::string(45, 'x');
+}
+
+}  // namespace
+
+StatusOr<catalog::TableInfo*> CreateWisconsinTable(catalog::Catalog* catalog,
+                                                   const std::string& name,
+                                                   int64_t rows,
+                                                   uint64_t seed) {
+  Schema schema({{"unique1", TypeId::kInt64, ""},
+                 {"unique2", TypeId::kInt64, ""},
+                 {"two", TypeId::kInt64, ""},
+                 {"four", TypeId::kInt64, ""},
+                 {"ten", TypeId::kInt64, ""},
+                 {"twenty", TypeId::kInt64, ""},
+                 {"onepercent", TypeId::kInt64, ""},
+                 {"tenpercent", TypeId::kInt64, ""},
+                 {"fiftypercent", TypeId::kInt64, ""},
+                 {"stringu1", TypeId::kVarchar, ""},
+                 {"stringu2", TypeId::kVarchar, ""},
+                 {"string4", TypeId::kVarchar, ""}});
+  auto table_or = catalog->CreateTable(name, schema);
+  if (!table_or.ok()) return table_or.status();
+  catalog::TableInfo* table = *table_or;
+
+  // Random permutation for unique1.
+  std::vector<int64_t> unique1(rows);
+  for (int64_t i = 0; i < rows; ++i) unique1[i] = i;
+  Rng rng(seed);
+  for (int64_t i = rows - 1; i > 0; --i) {
+    std::swap(unique1[i], unique1[rng.Uniform(i + 1)]);
+  }
+  static const char* kString4[] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+  for (int64_t i = 0; i < rows; ++i) {
+    const int64_t u1 = unique1[i];
+    catalog::Tuple tuple = {
+        Value::Int(u1),
+        Value::Int(i),
+        Value::Int(u1 % 2),
+        Value::Int(u1 % 4),
+        Value::Int(u1 % 10),
+        Value::Int(u1 % 20),
+        Value::Int(u1 % 100),
+        Value::Int(u1 % 10),
+        Value::Int(u1 % 2),
+        Value::Varchar(WisconsinString(u1)),
+        Value::Varchar(WisconsinString(i)),
+        Value::Varchar(std::string(kString4[i % 4]) + std::string(48, 'x')),
+    };
+    auto rid = catalog->InsertTuple(table, tuple);
+    if (!rid.ok()) return rid.status();
+  }
+  return table;
+}
+
+std::string WorkloadAQuery(const std::string& table, int64_t rows, Rng* rng) {
+  const int64_t span = std::max<int64_t>(1, rows / 100);  // 1% selection
+  const int64_t lo = rng->UniformRange(0, std::max<int64_t>(0, rows - span));
+  switch (rng->Uniform(3)) {
+    case 0:
+      return StrFormat(
+          "SELECT unique1, stringu1 FROM %s WHERE unique2 >= %lld AND "
+          "unique2 < %lld",
+          table.c_str(), (long long)lo, (long long)(lo + span));
+    case 1:
+      return StrFormat(
+          "SELECT COUNT(*), MIN(unique1) FROM %s WHERE unique2 >= %lld AND "
+          "unique2 < %lld",
+          table.c_str(), (long long)lo, (long long)(lo + span));
+    default:
+      return StrFormat(
+          "SELECT ten, SUM(unique2) FROM %s WHERE unique2 >= %lld AND "
+          "unique2 < %lld GROUP BY ten",
+          table.c_str(), (long long)lo, (long long)(lo + span));
+  }
+}
+
+std::string WorkloadBQuery(const std::string& t1, const std::string& t2,
+                           int64_t rows, Rng* rng) {
+  const int64_t half = rows / 2;
+  switch (rng->Uniform(2)) {
+    case 0:
+      return StrFormat(
+          "SELECT COUNT(*), SUM(%s.unique1) FROM %s JOIN %s ON "
+          "%s.unique1 = %s.unique2 WHERE %s.unique2 < %lld",
+          t1.c_str(), t1.c_str(), t2.c_str(), t1.c_str(), t2.c_str(),
+          t1.c_str(), (long long)half);
+    default:
+      return StrFormat(
+          "SELECT %s.ten, COUNT(*) FROM %s JOIN %s ON "
+          "%s.unique1 = %s.unique1 GROUP BY %s.ten",
+          t1.c_str(), t1.c_str(), t2.c_str(), t1.c_str(), t2.c_str(),
+          t1.c_str());
+  }
+}
+
+std::vector<std::string> SampleQueries(const std::string& t1,
+                                       const std::string& t2, int64_t rows) {
+  Rng rng(7);
+  return {
+      WorkloadAQuery(t1, rows, &rng),
+      WorkloadAQuery(t1, rows, &rng),
+      WorkloadBQuery(t1, t2, rows, &rng),
+      StrFormat("SELECT two, four, COUNT(*) FROM %s GROUP BY two, four "
+                "ORDER BY two, four",
+                t1.c_str()),
+      StrFormat("SELECT unique1 FROM %s ORDER BY unique1 LIMIT 10",
+                t1.c_str()),
+  };
+}
+
+}  // namespace stagedb::workload

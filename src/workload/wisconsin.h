@@ -1,0 +1,47 @@
+// The Wisconsin benchmark [De91]: the workload the paper's §3.1.1 experiment
+// is designed after. Generates the classic relation (trimmed to the columns
+// the benchmark queries use) and the paper's two workloads:
+//   Workload A — short (40-80 ms) selection and aggregation queries that
+//                almost always incur disk I/O.
+//   Workload B — longer (2-3 s) join queries on memory-resident tables.
+#ifndef STAGEDB_WORKLOAD_WISCONSIN_H_
+#define STAGEDB_WORKLOAD_WISCONSIN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace stagedb::workload {
+
+/// Creates a Wisconsin-style table with `rows` tuples. Columns:
+///   unique1 INTEGER  — 0..rows-1 in random order
+///   unique2 INTEGER  — 0..rows-1 sequential
+///   two, four, ten, twenty INTEGER — unique1 mod k
+///   onepercent, tenpercent, fiftypercent INTEGER — unique1 mod {100,10,2}
+///   stringu1, stringu2 VARCHAR(52) — derived from unique1/unique2
+///   string4 VARCHAR(52) — cycles through 4 constants
+StatusOr<catalog::TableInfo*> CreateWisconsinTable(catalog::Catalog* catalog,
+                                                   const std::string& name,
+                                                   int64_t rows,
+                                                   uint64_t seed = 42);
+
+/// Workload A query generator: 1%-range selections and small aggregations
+/// over `table` (parameterized by a random range start).
+std::string WorkloadAQuery(const std::string& table, int64_t rows, Rng* rng);
+
+/// Workload B query generator: equi-joins between `t1` and `t2` with a
+/// selective predicate, shaped after the Wisconsin join queries (joinABprime
+/// family).
+std::string WorkloadBQuery(const std::string& t1, const std::string& t2,
+                           int64_t rows, Rng* rng);
+
+/// The fixed query set used by examples/tests (one of each family).
+std::vector<std::string> SampleQueries(const std::string& t1,
+                                       const std::string& t2, int64_t rows);
+
+}  // namespace stagedb::workload
+
+#endif  // STAGEDB_WORKLOAD_WISCONSIN_H_

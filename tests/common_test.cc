@@ -1,0 +1,306 @@
+// Unit tests for the common infrastructure library.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace stagedb {
+namespace {
+
+// ---------------------------------------------------------------- Status ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  STAGEDB_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+StatusOr<int> UseAssignOrReturn(int x) {
+  STAGEDB_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  auto good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto r = UseAssignOrReturn(10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 21);
+  EXPECT_FALSE(UseAssignOrReturn(0).ok());
+}
+
+// ----------------------------------------------------------------- Queue ----
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Enqueue(i));
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Dequeue();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, TryEnqueueRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryEnqueue(1));
+  EXPECT_TRUE(q.TryEnqueue(2));
+  EXPECT_FALSE(q.TryEnqueue(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.Enqueue(7);
+  q.Close();
+  EXPECT_FALSE(q.Enqueue(8));
+  auto v = q.Dequeue();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.Dequeue().has_value());
+}
+
+TEST(BoundedQueueTest, BlockingEnqueueAppliesBackPressure) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Enqueue(1));
+  std::atomic<bool> enqueued{false};
+  std::thread producer([&] {
+    q.Enqueue(2);  // blocks until a consumer makes room
+    enqueued = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(enqueued.load());
+  EXPECT_EQ(*q.Dequeue(), 1);
+  producer.join();
+  EXPECT_TRUE(enqueued.load());
+  EXPECT_EQ(*q.Dequeue(), 2);
+}
+
+TEST(BoundedQueueTest, ManyProducersManyConsumers) {
+  BoundedQueue<int> q(8);
+  constexpr int kPerProducer = 1000;
+  constexpr int kProducers = 4;
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.Enqueue(p * kPerProducer + i);
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Dequeue()) sum += *v;
+    });
+  }
+  for (auto& th : threads) th.join();
+  q.Close();
+  for (auto& th : consumers) th.join();
+  const long n = kProducers * kPerProducer;
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ------------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.15);
+}
+
+// -------------------------------------------------------------- Histogram ----
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, MeanMinMaxExact) {
+  Histogram h;
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+}
+
+TEST(HistogramTest, PercentileApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  // Log-bucketed: accept 20% relative error.
+  EXPECT_NEAR(h.Percentile(50), 5000, 1000);
+  EXPECT_NEAR(h.Percentile(95), 9500, 1500);
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(1);
+  b.Record(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+// ------------------------------------------------------------------ Stats ----
+
+TEST(StatsTest, CountersAreNamedAndStable) {
+  StatsRegistry stats;
+  Counter* c = stats.GetCounter("stage.parse.dequeued");
+  c->Add(3);
+  EXPECT_EQ(stats.GetCounter("stage.parse.dequeued"), c);
+  EXPECT_EQ(stats.CounterSnapshot().at("stage.parse.dequeued"), 3);
+}
+
+TEST(StatsTest, ReportContainsEntries) {
+  StatsRegistry stats;
+  stats.GetCounter("a")->Add(1);
+  stats.GetHistogram("lat")->Record(5);
+  std::string report = stats.Report();
+  EXPECT_NE(report.find("a = 1"), std::string::npos);
+  EXPECT_NE(report.find("lat"), std::string::npos);
+}
+
+TEST(StatsTest, ResetAllClears) {
+  StatsRegistry stats;
+  stats.GetCounter("x")->Add(5);
+  stats.ResetAll();
+  EXPECT_EQ(stats.CounterSnapshot().at("x"), 0);
+}
+
+// ------------------------------------------------------------------ Clock ----
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowMicros(), 0);
+  clock.Advance(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.SleepMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.Set(7);
+  EXPECT_EQ(clock.NowMicros(), 7);
+}
+
+TEST(ClockTest, RealClockMonotonic) {
+  Clock* clock = RealClock::Instance();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+// ------------------------------------------------------------ StringUtil ----
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StringUtilTest, StrSplit) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("join"), "JOIN");
+}
+
+TEST(StringUtilTest, StartsWithAndJoin) {
+  EXPECT_TRUE(StartsWith("staged", "st"));
+  EXPECT_FALSE(StartsWith("st", "staged"));
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+}  // namespace
+}  // namespace stagedb

@@ -1,0 +1,428 @@
+// Tests for the staged runtime (stages, packets, scheduling), exchange
+// buffers, and the staged execution engine — including differential testing
+// against the volcano engine on the same plans.
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "engine/exchange.h"
+#include "engine/runtime.h"
+#include "engine/staged_engine.h"
+#include "exec/executor.h"
+#include "optimizer/planner.h"
+#include "parser/parser.h"
+#include "storage/disk_manager.h"
+
+namespace stagedb::engine {
+namespace {
+
+using catalog::Catalog;
+using catalog::Schema;
+using catalog::Tuple;
+using catalog::TypeId;
+using catalog::Value;
+using optimizer::Planner;
+using optimizer::PlannerOptions;
+
+// -------------------------------------------------------------- Runtime ----
+
+/// A packet that counts its Run() invocations and finishes after `runs`.
+class CountingTask : public StageTask {
+ public:
+  CountingTask(int runs, std::atomic<int>* counter,
+               std::atomic<int>* retired = nullptr)
+      : runs_(runs), counter_(counter), retired_(retired) {}
+  RunOutcome Run() override {
+    counter_->fetch_add(1);
+    return --runs_ > 0 ? RunOutcome::kYield : RunOutcome::kDone;
+  }
+  void OnRetired() override {
+    if (retired_ != nullptr) retired_->fetch_add(1);
+  }
+
+ private:
+  int runs_;
+  std::atomic<int>* counter_;
+  std::atomic<int>* retired_;
+};
+
+TEST(RuntimeTest, RunsAndRetiresPackets) {
+  StageRuntime runtime(SchedulerPolicy::kFreeRun);
+  Stage* stage = runtime.CreateStage("s", 2);
+  std::atomic<int> runs{0}, retired{0};
+  std::vector<std::unique_ptr<CountingTask>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back(std::make_unique<CountingTask>(3, &runs, &retired));
+    stage->Enqueue(tasks.back().get());
+  }
+  while (retired.load() < 10) std::this_thread::yield();
+  EXPECT_EQ(runs.load(), 30);
+  EXPECT_EQ(stage->packets_processed(), 10);
+  EXPECT_EQ(stage->packets_yielded(), 20);
+  runtime.Shutdown();
+}
+
+/// A packet that parks until an external flag allows progress.
+class BlockingTask : public StageTask {
+ public:
+  explicit BlockingTask(std::atomic<bool>* ready, std::atomic<int>* done)
+      : ready_(ready), done_(done) {}
+  RunOutcome Run() override {
+    if (!ready_->load()) return RunOutcome::kBlocked;
+    done_->fetch_add(1);
+    return RunOutcome::kDone;
+  }
+  bool CanMakeProgress() override { return ready_->load(); }
+
+ private:
+  std::atomic<bool>* ready_;
+  std::atomic<int>* done_;
+};
+
+TEST(RuntimeTest, BlockedPacketsParkAndWake) {
+  StageRuntime runtime(SchedulerPolicy::kFreeRun);
+  Stage* stage = runtime.CreateStage("s", 1);
+  std::atomic<bool> ready{false};
+  std::atomic<int> done{0};
+  BlockingTask task(&ready, &done);
+  stage->Enqueue(&task);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(done.load(), 0);
+  EXPECT_GE(stage->packets_blocked(), 1);
+  ready = true;
+  stage->Activate(&task);
+  while (done.load() == 0) std::this_thread::yield();
+  runtime.Shutdown();
+}
+
+TEST(RuntimeTest, CohortPolicyRotatesBetweenStages) {
+  StageRuntime runtime(SchedulerPolicy::kCohort);
+  Stage* a = runtime.CreateStage("a", 1);
+  Stage* b = runtime.CreateStage("b", 1);
+  std::atomic<int> runs{0}, retired{0};
+  std::vector<std::unique_ptr<CountingTask>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(std::make_unique<CountingTask>(2, &runs, &retired));
+    (i % 2 == 0 ? a : b)->Enqueue(tasks.back().get());
+  }
+  while (retired.load() < 6) std::this_thread::yield();
+  EXPECT_EQ(runs.load(), 12);
+  EXPECT_GE(runtime.stage_switches(), 1);
+  runtime.Shutdown();
+}
+
+TEST(RuntimeTest, ShutdownIsIdempotentAndJoins) {
+  StageRuntime runtime;
+  runtime.CreateStage("s", 3);
+  runtime.Shutdown();
+  runtime.Shutdown();  // no-op
+}
+
+// ------------------------------------------------------------- Exchange ----
+
+TupleBatch MakeBatch(int start, int n) {
+  TupleBatch b;
+  for (int i = 0; i < n; ++i) b.tuples.push_back({Value::Int(start + i)});
+  return b;
+}
+
+TEST(ExchangeTest, PushPopFifo) {
+  ExchangeBuffer buffer(2);
+  TupleBatch b1 = MakeBatch(0, 3), b2 = MakeBatch(3, 3);
+  EXPECT_EQ(buffer.TryPush(&b1), ExchangeBuffer::PushResult::kOk);
+  EXPECT_EQ(buffer.TryPush(&b2), ExchangeBuffer::PushResult::kOk);
+  TupleBatch out;
+  bool eof;
+  ASSERT_TRUE(buffer.TryPop(&out, &eof));
+  EXPECT_EQ(out.tuples[0][0].int_value(), 0);
+  ASSERT_TRUE(buffer.TryPop(&out, &eof));
+  EXPECT_EQ(out.tuples[0][0].int_value(), 3);
+  EXPECT_FALSE(buffer.TryPop(&out, &eof));
+  EXPECT_FALSE(eof);
+}
+
+TEST(ExchangeTest, CapacityAppliesBackPressure) {
+  ExchangeBuffer buffer(1);
+  TupleBatch b = MakeBatch(0, 1);
+  EXPECT_EQ(buffer.TryPush(&b), ExchangeBuffer::PushResult::kOk);
+  TupleBatch b2 = MakeBatch(1, 1);
+  EXPECT_EQ(buffer.TryPush(&b2), ExchangeBuffer::PushResult::kFull);
+  // The page is retained by the caller on kFull.
+  EXPECT_EQ(b2.tuples.size(), 1u);
+  EXPECT_FALSE(buffer.HasSpaceOrClosed());
+}
+
+TEST(ExchangeTest, EofVisibleAfterDrain) {
+  ExchangeBuffer buffer(4);
+  TupleBatch b = MakeBatch(0, 1);
+  ASSERT_EQ(buffer.TryPush(&b), ExchangeBuffer::PushResult::kOk);
+  buffer.MarkEof();
+  EXPECT_FALSE(buffer.AtEof());  // still has data
+  TupleBatch out;
+  bool eof;
+  ASSERT_TRUE(buffer.TryPop(&out, &eof));
+  EXPECT_FALSE(buffer.TryPop(&out, &eof));
+  EXPECT_TRUE(eof);
+  EXPECT_TRUE(buffer.AtEof());
+}
+
+TEST(ExchangeTest, CloseDiscardsAndRejects) {
+  ExchangeBuffer buffer(4);
+  TupleBatch b = MakeBatch(0, 2);
+  ASSERT_EQ(buffer.TryPush(&b), ExchangeBuffer::PushResult::kOk);
+  buffer.Close();
+  TupleBatch b2 = MakeBatch(2, 1);
+  EXPECT_EQ(buffer.TryPush(&b2), ExchangeBuffer::PushResult::kClosed);
+  EXPECT_FALSE(buffer.HasData());
+  EXPECT_TRUE(buffer.HasSpaceOrClosed());
+}
+
+// --------------------------------------------------------- Staged engine ---
+
+class StagedEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<storage::MemDiskManager>();
+    pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 2048);
+    catalog_ = std::make_unique<Catalog>(pool_.get());
+    Rng rng(7);
+    auto t1 = catalog_->CreateTable(
+        "t1", Schema({{"a", TypeId::kInt64, ""},
+                      {"b", TypeId::kInt64, ""},
+                      {"s", TypeId::kVarchar, ""}}));
+    auto t2 = catalog_->CreateTable("t2", Schema({{"a", TypeId::kInt64, ""},
+                                                  {"c", TypeId::kInt64, ""}}));
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(catalog_
+                      ->InsertTuple(*t1, {Value::Int(i),
+                                          Value::Int(static_cast<int64_t>(
+                                              rng.Uniform(20))),
+                                          Value::Varchar("row" +
+                                                         std::to_string(i))})
+                      .ok());
+    }
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(catalog_
+                      ->InsertTuple(*t2, {Value::Int(i * 10),
+                                          Value::Int(static_cast<int64_t>(
+                                              rng.Uniform(5)))})
+                      .ok());
+    }
+    ASSERT_TRUE(catalog_->CreateIndex("t1_a", "t1", "a").ok());
+  }
+
+  std::unique_ptr<optimizer::PhysicalPlan> Plan(const std::string& sql) {
+    auto stmt = parser::ParseStatement(sql);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    Planner planner(catalog_.get());
+    auto plan = planner.Plan(**stmt);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(*plan);
+  }
+
+  /// Runs the same SQL through both engines and requires identical result
+  /// multisets (row order may legitimately differ).
+  void Differential(StagedEngine* engine, const std::string& sql,
+                    bool ordered = false) {
+    auto plan = Plan(sql);
+    ASSERT_NE(plan, nullptr);
+    exec::ExecContext ctx;
+    ctx.catalog = catalog_.get();
+    auto volcano = exec::ExecutePlan(plan.get(), &ctx);
+    ASSERT_TRUE(volcano.ok()) << volcano.status().ToString();
+    auto staged = engine->Execute(plan.get());
+    ASSERT_TRUE(staged.ok()) << staged.status().ToString() << " for " << sql;
+    auto render = [](const std::vector<Tuple>& rows) {
+      std::vector<std::string> out;
+      out.reserve(rows.size());
+      for (const Tuple& t : rows) out.push_back(catalog::TupleToString(t));
+      return out;
+    };
+    std::vector<std::string> v = render(*volcano), s = render(*staged);
+    if (!ordered) {
+      std::sort(v.begin(), v.end());
+      std::sort(s.begin(), s.end());
+    }
+    EXPECT_EQ(v, s) << sql;
+  }
+
+  std::unique_ptr<storage::MemDiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(StagedEngineTest, SimpleScanMatchesVolcano) {
+  StagedEngine engine(catalog_.get());
+  Differential(&engine, "SELECT * FROM t1");
+  Differential(&engine, "SELECT a, s FROM t1 WHERE b < 5");
+}
+
+TEST_F(StagedEngineTest, IndexScanThroughIscanStage) {
+  StagedEngine engine(catalog_.get());
+  Differential(&engine, "SELECT a FROM t1 WHERE a >= 100 AND a <= 150");
+}
+
+TEST_F(StagedEngineTest, JoinsAllAlgorithmsMatchVolcano) {
+  StagedEngine engine(catalog_.get());
+  Differential(&engine, "SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a");
+  // Forced algorithms.
+  for (auto algo : {PlannerOptions::JoinAlgo::kMerge,
+                    PlannerOptions::JoinAlgo::kNestedLoop}) {
+    PlannerOptions opts;
+    opts.join_algorithm = algo;
+    Planner planner(catalog_.get(), opts);
+    auto stmt = parser::ParseStatement(
+        "SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a");
+    ASSERT_TRUE(stmt.ok());
+    auto plan = planner.Plan(**stmt);
+    ASSERT_TRUE(plan.ok());
+    exec::ExecContext ctx;
+    ctx.catalog = catalog_.get();
+    auto volcano = exec::ExecutePlan(plan->get(), &ctx);
+    auto staged = engine.Execute(plan->get());
+    ASSERT_TRUE(volcano.ok() && staged.ok());
+    EXPECT_EQ(volcano->size(), staged->size());
+  }
+}
+
+TEST_F(StagedEngineTest, AggregationSortLimit) {
+  StagedEngine engine(catalog_.get());
+  Differential(&engine,
+               "SELECT b, COUNT(*), SUM(a) FROM t1 GROUP BY b ORDER BY b",
+               /*ordered=*/true);
+  Differential(&engine, "SELECT COUNT(*), MIN(a), MAX(a), AVG(a) FROM t1");
+  Differential(&engine, "SELECT a FROM t1 ORDER BY a DESC LIMIT 7",
+               /*ordered=*/true);
+}
+
+TEST_F(StagedEngineTest, LimitCancelsUpstreamScan) {
+  StagedEngine engine(catalog_.get());
+  auto plan = Plan("SELECT a FROM t1 LIMIT 3");
+  auto rows = engine.Execute(plan.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  // All packets retired (no leaked producers stuck on back-pressure).
+}
+
+TEST_F(StagedEngineTest, EmptyInputsFlowEofCorrectly) {
+  auto empty = catalog_->CreateTable(
+      "empty_t", Schema({{"x", TypeId::kInt64, ""}}));
+  ASSERT_TRUE(empty.ok());
+  StagedEngine engine(catalog_.get());
+  Differential(&engine, "SELECT COUNT(*) FROM empty_t");
+  Differential(&engine, "SELECT * FROM empty_t WHERE x > 0");
+  Differential(&engine,
+               "SELECT t1.a FROM t1 JOIN empty_t ON t1.a = empty_t.x");
+}
+
+TEST_F(StagedEngineTest, TinyExchangeBuffersStillComplete) {
+  // Back-pressure stress: 1-page buffers, 4-tuple pages.
+  StagedEngineOptions opts;
+  opts.exchange_capacity_pages = 1;
+  opts.tuples_per_page = 4;
+  StagedEngine engine(catalog_.get(), opts);
+  Differential(&engine,
+               "SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a "
+               "WHERE t1.b < 10");
+  Differential(&engine, "SELECT b, COUNT(*) FROM t1 GROUP BY b");
+}
+
+TEST_F(StagedEngineTest, CohortSchedulingProducesSameResults) {
+  StagedEngineOptions opts;
+  opts.scheduler = SchedulerPolicy::kCohort;
+  StagedEngine engine(catalog_.get(), opts);
+  Differential(&engine, "SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a");
+  EXPECT_GE(engine.runtime()->stage_switches(), 1);
+}
+
+TEST_F(StagedEngineTest, CoarseGranularitySingleStage) {
+  StagedEngineOptions opts;
+  opts.granularity = StagedEngineOptions::Granularity::kCoarse;
+  StagedEngine engine(catalog_.get(), opts);
+  Differential(&engine, "SELECT b, COUNT(*) FROM t1 GROUP BY b");
+  EXPECT_EQ(engine.runtime()->stages().size(), 1u);
+}
+
+TEST_F(StagedEngineTest, PerTableFscanStagesAreReplicated) {
+  StagedEngine engine(catalog_.get());
+  auto plan = Plan("SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a");
+  ASSERT_TRUE(engine.Execute(plan.get()).ok());
+  std::set<std::string> names;
+  for (const auto& stage : engine.runtime()->stages()) {
+    names.insert(stage->name());
+  }
+  EXPECT_TRUE(names.count("fscan.t1"));
+  EXPECT_TRUE(names.count("fscan.t2"));
+}
+
+TEST_F(StagedEngineTest, ConcurrentQueriesInterleaveThroughStages) {
+  StagedEngineOptions opts;
+  opts.threads_per_stage = 2;
+  StagedEngine engine(catalog_.get(), opts);
+  auto plan1 = Plan("SELECT b, COUNT(*) FROM t1 GROUP BY b");
+  auto plan2 = Plan("SELECT t1.a, t2.c FROM t1 JOIN t2 ON t1.a = t2.a");
+  auto plan3 = Plan("SELECT a FROM t1 WHERE a < 100 ORDER BY a");
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 10; ++i) {
+        const optimizer::PhysicalPlan* plan =
+            (c + i) % 3 == 0 ? plan1.get()
+                             : ((c + i) % 3 == 1 ? plan2.get() : plan3.get());
+        auto rows = engine.Execute(plan);
+        if (!rows.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(StagedEngineTest, DmlRunsOnDmlStage) {
+  StagedEngine engine(catalog_.get());
+  auto plan = Plan("DELETE FROM t2 WHERE c = 0");
+  auto rows = engine.Execute(plan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_GT((*rows)[0][0].int_value(), 0);
+  Stage* dml = nullptr;
+  for (const auto& stage : engine.runtime()->stages()) {
+    if (stage->name() == "dml") dml = stage.get();
+  }
+  ASSERT_NE(dml, nullptr);
+  EXPECT_GE(dml->packets_processed(), 1);
+}
+
+TEST_F(StagedEngineTest, ErrorsPropagateAndCancel) {
+  StagedEngine engine(catalog_.get());
+  auto plan = Plan("SELECT a / (a - a) FROM t1");  // division by zero
+  auto rows = engine.Execute(plan.get());
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StagedEngineTest, RandomizedDifferentialSweep) {
+  StagedEngine engine(catalog_.get());
+  const std::vector<std::string> queries = {
+      "SELECT * FROM t1 WHERE a % 7 = 0",
+      "SELECT s, a + b FROM t1 WHERE a < 50 OR b = 3",
+      "SELECT b, MIN(a), MAX(a) FROM t1 WHERE a > 100 GROUP BY b",
+      "SELECT t1.b, COUNT(*) FROM t1 JOIN t2 ON t1.a = t2.a GROUP BY t1.b",
+      "SELECT a FROM t1 WHERE a >= 10 AND a <= 30 ORDER BY a",
+      "SELECT t2.c, SUM(t1.a) FROM t1 JOIN t2 ON t1.b = t2.c GROUP BY t2.c",
+      "SELECT a, b FROM t1 ORDER BY b, a LIMIT 25",
+      "SELECT COUNT(*) FROM t1 JOIN t2 ON t1.a = t2.a WHERE t2.c > 1",
+  };
+  for (const std::string& sql : queries) {
+    Differential(&engine, sql);
+  }
+}
+
+}  // namespace
+}  // namespace stagedb::engine

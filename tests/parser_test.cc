@@ -1,0 +1,258 @@
+// Tests for the SQL lexer and parser.
+#include <gtest/gtest.h>
+
+#include "catalog/symbol_table.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace stagedb::parser {
+namespace {
+
+using catalog::TypeId;
+
+// ------------------------------------------------------------------ Lexer ---
+
+TEST(LexerTest, TokenizesKeywordsAndIdentifiers) {
+  Lexer lexer("SELECT unique1 FROM tenk1");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // incl. EOF
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[1].text, "unique1");
+  EXPECT_TRUE((*tokens)[2].IsKeyword("FROM"));
+}
+
+TEST(LexerTest, CaseInsensitiveKeywordsLowercaseIdentifiers) {
+  Lexer lexer("select FOO from BaR");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "foo");
+  EXPECT_EQ((*tokens)[3].text, "bar");
+}
+
+TEST(LexerTest, NumericLiterals) {
+  Lexer lexer("1 42 3.5 1e3 7");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 1);
+  EXPECT_EQ((*tokens)[1].int_value, 42);
+  EXPECT_DOUBLE_EQ((*tokens)[2].double_value, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].double_value, 1000.0);
+  EXPECT_EQ((*tokens)[4].int_value, 7);
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  Lexer lexer("'it''s'");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  Lexer lexer("a <= b -- comment\n<> c != d >= e");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNeq);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kNeq);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kGe);
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedString) {
+  Lexer lexer("'oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorsOnStrayCharacter) {
+  Lexer lexer("select @ from t");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+// --------------------------------------------------------- Statement parse ---
+
+template <typename T>
+const T* As(const std::unique_ptr<Statement>& stmt) {
+  return dynamic_cast<const T*>(stmt.get());
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE tenk1 (unique1 INTEGER, stringu1 VARCHAR(52), "
+      "ratio DOUBLE, flag BOOLEAN)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* ct = As<CreateTableStmt>(*stmt);
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(ct->table, "tenk1");
+  ASSERT_EQ(ct->columns.size(), 4u);
+  EXPECT_EQ(ct->columns[0].type, TypeId::kInt64);
+  EXPECT_EQ(ct->columns[1].type, TypeId::kVarchar);
+  EXPECT_EQ(ct->columns[2].type, TypeId::kDouble);
+  EXPECT_EQ(ct->columns[3].type, TypeId::kBool);
+}
+
+TEST(ParserTest, CreateIndexAndDrop) {
+  auto stmt = ParseStatement("CREATE INDEX idx1 ON tenk1 (unique1)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* ci = As<CreateIndexStmt>(*stmt);
+  ASSERT_NE(ci, nullptr);
+  EXPECT_EQ(ci->index, "idx1");
+  EXPECT_EQ(ci->table, "tenk1");
+  EXPECT_EQ(ci->column, "unique1");
+
+  auto drop = ParseStatement("DROP TABLE tenk1;");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_NE(As<DropTableStmt>(*drop), nullptr);
+}
+
+TEST(ParserTest, InsertMultiRow) {
+  auto stmt =
+      ParseStatement("INSERT INTO t VALUES (1, 'a', 1.5), (2, 'b', -2.5)");
+  ASSERT_TRUE(stmt.ok());
+  const auto* ins = As<InsertStmt>(*stmt);
+  ASSERT_NE(ins, nullptr);
+  ASSERT_EQ(ins->rows.size(), 2u);
+  ASSERT_EQ(ins->rows[0].size(), 3u);
+  EXPECT_EQ(ins->rows[1][0]->literal.int_value(), 2);
+  // Negative literal parsed as unary minus.
+  EXPECT_EQ(ins->rows[1][2]->kind, Expr::Kind::kUnary);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = ParseStatement("SELECT * FROM tenk1 WHERE unique1 < 100");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_EQ(sel->items.size(), 1u);
+  EXPECT_EQ(sel->items[0].expr, nullptr);  // SELECT *
+  EXPECT_EQ(sel->from.table, "tenk1");
+  ASSERT_NE(sel->where, nullptr);
+  EXPECT_EQ(sel->where->binary_op, BinaryOp::kLt);
+}
+
+TEST(ParserTest, SelectWithJoinGroupOrderLimit) {
+  auto stmt = ParseStatement(
+      "SELECT t1.two, COUNT(*), SUM(t2.unique1) AS s "
+      "FROM tenk1 AS t1 JOIN tenk2 t2 ON t1.unique1 = t2.unique2 "
+      "WHERE t1.unique1 < 1000 AND t2.four = 2 "
+      "GROUP BY t1.two ORDER BY s DESC, t1.two LIMIT 10");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->items.size(), 3u);
+  EXPECT_EQ(sel->items[2].alias, "s");
+  ASSERT_EQ(sel->joins.size(), 1u);
+  EXPECT_EQ(sel->joins[0].table.alias, "t2");
+  EXPECT_EQ(sel->group_by.size(), 1u);
+  ASSERT_EQ(sel->order_by.size(), 2u);
+  EXPECT_TRUE(sel->order_by[0].descending);
+  EXPECT_FALSE(sel->order_by[1].descending);
+  EXPECT_EQ(sel->limit, 10);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto stmt = ParseStatement("SELECT a + b * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  const Expr* e = sel->items[0].expr.get();
+  ASSERT_EQ(e->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(e->right->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, BooleanPrecedenceAndNot) {
+  auto stmt =
+      ParseStatement("SELECT * FROM t WHERE NOT a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  // OR at the top, AND below on the right, NOT on the left.
+  ASSERT_EQ(sel->where->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(sel->where->left->kind, Expr::Kind::kUnary);
+  EXPECT_EQ(sel->where->right->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto stmt = ParseStatement("SELECT (a + b) * c FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  EXPECT_EQ(sel->items[0].expr->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, AggregatesIncludingCountStar) {
+  auto stmt =
+      ParseStatement("SELECT COUNT(*), MIN(a), MAX(a), AVG(b) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  EXPECT_EQ(sel->items[0].expr->agg_func, AggFunc::kCount);
+  EXPECT_EQ(sel->items[0].expr->left, nullptr);
+  EXPECT_EQ(sel->items[1].expr->agg_func, AggFunc::kMin);
+  EXPECT_TRUE(sel->items[3].expr->ContainsAggregate());
+}
+
+TEST(ParserTest, DeleteAndUpdate) {
+  auto del = ParseStatement("DELETE FROM t WHERE id = 3");
+  ASSERT_TRUE(del.ok());
+  const auto* d = As<DeleteStmt>(*del);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->where, nullptr);
+
+  auto upd = ParseStatement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3");
+  ASSERT_TRUE(upd.ok());
+  const auto* u = As<UpdateStmt>(*upd);
+  ASSERT_NE(u, nullptr);
+  ASSERT_EQ(u->assignments.size(), 2u);
+  EXPECT_EQ(u->assignments[0].first, "a");
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_NE(As<BeginStmt>(*ParseStatement("BEGIN")), nullptr);
+  EXPECT_NE(As<CommitStmt>(*ParseStatement("COMMIT;")), nullptr);
+  EXPECT_NE(As<RollbackStmt>(*ParseStatement("ROLLBACK")), nullptr);
+  EXPECT_NE(As<RollbackStmt>(*ParseStatement("ABORT")), nullptr);
+}
+
+TEST(ParserTest, ScriptParsesMultipleStatements) {
+  auto script = ParseScript(
+      "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1); "
+      "SELECT * FROM t;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsAreInformative) {
+  auto bad = ParseStatement("SELECT FROM");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseStatement("CREATE VIEW v").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("INSERT INTO t VALUES (1,)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT * FROM t extra garbage tokens").ok());
+  EXPECT_FALSE(ParseStatement("SELECT MIN(*) FROM t").ok());
+}
+
+TEST(ParserTest, IdentifiersAreInterned) {
+  catalog::SymbolTable symbols;
+  auto stmt = ParseStatement(
+      "SELECT unique1 FROM tenk1 WHERE unique1 < 10", &symbols);
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_GE(symbols.size(), 2u);  // tenk1, unique1
+  EXPECT_NE(symbols.Lookup("tenk1"), -1);
+  EXPECT_NE(symbols.Lookup("unique1"), -1);
+  // Re-parsing the same query hits the interned symbols (the affinity effect
+  // the parse stage exploits).
+  const int64_t hits_before = symbols.hits();
+  ASSERT_TRUE(ParseStatement("SELECT unique1 FROM tenk1", &symbols).ok());
+  EXPECT_GT(symbols.hits(), hits_before);
+}
+
+TEST(ParserTest, ExprToStringRoundTripsStructure) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a * 2 <= 10 AND b = 'x'");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  EXPECT_EQ(sel->where->ToString(), "(((a * 2) <= 10) AND (b = 'x'))");
+}
+
+}  // namespace
+}  // namespace stagedb::parser

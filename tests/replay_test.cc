@@ -1,0 +1,238 @@
+// Tests for the workload generator, trace capture, and virtual-time replayer.
+#include <gtest/gtest.h>
+
+#include "replay/capture.h"
+#include "replay/virtual_cpu.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/wisconsin.h"
+
+namespace stagedb::replay {
+namespace {
+
+using catalog::Catalog;
+using workload::CreateWisconsinTable;
+
+// -------------------------------------------------------------- Wisconsin ---
+
+class WisconsinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<storage::MemDiskManager>();
+    pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 4096);
+    catalog_ = std::make_unique<Catalog>(pool_.get());
+  }
+  std::unique_ptr<storage::MemDiskManager> disk_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(WisconsinTest, TableHasWisconsinInvariants) {
+  auto t = CreateWisconsinTable(catalog_.get(), "tenk1", 1000);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->stats->row_count(), 1000);
+  // unique1 is a permutation: distinct count == rows, min 0, max rows-1.
+  EXPECT_EQ((*t)->stats->column(0).num_distinct, 1000);
+  EXPECT_EQ((*t)->stats->column(0).min.int_value(), 0);
+  EXPECT_EQ((*t)->stats->column(0).max.int_value(), 999);
+  // two has 2 distinct values; onepercent has 100.
+  EXPECT_EQ((*t)->stats->column(2).num_distinct, 2);
+  EXPECT_EQ((*t)->stats->column(6).num_distinct, 100);
+}
+
+TEST_F(WisconsinTest, GeneratorsProduceParseablePlannableQueries) {
+  ASSERT_TRUE(CreateWisconsinTable(catalog_.get(), "tenk1", 500).ok());
+  ASSERT_TRUE(CreateWisconsinTable(catalog_.get(), "tenk2", 500).ok());
+  Rng rng(1);
+  CaptureCostModel cost;
+  for (int i = 0; i < 5; ++i) {
+    auto a = CaptureQueryTrace(
+        catalog_.get(), workload::WorkloadAQuery("tenk1", 500, &rng), cost);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    auto b = CaptureQueryTrace(
+        catalog_.get(),
+        workload::WorkloadBQuery("tenk1", "tenk2", 500, &rng), cost);
+    ASSERT_TRUE(b.ok()) << b.status().ToString();
+    // B (joins) demands more CPU than A (1% selections).
+    EXPECT_GT(b->TotalCpuMicros(), a->TotalCpuMicros());
+  }
+}
+
+// ---------------------------------------------------------------- Capture ---
+
+TEST_F(WisconsinTest, CaptureReflectsRealWork) {
+  ASSERT_TRUE(CreateWisconsinTable(catalog_.get(), "tenk1", 1000).ok());
+  CaptureCostModel cost;
+  cost.exec_micros_per_tuple = 10;
+  cost.rows_per_io_page = 50;
+  auto trace = CaptureQueryTrace(
+      catalog_.get(), "SELECT COUNT(*) FROM tenk1 WHERE two = 0", cost);
+  ASSERT_TRUE(trace.ok());
+  // Full scan of 1000 rows -> fscan segment with 20 I/Os; plus qual + aggr.
+  ASSERT_GE(trace->segments.size(), 3u);
+  EXPECT_EQ(trace->segments[0].module, kFscan);
+  EXPECT_EQ(trace->segments[0].io_count, 20);
+  EXPECT_DOUBLE_EQ(trace->segments[0].cpu_micros, 10.0 * 1000);
+  EXPECT_EQ(trace->TotalIos(), 20);
+}
+
+TEST_F(WisconsinTest, CaptureFrontendSegments) {
+  ASSERT_TRUE(CreateWisconsinTable(catalog_.get(), "tenk1", 100).ok());
+  CaptureCostModel cost;
+  auto trace = CaptureQueryTrace(catalog_.get(),
+                                 "SELECT unique1 FROM tenk1", cost,
+                                 /*include_frontend=*/true);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->segments.front().module, kConnect);
+  EXPECT_EQ(trace->segments[1].module, kParse);
+  EXPECT_EQ(trace->segments[2].module, kOptimize);
+  EXPECT_EQ(trace->segments.back().module, kDisconnect);
+}
+
+TEST_F(WisconsinTest, MemoryResidentWorkloadChargesNoScanIo) {
+  ASSERT_TRUE(CreateWisconsinTable(catalog_.get(), "tenk1", 500).ok());
+  CaptureCostModel cost;
+  cost.charge_scan_io = false;
+  cost.log_ios = 2;
+  auto trace = CaptureQueryTrace(catalog_.get(),
+                                 "SELECT COUNT(*) FROM tenk1", cost);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->TotalIos(), 2);  // only the log writes
+}
+
+// ----------------------------------------------------------------- Replay ---
+
+QueryTrace SimpleJob(int64_t id, simcache::ModuleId module, double cpu,
+                     int ios = 0) {
+  QueryTrace t;
+  t.id = id;
+  t.segments = {{module, cpu, ios}};
+  return t;
+}
+
+TEST(ReplayTest, SingleJobAccountsExactly) {
+  auto modules = DefaultServerModules();
+  ReplayConfig cfg;
+  cfg.num_threads = 1;
+  std::vector<QueryTrace> jobs = {SimpleJob(0, kQual, 5000)};
+  ReplayResult r = Replay(modules, jobs, cfg);
+  EXPECT_EQ(r.completed, 1);
+  // One cold start: state restore + module load + execution.
+  EXPECT_DOUBLE_EQ(r.busy_exec_micros, 5000);
+  EXPECT_DOUBLE_EQ(r.busy_load_micros, 300);
+  EXPECT_DOUBLE_EQ(r.busy_restore_micros, 150);
+  EXPECT_DOUBLE_EQ(r.makespan_micros, 5450);
+}
+
+TEST(ReplayTest, IoOverlapsAcrossThreads) {
+  auto modules = DefaultServerModules();
+  std::vector<QueryTrace> jobs;
+  for (int i = 0; i < 8; ++i) jobs.push_back(SimpleJob(i, kQual, 1000, 1));
+  ReplayConfig cfg;
+  cfg.io_latency_micros = 50000;
+  cfg.num_threads = 1;
+  ReplayResult serial = Replay(modules, jobs, cfg);
+  cfg.num_threads = 8;
+  ReplayResult parallel = Replay(modules, jobs, cfg);
+  // With 8 threads the 50 ms I/Os overlap; with 1 they serialize.
+  EXPECT_LT(parallel.makespan_micros, 0.3 * serial.makespan_micros);
+  EXPECT_GT(serial.idle_micros, parallel.idle_micros);
+}
+
+TEST(ReplayTest, CacheAffinityBenefitsSameModuleBatches) {
+  auto modules = DefaultServerModules();
+  // 20 jobs in the same module: under one thread they run back-to-back and
+  // pay the module load once. Interleaving two modules with round-robin
+  // threads reloads constantly.
+  std::vector<QueryTrace> same, alternating;
+  for (int i = 0; i < 20; ++i) {
+    same.push_back(SimpleJob(i, kParse, 3000));
+    alternating.push_back(
+        SimpleJob(100 + i, i % 2 == 0 ? kParse : kOptimize, 3000));
+  }
+  ReplayConfig cfg;
+  cfg.num_threads = 1;  // FIFO service; jobs alternate by arrival order
+  ReplayResult r_same = Replay(modules, same, cfg);
+  ReplayResult r_alt = Replay(modules, alternating, cfg);
+  EXPECT_EQ(r_same.module_loads, 1);
+  EXPECT_EQ(r_alt.module_loads, 20);
+  EXPECT_LT(r_same.makespan_micros, r_alt.makespan_micros);
+}
+
+TEST(ReplayTest, QuantumPreemptionCausesRestores) {
+  auto modules = DefaultServerModules();
+  std::vector<QueryTrace> jobs;
+  for (int i = 0; i < 4; ++i) jobs.push_back(SimpleJob(i, kJoin, 50000));
+  ReplayConfig cfg;
+  cfg.num_threads = 4;
+  cfg.quantum_micros = 10000;
+  cfg.cache_state_capacity = 1;
+  ReplayResult r = Replay(modules, jobs, cfg);
+  // 4 jobs x 5 quanta each, every dispatch restores another query's state.
+  EXPECT_GT(r.state_restores, 15);
+  EXPECT_GT(r.busy_restore_micros, 0);
+  // A single thread avoids almost all of it.
+  cfg.num_threads = 1;
+  ReplayResult r1 = Replay(modules, jobs, cfg);
+  EXPECT_LT(r1.state_restores, 5);
+  EXPECT_LT(r1.makespan_micros, r.makespan_micros);
+}
+
+TEST(ReplayTest, StagedModeBatchesModules) {
+  auto modules = DefaultServerModules();
+  std::vector<QueryTrace> jobs;
+  for (int i = 0; i < 10; ++i) {
+    QueryTrace t;
+    t.id = i;
+    t.segments = {{kParse, 2000, 0}, {kOptimize, 3000, 0}};
+    jobs.push_back(t);
+  }
+  ReplayConfig threaded;
+  threaded.num_threads = 10;
+  threaded.quantum_micros = 1000;  // aggressive interleaving
+  threaded.cache_state_capacity = 1;
+  ReplayResult rt = Replay(modules, jobs, threaded);
+
+  ReplayConfig staged;
+  staged.staged = true;
+  staged.cache_state_capacity = 1;
+  ReplayResult rs = Replay(modules, jobs, staged);
+
+  EXPECT_EQ(rs.completed, 10);
+  EXPECT_LT(rs.module_loads, rt.module_loads);
+  EXPECT_LT(rs.makespan_micros, rt.makespan_micros);
+  // Staged visits parse once and optimize once for the whole batch.
+  EXPECT_LE(rs.module_loads, 3);
+}
+
+TEST(ReplayTest, TimelineRecordsEvents) {
+  auto modules = DefaultServerModules();
+  std::vector<QueryTrace> jobs = {SimpleJob(0, kParse, 2000, 1)};
+  ReplayConfig cfg;
+  cfg.record_timeline = true;
+  ReplayResult r = Replay(modules, jobs, cfg);
+  ASSERT_GE(r.timeline.size(), 3u);  // restore, load, exec, io
+  const std::string rendered = RenderTimeline(r.timeline, modules);
+  EXPECT_NE(rendered.find("parse"), std::string::npos);
+  EXPECT_NE(rendered.find("execute"), std::string::npos);
+  EXPECT_NE(rendered.find("I/O wait"), std::string::npos);
+}
+
+TEST(ReplayTest, ThroughputScalesUntilCpuSaturates) {
+  auto modules = DefaultServerModules();
+  std::vector<QueryTrace> jobs;
+  for (int i = 0; i < 60; ++i) jobs.push_back(SimpleJob(i, kIscan, 2000, 4));
+  ReplayConfig cfg;
+  cfg.io_latency_micros = 10000;
+  std::vector<double> tps;
+  for (int k : {1, 4, 16, 64}) {
+    cfg.num_threads = k;
+    tps.push_back(Replay(modules, jobs, cfg).throughput_qps);
+  }
+  EXPECT_GT(tps[1], 2.0 * tps[0]);  // I/O overlap pays off
+  EXPECT_GT(tps[2], tps[1]);
+  EXPECT_NEAR(tps[3], tps[2], 0.35 * tps[2]);  // saturated region
+}
+
+}  // namespace
+}  // namespace stagedb::replay

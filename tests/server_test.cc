@@ -1,0 +1,148 @@
+// Tests for the staged and threaded servers: lifecycle staging, admission
+// control, concurrency, and staged-vs-threaded result equivalence.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "server/server.h"
+
+namespace stagedb::server {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Open();
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+    ASSERT_TRUE(db_->Execute("CREATE TABLE t (a INTEGER, b INTEGER)").ok());
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(db_->Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                               ", " + std::to_string(i % 3) + ")")
+                      .ok());
+    }
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(ServerTest, StagedServerAnswersQueries) {
+  StagedServer server(db_.get());
+  auto request = server.Submit("SELECT COUNT(*) FROM t");
+  auto result = request->Await();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rows[0][0].int_value(), 10);
+}
+
+TEST_F(ServerTest, PacketsVisitAllLifecycleStages) {
+  StagedServer server(db_.get());
+  ASSERT_TRUE(server.Submit("SELECT * FROM t WHERE a < 3")->Await().ok());
+  for (const auto& stage : server.runtime().stages()) {
+    EXPECT_GE(stage->packets_processed(), 1)
+        << "stage " << stage->name() << " never saw the packet";
+  }
+}
+
+TEST_F(ServerTest, ParseErrorsFlowToDisconnect) {
+  StagedServer server(db_.get());
+  auto result = server.Submit("SELEKT broken")->Await();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // Server still healthy afterwards.
+  EXPECT_TRUE(server.Submit("SELECT COUNT(*) FROM t")->Await().ok());
+}
+
+TEST_F(ServerTest, DdlBypassesPlannerInsideServer) {
+  StagedServer server(db_.get());
+  ASSERT_TRUE(server.Submit("CREATE TABLE u (x INTEGER)")->Await().ok());
+  ASSERT_TRUE(server.Submit("INSERT INTO u VALUES (1)")->Await().ok());
+  auto result = server.Submit("SELECT COUNT(*) FROM u")->Await();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int_value(), 1);
+}
+
+TEST_F(ServerTest, ConcurrentClientsOnStagedServer) {
+  ServerOptions opts;
+  opts.threads_per_stage = 2;
+  StagedServer server(db_.get(), opts);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        auto r = server.Submit("SELECT b, COUNT(*) FROM t GROUP BY b")->Await();
+        if (!r.ok() || r->rows.size() != 3) ++failures;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServerTest, AdmissionControlBoundsInflight) {
+  ServerOptions opts;
+  opts.admission_capacity = 4;
+  StagedServer server(db_.get(), opts);
+  std::vector<std::shared_ptr<Request>> requests;
+  for (int i = 0; i < 50; ++i) {
+    requests.push_back(server.Submit("SELECT COUNT(*) FROM t"));
+  }
+  for (auto& r : requests) {
+    EXPECT_TRUE(r->Await().ok());
+  }
+}
+
+TEST_F(ServerTest, ThreadedServerMatchesStagedResults) {
+  StagedServer staged(db_.get());
+  ThreadedServer threaded(db_.get());
+  const std::string sql = "SELECT b, SUM(a) FROM t GROUP BY b ORDER BY b";
+  auto r1 = staged.Submit(sql)->Await();
+  auto r2 = threaded.Submit(sql)->Await();
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->rows.size(), r2->rows.size());
+  for (size_t i = 0; i < r1->rows.size(); ++i) {
+    EXPECT_EQ(catalog::TupleToString(r1->rows[i]),
+              catalog::TupleToString(r2->rows[i]));
+  }
+}
+
+TEST_F(ServerTest, StatsReportsAreInformative) {
+  StagedServer staged(db_.get());
+  ThreadedServer threaded(db_.get());
+  ASSERT_TRUE(staged.Submit("SELECT * FROM t")->Await().ok());
+  ASSERT_TRUE(threaded.Submit("SELECT * FROM t")->Await().ok());
+  EXPECT_NE(staged.StatsReport().find("parse"), std::string::npos);
+  EXPECT_NE(threaded.StatsReport().find("served=1"), std::string::npos);
+}
+
+TEST_F(ServerTest, StagedServerWithCohortScheduling) {
+  ServerOptions opts;
+  opts.scheduler = engine::SchedulerPolicy::kCohort;
+  StagedServer server(db_.get(), opts);
+  std::vector<std::shared_ptr<Request>> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back(server.Submit("SELECT COUNT(*) FROM t WHERE b = 1"));
+  }
+  for (auto& r : requests) {
+    auto result = r->Await();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows[0][0].int_value(), 3);
+  }
+  EXPECT_GE(server.runtime().stage_switches(), 1);
+}
+
+TEST_F(ServerTest, StagedDatabaseModeUnderServer) {
+  DatabaseOptions dbo;
+  dbo.mode = ExecutionMode::kStaged;
+  auto db = Database::Open(dbo);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Execute("CREATE TABLE s (x INTEGER)").ok());
+  ASSERT_TRUE((*db)->Execute("INSERT INTO s VALUES (1), (2), (3)").ok());
+  StagedServer server(db->get());
+  auto result = server.Submit("SELECT SUM(x) FROM s")->Await();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows[0][0].int_value(), 6);
+}
+
+}  // namespace
+}  // namespace stagedb::server

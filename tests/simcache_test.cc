@@ -1,0 +1,116 @@
+// Unit tests for the simulated memory-hierarchy model.
+#include <gtest/gtest.h>
+
+#include "simcache/cache_model.h"
+#include "simcache/module_profile.h"
+
+namespace stagedb::simcache {
+namespace {
+
+ModuleTable MakeModules() {
+  ModuleTable t;
+  t.Add("parse", 1000, 100);
+  t.Add("optimize", 2000, 100);
+  t.Add("execute", 4000, 200);
+  return t;
+}
+
+TEST(ModuleTableTest, IdsAreDense) {
+  ModuleTable t = MakeModules();
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.Get(0).name, "parse");
+  EXPECT_EQ(t.Get(2).common_load_micros, 4000);
+}
+
+TEST(CacheModelTest, FirstExecutionIsCold) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 1);
+  CacheCharge c = cache.BeginExecution(0, /*query_id=*/1);
+  EXPECT_EQ(c.module_load_micros, 1000);
+  EXPECT_EQ(c.state_restore_micros, 100);
+  EXPECT_EQ(cache.module_misses(), 1);
+}
+
+TEST(CacheModelTest, BackToBackSameModuleSameQueryIsFree) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 1);
+  cache.BeginExecution(0, 1);
+  CacheCharge c = cache.BeginExecution(0, 1);
+  EXPECT_EQ(c.total(), 0);
+  EXPECT_EQ(cache.module_hits(), 1);
+  EXPECT_EQ(cache.state_hits(), 1);
+}
+
+TEST(CacheModelTest, DifferentQuerySameModulePaysOnlyStateRestore) {
+  // This is the affinity benefit of §3.1.3: the second query finds the
+  // parser's common data and code already in the cache.
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 1);
+  cache.BeginExecution(0, 1);
+  CacheCharge c = cache.BeginExecution(0, 2);
+  EXPECT_EQ(c.module_load_micros, 0);
+  EXPECT_EQ(c.state_restore_micros, 100);
+}
+
+TEST(CacheModelTest, ModuleSwitchEvictsWithCapacityOne) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 1);
+  cache.BeginExecution(0, 1);
+  cache.BeginExecution(1, 1);  // evicts module 0
+  EXPECT_FALSE(cache.IsResident(0));
+  CacheCharge c = cache.BeginExecution(0, 1);
+  EXPECT_EQ(c.module_load_micros, 1000);
+}
+
+TEST(CacheModelTest, LargerCapacityKeepsMultipleModules) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 2);
+  cache.BeginExecution(0, 1);
+  cache.BeginExecution(1, 1);
+  EXPECT_TRUE(cache.IsResident(0));
+  EXPECT_TRUE(cache.IsResident(1));
+  cache.BeginExecution(2, 1);  // evicts LRU = module 0
+  EXPECT_FALSE(cache.IsResident(0));
+  EXPECT_TRUE(cache.IsResident(1));
+  EXPECT_TRUE(cache.IsResident(2));
+}
+
+TEST(CacheModelTest, LruOrderIsByRecency) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 2);
+  cache.BeginExecution(0, 1);
+  cache.BeginExecution(1, 1);
+  cache.BeginExecution(0, 1);  // touch 0 so 1 becomes LRU
+  cache.BeginExecution(2, 1);  // evicts 1
+  EXPECT_TRUE(cache.IsResident(0));
+  EXPECT_FALSE(cache.IsResident(1));
+}
+
+TEST(CacheModelTest, FlushEvictsEverything) {
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 3);
+  cache.BeginExecution(0, 1);
+  cache.BeginExecution(1, 1);
+  cache.Flush();
+  EXPECT_FALSE(cache.IsResident(0));
+  EXPECT_FALSE(cache.IsResident(1));
+  CacheCharge c = cache.BeginExecution(0, 1);
+  EXPECT_GT(c.total(), 0);
+}
+
+TEST(CacheModelTest, ChargesAccumulateAcrossInterleaving) {
+  // Figure 1 scenario: two queries ping-pong between two modules; every
+  // execution is a full reload under capacity 1.
+  ModuleTable t = MakeModules();
+  CacheModel cache(&t, 1);
+  int64_t total = 0;
+  total += cache.BeginExecution(0, 1).total();
+  total += cache.BeginExecution(1, 2).total();
+  total += cache.BeginExecution(0, 1).total();
+  total += cache.BeginExecution(1, 2).total();
+  // Every step pays module load + state restore.
+  EXPECT_EQ(total, (1000 + 100) * 2 + (2000 + 100) * 2);
+}
+
+}  // namespace
+}  // namespace stagedb::simcache
