@@ -2,15 +2,30 @@
 // rows, and run queries — including through the staged execution engine.
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build
+//   cmake -B build -S . && cmake --build build -j
 //   ./build/examples/quickstart
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "server/database.h"
 
 using stagedb::server::Database;
 using stagedb::server::DatabaseOptions;
 using stagedb::server::ExecutionMode;
+using stagedb::server::QueryResult;
+
+// This program doubles as the ctest `smoke` gate, so every statement exits
+// loudly on failure to keep the failure mode visible in CI logs.
+static QueryResult ExecuteOrDie(Database& db, const char* sql) {
+  auto r = db.Execute(sql);
+  if (!r.ok()) {
+    std::fprintf(stderr, "'%s' failed: %s\n", sql,
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
 
 int main() {
   // 1. Open a database whose SELECTs run on the staged engine (operator
@@ -23,7 +38,7 @@ int main() {
                  db_or.status().ToString().c_str());
     return 1;
   }
-  auto& db = *db_or;
+  auto& db = **db_or;
 
   // 2. DDL + data.
   for (const char* sql : {
@@ -35,36 +50,45 @@ int main() {
            "(5, 'Freddie Freeloader', 183, 4.5)",
            "CREATE INDEX playlist_id ON playlist (id)",
        }) {
-    auto r = db->Execute(sql);
-    if (!r.ok()) {
-      std::fprintf(stderr, "'%s' failed: %s\n", sql,
-                   r.status().ToString().c_str());
-      return 1;
-    }
+    ExecuteOrDie(db, sql);
   }
 
   // 3. Query through the staged engine.
-  auto result = db->Execute(
-      "SELECT title, plays FROM playlist WHERE rating >= 4.7 "
-      "ORDER BY plays DESC LIMIT 3");
-  if (!result.ok()) return 1;
+  auto result = ExecuteOrDie(
+      db, "SELECT title, plays FROM playlist WHERE rating >= 4.7 "
+          "ORDER BY plays DESC LIMIT 3");
   std::printf("top rated, most played:\n");
-  for (const auto& row : result->rows) {
+  for (const auto& row : result.rows) {
     std::printf("  %-22s %s plays\n", row[0].ToString().c_str(),
                 row[1].ToString().c_str());
   }
 
   // 4. EXPLAIN shows the physical plan the optimize stage produced.
-  auto plan = db->Explain("SELECT COUNT(*), AVG(rating) FROM playlist "
-                          "WHERE id >= 2 AND id <= 4");
-  if (plan.ok()) std::printf("\nplan:\n%s", plan->c_str());
+  auto plan = db.Explain("SELECT COUNT(*), AVG(rating) FROM playlist "
+                         "WHERE id >= 2 AND id <= 4");
+  if (!plan.ok()) {
+    std::fprintf(stderr, "EXPLAIN failed: %s\n",
+                 plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nplan:\n%s", plan->c_str());
 
   // 5. Transactions: roll back a bad update.
-  db->Execute("BEGIN");
-  db->Execute("UPDATE playlist SET plays = 0");
-  db->Execute("ROLLBACK");
-  auto check = db->Execute("SELECT SUM(plays) FROM playlist");
-  std::printf("\ntotal plays after rollback: %s (unchanged)\n",
-              check->rows[0][0].ToString().c_str());
+  ExecuteOrDie(db, "BEGIN");
+  ExecuteOrDie(db, "UPDATE playlist SET plays = 0");
+  ExecuteOrDie(db, "ROLLBACK");
+  auto check = ExecuteOrDie(db, "SELECT SUM(plays) FROM playlist");
+  if (check.rows.empty() || check.rows[0].empty()) {
+    std::fprintf(stderr, "rollback check failed: SUM query returned no rows\n");
+    return 1;
+  }
+  const std::string total = check.rows[0][0].ToString();
+  if (total != "1718") {  // 421 + 388 + 509 + 217 + 183
+    std::fprintf(stderr,
+                 "rollback check failed: SUM(plays) = %s, expected 1718\n",
+                 total.c_str());
+    return 1;
+  }
+  std::printf("\ntotal plays after rollback: %s (unchanged)\n", total.c_str());
   return 0;
 }
