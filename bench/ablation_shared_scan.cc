@@ -1,11 +1,31 @@
-// Ablation A6 (§5.4, multiple query optimization at run time): queries that
-// scan the same table back-to-back reuse each other's pages, while queries
-// interleaved across different tables evict each other from a small buffer
-// pool. The staged design's per-table fscan stages naturally create the
-// batched order.
+// Ablation A6 (§5.4, multiple query optimization at run time).
+//
+// Four submission regimes over the same 16 aggregation queries (4 tables x 4
+// queries, buffer pool sized for ~one table):
+//
+//   seq-interleaved   — one query at a time, round-robin across tables: every
+//                       scan evicts the previous table (the uncoordinated
+//                       baseline of the seed bench).
+//   seq-batched       — one at a time, all queries of a table back-to-back:
+//                       the lucky-ordering benefit per-table fscan stages
+//                       create even without true sharing.
+//   conc-unshared     — queries submitted concurrently with staggered
+//                       arrivals, each fscan packet driving a private
+//                       iterator from page 0 (shared_scans=false).
+//   conc-shared       — same arrival pattern, but packets attach to the
+//                       table's elevator cursor mid-scan (shared_scans=true):
+//                       N overlapping scans cost ~1 physical pass.
+//
+// The conc-shared regime must beat conc-unshared on both buffer-pool misses
+// and wall clock — that is the run-time data sharing §5.4 promises, not just
+// lucky ordering. A per-I/O disk latency makes misses cost real time.
+#include <chrono>
 #include <cstdio>
+#include <memory>
+#include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "engine/staged_engine.h"
 #include "optimizer/planner.h"
 #include "parser/parser.h"
@@ -14,83 +34,259 @@
 #include "workload/wisconsin.h"
 
 using stagedb::catalog::Catalog;
+using stagedb::engine::SharedScanStats;
 using stagedb::engine::StagedEngine;
+using stagedb::engine::StagedEngineOptions;
+using stagedb::optimizer::PhysicalPlan;
 
 namespace {
 
-struct PoolCounters {
-  int64_t hits, misses;
+struct ModeResult {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  double wall_ms = 0;
+  int64_t errors = 0;
+  double hit_rate() const {
+    const int64_t total = hits + misses;
+    return total == 0 ? 0.0 : 100.0 * hits / total;
+  }
 };
 
-PoolCounters RunOrder(Catalog* catalog, stagedb::storage::BufferPool* pool,
-                      const std::vector<const stagedb::optimizer::PhysicalPlan*>&
-                          order) {
-  StagedEngine engine(catalog);
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Evicts the working set between modes by scanning a table that is larger
+/// than the pool, so every mode starts from the same (cold) pool state.
+void ScrubPool(Catalog* catalog, const PhysicalPlan* scrub_plan) {
+  StagedEngineOptions opts;
+  opts.shared_scans = false;
+  StagedEngine engine(catalog, opts);
+  (void)engine.Execute(scrub_plan);
+}
+
+ModeResult RunSequential(Catalog* catalog, stagedb::storage::BufferPool* pool,
+                         const std::vector<const PhysicalPlan*>& order) {
+  StagedEngineOptions opts;
+  opts.shared_scans = false;
+  StagedEngine engine(catalog, opts);
+  ModeResult r;
   const int64_t h0 = pool->hits(), m0 = pool->misses();
+  const auto start = std::chrono::steady_clock::now();
   for (const auto* plan : order) {
-    auto rows = engine.Execute(plan);
-    if (!rows.ok()) exit(1);
+    if (!engine.Execute(plan).ok()) ++r.errors;
   }
-  return {pool->hits() - h0, pool->misses() - m0};
+  r.wall_ms = ElapsedMs(start);
+  r.hits = pool->hits() - h0;
+  r.misses = pool->misses() - m0;
+  return r;
+}
+
+/// Submits the queries in interleaved order with staggered arrival waves
+/// (wave q of each table arrives q*stagger after the first), so later
+/// queries find a scan of their table already in progress — the §5.4
+/// opportunity. The only difference between the two concurrent modes is the
+/// shared_scans knob.
+ModeResult RunConcurrent(Catalog* catalog, stagedb::storage::BufferPool* pool,
+                         const std::vector<std::vector<const PhysicalPlan*>>&
+                             per_table,
+                         bool shared, std::chrono::microseconds stagger,
+                         SharedScanStats* scan_stats) {
+  StagedEngineOptions opts;
+  opts.shared_scans = shared;
+  StagedEngine engine(catalog, opts);
+  ModeResult r;
+  const int64_t h0 = pool->hits(), m0 = pool->misses();
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<stagedb::engine::StagedQuery>> inflight;
+  const size_t waves = per_table.empty() ? 0 : per_table[0].size();
+  for (size_t q = 0; q < waves; ++q) {
+    for (const auto& plans : per_table) inflight.push_back(
+        engine.Submit(plans[q]));
+    if (q + 1 < waves) std::this_thread::sleep_for(stagger);
+  }
+  for (auto& query : inflight) {
+    if (!query->Await().ok()) ++r.errors;
+  }
+  r.wall_ms = ElapsedMs(start);
+  r.hits = pool->hits() - h0;
+  r.misses = pool->misses() - m0;
+  if (scan_stats != nullptr) *scan_stats = engine.shared_scans()->TotalStats();
+  return r;
 }
 
 }  // namespace
 
-int main() {
-  // Buffer pool big enough for ONE table's pages but not all four.
-  stagedb::storage::MemDiskManager disk;
-  stagedb::storage::BufferPool pool(&disk, 300);
+int main(int argc, char** argv) {
+  const auto args = stagedb::bench::BenchArgs::Parse(argc, argv);
+
+  // Buffer pool big enough for ONE table's pages but not all four; a per-I/O
+  // latency so that pool misses cost wall-clock time, as §5.4's run-time
+  // sharing argument assumes.
+  const int64_t rows = args.smoke ? 2000 : 8000;
+  const size_t pool_pages = args.smoke ? 75 : 300;
+  const int64_t disk_latency_us = args.smoke ? 60 : 100;
+  const int queries_per_table = 4;
+
+  stagedb::storage::MemDiskManager disk(disk_latency_us);
+  stagedb::storage::BufferPool pool(&disk, pool_pages);
   Catalog catalog(&pool);
   const std::vector<std::string> tables = {"wa", "wb", "wc", "wd"};
   for (const auto& t : tables) {
-    if (!stagedb::workload::CreateWisconsinTable(&catalog, t, 8000).ok()) {
+    if (!stagedb::workload::CreateWisconsinTable(&catalog, t, rows).ok()) {
+      std::fprintf(stderr, "table build failed\n");
       return 1;
     }
   }
+  // The scrub table is larger than the pool so one scan of it resets the
+  // pool contents between modes.
+  if (!stagedb::workload::CreateWisconsinTable(&catalog, "scrub",
+                                               rows + rows / 2)
+           .ok()) {
+    std::fprintf(stderr, "table build failed\n");
+    return 1;
+  }
+
   stagedb::optimizer::Planner planner(&catalog);
-  std::vector<std::unique_ptr<stagedb::optimizer::PhysicalPlan>> owned;
-  std::vector<const stagedb::optimizer::PhysicalPlan*> per_table[4];
+  std::vector<std::unique_ptr<PhysicalPlan>> owned;
+  std::vector<std::vector<const PhysicalPlan*>> per_table(tables.size());
+  auto plan_query = [&](const std::string& sql) -> const PhysicalPlan* {
+    auto stmt = stagedb::parser::ParseStatement(sql);
+    if (!stmt.ok()) return nullptr;
+    auto plan = planner.Plan(**stmt);
+    if (!plan.ok()) return nullptr;
+    owned.push_back(std::move(*plan));
+    return owned.back().get();
+  };
   for (size_t t = 0; t < tables.size(); ++t) {
-    for (int q = 0; q < 4; ++q) {
-      auto stmt = stagedb::parser::ParseStatement(
+    for (int q = 0; q < queries_per_table; ++q) {
+      const PhysicalPlan* plan = plan_query(
           "SELECT COUNT(*), MIN(unique1) FROM " + tables[t] +
           " WHERE ten = " + std::to_string(q));
-      if (!stmt.ok()) return 1;
-      auto plan = planner.Plan(**stmt);
-      if (!plan.ok()) return 1;
-      owned.push_back(std::move(*plan));
-      per_table[t].push_back(owned.back().get());
+      if (plan == nullptr) {
+        std::fprintf(stderr, "planning failed\n");
+        return 1;
+      }
+      per_table[t].push_back(plan);
     }
   }
-  // Interleaved: round-robin across tables (what uncoordinated threads do).
-  std::vector<const stagedb::optimizer::PhysicalPlan*> interleaved, batched;
-  for (int q = 0; q < 4; ++q) {
+  const PhysicalPlan* scrub_plan = plan_query("SELECT COUNT(*) FROM scrub");
+  if (scrub_plan == nullptr) {
+    std::fprintf(stderr, "planning failed\n");
+    return 1;
+  }
+
+  // Interleaved: round-robin across tables (what uncoordinated arrival
+  // does). Batched: all queries of one table together (what per-table fscan
+  // stages encourage).
+  std::vector<const PhysicalPlan*> interleaved, batched;
+  for (int q = 0; q < queries_per_table; ++q) {
     for (size_t t = 0; t < tables.size(); ++t) {
       interleaved.push_back(per_table[t][q]);
     }
   }
-  // Batched: all queries of one table together (what per-table fscan stages
-  // encourage).
   for (size_t t = 0; t < tables.size(); ++t) {
-    for (int q = 0; q < 4; ++q) batched.push_back(per_table[t][q]);
+    for (int q = 0; q < queries_per_table; ++q) {
+      batched.push_back(per_table[t][q]);
+    }
   }
 
-  std::printf("Ablation A6: run-time scan sharing (16 aggregation queries "
-              "over 4 tables, 300-page pool)\n\n");
-  PoolCounters i = RunOrder(&catalog, &pool, interleaved);
-  PoolCounters b = RunOrder(&catalog, &pool, batched);
-  const double hit_i = 100.0 * i.hits / (i.hits + i.misses);
-  const double hit_b = 100.0 * b.hits / (b.hits + b.misses);
-  std::printf("%-32s %-14s %-14s %-10s\n", "submission order", "pool hits",
-              "pool misses", "hit rate");
-  std::printf("%-32s %-14lld %-14lld %-10.1f%%\n",
-              "interleaved across tables", (long long)i.hits,
-              (long long)i.misses, hit_i);
-  std::printf("%-32s %-14lld %-14lld %-10.1f%%\n",
-              "batched per table (staged)", (long long)b.hits,
-              (long long)b.misses, hit_b);
-  std::printf("\nBatching queries at the same fscan stage turns repeated "
-              "scans into buffer hits\n(%.1f%% -> %.1f%%): the run-time "
-              "data-sharing opportunity §5.4 describes.\n", hit_i, hit_b);
-  return 0;
+  // Calibrate the arrival stagger to the measured cold single-scan time.
+  // Under concurrency a query is serialized behind its table-mates at the
+  // fscan stage, so one query's wall time is ~Q x the solo scan; staggering
+  // waves by 1.5x the solo scan keeps every wave arriving mid-scan while
+  // spreading unshared private cursors across the file — too small a stagger
+  // lets private cursors convoy page-by-page and be served by the buffer
+  // pool alone, hiding the sharing the elevator provides.
+  ScrubPool(&catalog, scrub_plan);
+  const auto cal_start = std::chrono::steady_clock::now();
+  RunSequential(&catalog, &pool, {per_table[0][0]});
+  const double scan_ms = ElapsedMs(cal_start);
+  const auto stagger = std::chrono::microseconds(
+      std::max<int64_t>(1000, (int64_t)(scan_ms * 1000 * 3) / 2));
+
+  ScrubPool(&catalog, scrub_plan);
+  const ModeResult seq_inter = RunSequential(&catalog, &pool, interleaved);
+  ScrubPool(&catalog, scrub_plan);
+  const ModeResult seq_batch = RunSequential(&catalog, &pool, batched);
+  ScrubPool(&catalog, scrub_plan);
+  const ModeResult conc_unshared = RunConcurrent(
+      &catalog, &pool, per_table, /*shared=*/false, stagger, nullptr);
+  ScrubPool(&catalog, scrub_plan);
+  SharedScanStats shared_stats;
+  const ModeResult conc_shared = RunConcurrent(
+      &catalog, &pool, per_table, /*shared=*/true, stagger, &shared_stats);
+
+  const int64_t errors = seq_inter.errors + seq_batch.errors +
+                         conc_unshared.errors + conc_shared.errors;
+  const bool fewer_misses = conc_shared.misses < conc_unshared.misses;
+  const bool less_wall = conc_shared.wall_ms < conc_unshared.wall_ms;
+
+  if (args.json) {
+    stagedb::bench::JsonReport report("ablation_shared_scan");
+    report.Add("smoke", args.smoke);
+    report.Add("tables", (int64_t)tables.size());
+    report.Add("rows_per_table", rows);
+    report.Add("pool_pages", (int64_t)pool_pages);
+    report.Add("disk_latency_us", disk_latency_us);
+    report.Add("queries_per_table", queries_per_table);
+    report.Add("stagger_us", (int64_t)stagger.count());
+    report.Add("seq_interleaved.misses", seq_inter.misses);
+    report.Add("seq_interleaved.hit_rate", seq_inter.hit_rate());
+    report.Add("seq_interleaved.wall_ms", seq_inter.wall_ms);
+    report.Add("seq_batched.misses", seq_batch.misses);
+    report.Add("seq_batched.hit_rate", seq_batch.hit_rate());
+    report.Add("seq_batched.wall_ms", seq_batch.wall_ms);
+    report.Add("conc_unshared.misses", conc_unshared.misses);
+    report.Add("conc_unshared.hit_rate", conc_unshared.hit_rate());
+    report.Add("conc_unshared.wall_ms", conc_unshared.wall_ms);
+    report.Add("conc_shared.misses", conc_shared.misses);
+    report.Add("conc_shared.hit_rate", conc_shared.hit_rate());
+    report.Add("conc_shared.wall_ms", conc_shared.wall_ms);
+    report.Add("conc_shared.attaches", shared_stats.attaches);
+    report.Add("conc_shared.heap_page_reads", shared_stats.heap_page_reads);
+    report.Add("conc_shared.pages_delivered", shared_stats.pages_delivered);
+    report.Add("conc_shared.window_hits", shared_stats.window_hits);
+    report.Add("conc_shared.deliveries_per_read",
+               shared_stats.DeliveriesPerRead());
+    report.Add("shared_beats_unshared_misses", fewer_misses);
+    report.Add("shared_beats_unshared_wall", less_wall);
+    report.Add("errors", errors);
+    report.Print();
+  } else {
+    std::printf("Ablation A6: run-time scan sharing (%d aggregation queries "
+                "over %zu tables,\n%zu-page pool, %lldus per miss)\n\n",
+                queries_per_table * (int)tables.size(), tables.size(),
+                pool_pages, (long long)disk_latency_us);
+    std::printf("%-34s %-12s %-12s %-10s %-10s\n", "submission regime",
+                "pool hits", "pool misses", "hit rate", "wall ms");
+    auto row = [](const char* name, const ModeResult& r) {
+      std::printf("%-34s %-12lld %-12lld %-9.1f%% %-10.1f\n", name,
+                  (long long)r.hits, (long long)r.misses, r.hit_rate(),
+                  r.wall_ms);
+    };
+    row("seq interleaved across tables", seq_inter);
+    row("seq batched per table", seq_batch);
+    row("concurrent interleaved, unshared", conc_unshared);
+    row("concurrent interleaved, SHARED", conc_shared);
+    std::printf("\nElevator stats (shared mode): %lld attaches, %lld heap "
+                "page reads, %lld pages\ndelivered (%.2fx sharing), %lld "
+                "window hits.\n",
+                (long long)shared_stats.attaches,
+                (long long)shared_stats.heap_page_reads,
+                (long long)shared_stats.pages_delivered,
+                shared_stats.DeliveriesPerRead(),
+                (long long)shared_stats.window_hits);
+    std::printf("\nCooperative scans turn N overlapping scans into ~1 "
+                "physical pass: %s misses\n(%lld vs %lld) and %s wall clock "
+                "(%.1f vs %.1f ms) than the unshared regime.\n",
+                fewer_misses ? "fewer" : "NOT fewer",
+                (long long)conc_shared.misses,
+                (long long)conc_unshared.misses,
+                less_wall ? "less" : "NOT less", conc_shared.wall_ms,
+                conc_unshared.wall_ms);
+  }
+  return errors == 0 ? 0 : 1;
 }

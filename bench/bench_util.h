@@ -1,0 +1,117 @@
+// Shared helpers for the standalone benchmark executables: a tiny flag
+// parser (every bench accepts --json and --smoke) and a flat JSON report so
+// CI can archive bench results as machine-readable BENCH_*.json artifacts.
+#ifndef STAGEDB_BENCH_BENCH_UTIL_H_
+#define STAGEDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stagedb::bench {
+
+/// Flags common to every bench binary.
+///   --json   emit one machine-readable JSON object on stdout (instead of
+///            the human-readable report)
+///   --smoke  shrink the workload so CI can run the bench in seconds
+struct BenchArgs {
+  bool json = false;
+  bool smoke = false;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        args.json = true;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
+      } else {
+        std::fprintf(stderr, "unknown flag %s (supported: --json --smoke)\n",
+                     argv[i]);
+        std::exit(2);
+      }
+    }
+    return args;
+  }
+};
+
+/// Accumulates flat key -> value metrics and prints them as one JSON object.
+/// Keys are emitted in insertion order so reports diff cleanly run-to-run.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench_name) {
+    Add("bench", bench_name);
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+  void Add(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void Add(const std::string& key, int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<int64_t>(value));
+  }
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+
+  /// Writes the object as a single line on stdout.
+  void Print() const {
+    std::printf("{");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::printf("%s%s: %s", i == 0 ? "" : ", ", Quote(fields_[i].first).c_str(),
+                  fields_[i].second.c_str());
+    }
+    std::printf("}\n");
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace stagedb::bench
+
+#endif  // STAGEDB_BENCH_BENCH_UTIL_H_

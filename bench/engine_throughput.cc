@@ -3,11 +3,13 @@
 // stages) versus the traditional worker-pool server — over a mixed Wisconsin
 // workload. This is the live-system smoke complement to the deterministic
 // virtual-time reproductions.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "bench_util.h"
 #include "server/server.h"
 #include "workload/wisconsin.h"
 
@@ -15,8 +17,16 @@ using namespace stagedb::server;  // NOLINT
 
 namespace {
 
-double MeasureQps(Server* server, const std::vector<std::string>& queries,
-                  int clients, int reps) {
+struct Throughput {
+  double qps = 0;
+  int failures = 0;
+};
+
+// Client threads record failures and return; pass/fail is decided (and any
+// process exit happens) in main, after every thread has joined and the
+// servers have been torn down.
+Throughput MeasureQps(Server* server, const std::vector<std::string>& queries,
+                      int clients, int reps) {
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
@@ -29,59 +39,79 @@ double MeasureQps(Server* server, const std::vector<std::string>& queries,
     });
   }
   for (auto& t : threads) t.join();
-  if (failures.load() > 0) {
-    std::fprintf(stderr, "%d queries failed\n", failures.load());
-    exit(1);
-  }
   const double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start)
                           .count();
-  return clients * reps / secs;
+  return {clients * reps / secs, failures.load()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = stagedb::bench::BenchArgs::Parse(argc, argv);
+  const int64_t rows = args.smoke ? 1000 : 4000;
+  const int clients = args.smoke ? 3 : 6;
+  const int reps = args.smoke ? 4 : 8;
+
   auto db_or = Database::Open();
   if (!db_or.ok()) return 1;
   Database* db = db_or->get();
-  if (!stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk1", 4000)
+  if (!stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk1", rows)
            .ok() ||
-      !stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk2", 4000)
+      !stagedb::workload::CreateWisconsinTable(db->catalog(), "tenk2", rows)
            .ok()) {
     return 1;
   }
   if (!db->catalog()->CreateIndex("tenk1_u2", "tenk1", "unique2").ok()) {
     return 1;
   }
-  const auto queries = stagedb::workload::SampleQueries("tenk1", "tenk2", 4000);
+  const auto queries = stagedb::workload::SampleQueries("tenk1", "tenk2", rows);
 
-  constexpr int kClients = 6, kReps = 8;
-  std::printf("A8: end-to-end server throughput, %d concurrent clients x %d "
-              "mixed Wisconsin queries (wall clock, %u cores)\n\n",
-              kClients, kReps, std::thread::hardware_concurrency());
+  if (!args.json) {
+    std::printf("A8: end-to-end server throughput, %d concurrent clients x %d "
+                "mixed Wisconsin queries (wall clock, %u cores)\n\n",
+                clients, reps, std::thread::hardware_concurrency());
+  }
 
-  double staged_qps, threaded_qps;
+  Throughput staged, threaded;
   {
     ServerOptions opts;
     opts.threads_per_stage = 1;
     StagedServer server(db, opts);
-    staged_qps = MeasureQps(&server, queries, kClients, kReps);
-    std::printf("%s\n", server.StatsReport().c_str());
+    staged = MeasureQps(&server, queries, clients, reps);
+    if (!args.json) std::printf("%s\n", server.StatsReport().c_str());
   }
   {
     ServerOptions opts;
     opts.worker_threads = 8;
     ThreadedServer server(db, opts);
-    threaded_qps = MeasureQps(&server, queries, kClients, kReps);
-    std::printf("%s\n", server.StatsReport().c_str());
+    threaded = MeasureQps(&server, queries, clients, reps);
+    if (!args.json) std::printf("%s\n", server.StatsReport().c_str());
   }
-  std::printf("staged server   : %8.1f queries/sec\n", staged_qps);
-  std::printf("threaded server : %8.1f queries/sec\n", threaded_qps);
-  std::printf("\nBoth architectures execute the identical workload "
-              "correctly; on a %u-core host the\nwall-clock difference is "
-              "dominated by scheduling noise — the cache-affinity argument\n"
-              "is quantified by the deterministic benches (fig1/fig2/fig5).\n",
-              std::thread::hardware_concurrency());
+
+  const int failures = staged.failures + threaded.failures;
+  if (args.json) {
+    stagedb::bench::JsonReport report("engine_throughput");
+    report.Add("smoke", args.smoke);
+    report.Add("clients", clients);
+    report.Add("reps", reps);
+    report.Add("rows_per_table", rows);
+    report.Add("staged_qps", staged.qps);
+    report.Add("threaded_qps", threaded.qps);
+    report.Add("failures", (int64_t)failures);
+    report.Print();
+  } else {
+    std::printf("staged server   : %8.1f queries/sec\n", staged.qps);
+    std::printf("threaded server : %8.1f queries/sec\n", threaded.qps);
+    std::printf("\nBoth architectures execute the identical workload "
+                "correctly; on a %u-core host the\nwall-clock difference is "
+                "dominated by scheduling noise — the cache-affinity argument\n"
+                "is quantified by the deterministic benches (fig1/fig2/fig5).\n",
+                std::thread::hardware_concurrency());
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d queries failed\n", failures);
+    return 1;
+  }
   return 0;
 }

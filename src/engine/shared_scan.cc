@@ -1,0 +1,222 @@
+#include "engine/shared_scan.h"
+
+#include <utility>
+
+namespace stagedb::engine {
+
+/// Per-table elevator state. Lives for the lifetime of the manager; the heap
+/// pointer is only dereferenced while a reader is attached (i.e. while a
+/// query over the table is in flight, which keeps the table alive).
+class TableScan {
+ public:
+  TableScan(const storage::HeapFile* heap, size_t window_pages)
+      : heap_(heap),
+        first_page_(heap->first_page()),
+        window_pages_(window_pages),
+        cursor_(heap->first_page()) {}
+
+  /// An entry is only reusable for the heap file it was built from. Page ids
+  /// are never recycled within a buffer pool, so a table dropped and
+  /// recreated at the same HeapFile address always has a different first
+  /// page — a mismatch tells the manager the entry is stale.
+  bool ValidFor(storage::PageId first_page) const {
+    return first_page_ == first_page;
+  }
+
+  int64_t Attach() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t id = next_reader_id_++;
+    readers_[id] = Reader{cursor_, cursor_};
+    ++stats_.attaches;
+    ++stats_.active_readers;
+    return id;
+  }
+
+  void Detach(int64_t reader_id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    DetachLocked(reader_id);
+  }
+
+  /// Delivers the next page for `reader_id`. Returns false at end-of-scan
+  /// (reader detached) or on error (*status non-OK, reader stays attached).
+  bool NextPage(int64_t reader_id,
+                std::shared_ptr<const std::vector<std::string>>* records,
+                Status* status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = readers_.find(reader_id);
+    if (it == readers_.end()) return false;  // completed earlier
+    Reader& reader = it->second;
+    const storage::PageId want = reader.next;
+    std::shared_ptr<const std::vector<std::string>> page;
+    storage::PageId next = storage::kInvalidPageId;
+    // A cached page is only served while the heap is at the version it was
+    // read at: any DML since makes the copy potentially stale, and the
+    // reader must go back through the (latched) buffer-pool read.
+    const uint64_t version = heap_->version();
+    for (const CachedPage& cached : window_) {
+      if (cached.id == want && cached.version == version) {
+        page = cached.records;
+        next = cached.next;
+        ++stats_.window_hits;
+        break;
+      }
+    }
+    if (page == nullptr) {
+      // The elevator's physical read. Performed under the table mutex: a
+      // heap-page read is short (buffer-pool hit or one I/O) and serializing
+      // it keeps the window and cursor trivially consistent.
+      auto fresh = std::make_shared<std::vector<std::string>>();
+      Status s = heap_->ReadPage(want, fresh.get(), &next);
+      if (!s.ok()) {
+        *status = std::move(s);
+        return false;
+      }
+      page = std::move(fresh);
+      window_.push_back(CachedPage{want, next, version, page});
+      if (window_.size() > window_pages_) window_.pop_front();
+      cursor_ = want;  // new readers attach at the elevator's head
+      ++stats_.heap_page_reads;
+    }
+    // Advance circularly; wrapping back to the attach point ends the scan.
+    const storage::PageId wrapped =
+        next == storage::kInvalidPageId ? first_page_ : next;
+    if (wrapped == reader.attach) {
+      DetachLocked(reader_id);  // this delivery is the reader's last page
+    } else {
+      reader.next = wrapped;
+    }
+    ++stats_.pages_delivered;
+    *records = std::move(page);
+    return true;
+  }
+
+  SharedScanStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  struct Reader {
+    storage::PageId attach = storage::kInvalidPageId;
+    storage::PageId next = storage::kInvalidPageId;
+  };
+  struct CachedPage {
+    storage::PageId id;
+    storage::PageId next;
+    uint64_t version;  // heap version the page was read at
+    std::shared_ptr<const std::vector<std::string>> records;
+  };
+
+  void DetachLocked(int64_t reader_id) {
+    if (readers_.erase(reader_id) == 0) return;
+    --stats_.active_readers;
+    if (readers_.empty()) {
+      // Last reader gone: drop the window and rewind the elevator so the
+      // next (possibly solitary) scan starts at the first page, exactly like
+      // a private HeapFile::Iterator.
+      window_.clear();
+      cursor_ = first_page_;
+      ++stats_.cursor_resets;
+    }
+  }
+
+  const storage::HeapFile* heap_;
+  const storage::PageId first_page_;
+  const size_t window_pages_;
+
+  mutable std::mutex mu_;
+  storage::PageId cursor_;  // attach point: last page physically read
+  std::map<int64_t, Reader> readers_;
+  std::deque<CachedPage> window_;
+  int64_t next_reader_id_ = 1;
+  SharedScanStats stats_;
+};
+
+// ----------------------------------------------------------------- Cursor ---
+
+SharedScanManager::Cursor& SharedScanManager::Cursor::operator=(
+    Cursor&& o) noexcept {
+  if (this != &o) {
+    Detach();
+    table_ = o.table_;
+    reader_id_ = o.reader_id_;
+    status_ = std::move(o.status_);
+    o.table_ = nullptr;
+    o.reader_id_ = -1;
+  }
+  return *this;
+}
+
+bool SharedScanManager::Cursor::NextPage(
+    std::shared_ptr<const std::vector<std::string>>* records) {
+  if (table_ == nullptr) return false;
+  Status status;
+  if (table_->NextPage(reader_id_, records, &status)) return true;
+  if (!status.ok()) {
+    status_ = std::move(status);
+    Detach();
+  } else {
+    table_ = nullptr;  // clean end-of-scan: TableScan already detached us
+    reader_id_ = -1;
+  }
+  return false;
+}
+
+void SharedScanManager::Cursor::Detach() {
+  if (table_ == nullptr) return;
+  table_->Detach(reader_id_);
+  table_ = nullptr;
+  reader_id_ = -1;
+}
+
+// ------------------------------------------------------- SharedScanManager --
+
+SharedScanManager::SharedScanManager(size_t window_pages)
+    : window_pages_(window_pages == 0 ? 1 : window_pages) {}
+
+SharedScanManager::~SharedScanManager() = default;
+
+SharedScanManager::Cursor SharedScanManager::Attach(
+    const storage::HeapFile* heap) {
+  TableScan* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = tables_[heap];
+    // Replace entries left behind by a dropped table whose HeapFile address
+    // was reused by a new table (detected via the first page id; see
+    // TableScan::ValidFor). Such an entry necessarily has no live readers —
+    // they would have kept the old table alive.
+    if (slot == nullptr || !slot->ValidFor(heap->first_page())) {
+      slot = std::make_unique<TableScan>(heap, window_pages_);
+    }
+    table = slot.get();
+  }
+  Cursor cursor;
+  cursor.table_ = table;
+  cursor.reader_id_ = table->Attach();
+  return cursor;
+}
+
+SharedScanStats SharedScanManager::StatsFor(
+    const storage::HeapFile* heap) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(heap);
+  return it == tables_.end() ? SharedScanStats{} : it->second->stats();
+}
+
+SharedScanStats SharedScanManager::TotalStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SharedScanStats total;
+  for (const auto& [heap, table] : tables_) {
+    const SharedScanStats s = table->stats();
+    total.attaches += s.attaches;
+    total.active_readers += s.active_readers;
+    total.heap_page_reads += s.heap_page_reads;
+    total.pages_delivered += s.pages_delivered;
+    total.window_hits += s.window_hits;
+    total.cursor_resets += s.cursor_resets;
+  }
+  return total;
+}
+
+}  // namespace stagedb::engine

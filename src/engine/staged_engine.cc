@@ -48,10 +48,32 @@ void StagedQuery::Fail(Status status) {
   }
 }
 
-void StagedQuery::OnInstanceRetired() {
+bool StagedQuery::done() const {
   std::lock_guard<std::mutex> lock(mu_);
-  --remaining_;
-  if (remaining_ == 0) cv_.notify_all();
+  return remaining_ == 0;
+}
+
+void StagedQuery::NotifyOnDone(std::function<void()> callback) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (remaining_ > 0) {
+      on_done_ = std::move(callback);
+      return;
+    }
+  }
+  callback();  // already done: fire on the caller's thread
+}
+
+void StagedQuery::OnInstanceRetired() {
+  std::function<void()> on_done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --remaining_;
+    if (remaining_ > 0) return;
+    cv_.notify_all();
+    on_done = std::move(on_done_);
+  }
+  if (on_done) on_done();
 }
 
 bool StagedQuery::failed() const {
@@ -191,6 +213,7 @@ class OperatorInstance : public StageTask {
   /// Early termination (sink closed, query failed): cancel upstream work.
   RunOutcome FinishEarly() {
     for (ExchangeBuffer* input : inputs_) input->Close();
+    shared_cursor_.Detach();  // leave the elevator promptly, not at teardown
     if (output_ != nullptr) output_->MarkEof();
     return RunOutcome::kDone;
   }
@@ -201,6 +224,7 @@ class OperatorInstance : public StageTask {
   }
 
   RunOutcome RunSeqScan();
+  RunOutcome RunSharedSeqScan();
   RunOutcome RunIndexScan();
   RunOutcome RunQual();       // filter / project / limit
   RunOutcome RunNestedLoopJoin();
@@ -219,8 +243,14 @@ class OperatorInstance : public StageTask {
   BlockReason block_ = BlockReason::kNone;
   bool finishing_ = false;
 
-  // Scan state.
+  // Scan state. Private-iterator path (shared_scans=false):
   std::unique_ptr<storage::HeapFile::Iterator> scan_iter_;
+  // Cooperative path (shared_scans=true): a cursor attached to the table's
+  // elevator plus the page delivery currently being drained.
+  SharedScanManager::Cursor shared_cursor_;
+  std::shared_ptr<const std::vector<std::string>> shared_page_;
+  size_t shared_page_pos_ = 0;
+  bool shared_attached_ = false;
   std::vector<std::pair<int64_t, storage::Rid>> index_matches_;
   size_t index_pos_ = 0;
   bool index_loaded_ = false;
@@ -298,6 +328,7 @@ bool OperatorInstance::CanMakeProgress() {
 RunOutcome OperatorInstance::RunSeqScan() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
+  if (engine_->options().shared_scans) return RunSharedSeqScan();
   if (!scan_iter_) {
     scan_iter_ = std::make_unique<storage::HeapFile::Iterator>(
         plan_->table->heap->Scan());
@@ -318,6 +349,44 @@ RunOutcome OperatorInstance::RunSeqScan() {
       return FinishEarly();
     }
     if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+  }
+  return RunOutcome::kYield;
+}
+
+/// The cooperative fscan driver (§5.4): instead of owning a private
+/// iterator, the packet attaches to the table's elevator at its current
+/// position, drains one delivered page at a time, and finishes when the
+/// elevator wraps back to its attach point. Output back-pressure parks the
+/// packet between tuples of a delivered page; the shared_page_ reference
+/// keeps the delivery alive across the park.
+RunOutcome OperatorInstance::RunSharedSeqScan() {
+  RunOutcome oc;
+  if (!shared_attached_) {
+    shared_cursor_ = engine_->shared_scans()->Attach(plan_->table->heap.get());
+    shared_attached_ = true;
+  }
+  int budget = quantum_tuples();
+  while (budget > 0) {
+    if (shared_page_ != nullptr && shared_page_pos_ < shared_page_->size()) {
+      auto tuple = catalog::DecodeTuple(plan_->table->schema,
+                                        (*shared_page_)[shared_page_pos_]);
+      ++shared_page_pos_;
+      --budget;
+      if (!tuple.ok()) {
+        query_->Fail(tuple.status());
+        return FinishEarly();
+      }
+      if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+      continue;
+    }
+    shared_page_pos_ = 0;
+    if (!shared_cursor_.NextPage(&shared_page_)) {
+      if (!shared_cursor_.status().ok()) {
+        query_->Fail(shared_cursor_.status());
+        return FinishEarly();
+      }
+      return Finish();
+    }
   }
   return RunOutcome::kYield;
 }
@@ -857,7 +926,9 @@ class DmlTask : public StageTask {
 
 StagedEngine::StagedEngine(catalog::Catalog* catalog,
                            StagedEngineOptions options)
-    : catalog_(catalog), options_(options), runtime_(options.scheduler) {
+    : catalog_(catalog), options_(options), runtime_(options.scheduler),
+      shared_scans_(std::make_unique<SharedScanManager>(
+          options.shared_scan_window_pages)) {
   const int w = options_.threads_per_stage;
   if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {
     execute_stage_ = runtime_.CreateStage("execute", w);

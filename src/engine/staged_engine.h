@@ -15,6 +15,7 @@
 #ifndef STAGEDB_ENGINE_STAGED_ENGINE_H_
 #define STAGEDB_ENGINE_STAGED_ENGINE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "catalog/catalog.h"
 #include "engine/exchange.h"
 #include "engine/runtime.h"
+#include "engine/shared_scan.h"
 #include "exec/executor.h"
 #include "optimizer/plan.h"
 
@@ -46,6 +48,13 @@ struct StagedEngineOptions {
   /// Replicate fscan stages per table ("the fscan and iscan stages are
   /// replicated and are separately attached to the database tables").
   bool stage_per_table_scans = true;
+  /// Cooperative shared scans (§5.4): fscan packets attach to the table's
+  /// circular elevator cursor instead of each owning a private iterator, so
+  /// N concurrent scans cost ~1 physical pass. When false, every seq-scan
+  /// packet drives its own HeapFile::Iterator (the seed behaviour).
+  bool shared_scans = true;
+  /// Recently read pages the elevator keeps decoded for lagging readers.
+  size_t shared_scan_window_pages = 32;
 };
 
 /// Tracks one in-flight query: its operator packets, exchange buffers,
@@ -55,6 +64,15 @@ class StagedQuery {
  public:
   /// Blocks until every packet of this query has retired.
   StatusOr<std::vector<catalog::Tuple>> Await();
+
+  /// True once every packet has retired (Await would not block).
+  bool done() const;
+
+  /// Registers a callback fired exactly once when the query completes, from
+  /// the retiring stage worker's thread (or immediately, from the caller's
+  /// thread, if the query is already done). Lets a submitter park instead of
+  /// blocking a worker thread in Await.
+  void NotifyOnDone(std::function<void()> callback);
 
   // --- used by operator drivers ---
   void AppendResult(catalog::Tuple t);
@@ -76,6 +94,7 @@ class StagedQuery {
   Status status_;
   bool failed_ = false;
   std::vector<catalog::Tuple> rows_;
+  std::function<void()> on_done_;
 };
 
 /// The staged engine: owns the stage runtime and executes physical plans.
@@ -98,6 +117,8 @@ class StagedEngine {
   StageRuntime* runtime() { return &runtime_; }
   catalog::Catalog* catalog() { return catalog_; }
   const StagedEngineOptions& options() const { return options_; }
+  /// The per-table elevator cursors the fscan stages share (§5.4).
+  SharedScanManager* shared_scans() { return shared_scans_.get(); }
 
   /// The stage responsible for a plan node (exposed for tests/monitoring).
   Stage* StageFor(const optimizer::PhysicalPlan& node);
@@ -106,6 +127,7 @@ class StagedEngine {
   catalog::Catalog* catalog_;
   StagedEngineOptions options_;
   StageRuntime runtime_;
+  std::unique_ptr<SharedScanManager> shared_scans_;
 
   std::mutex stage_map_mu_;
   Stage* iscan_stage_ = nullptr;

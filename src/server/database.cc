@@ -25,6 +25,24 @@ std::string QueryResult::ToString() const {
   return StrFormat("%zu row(s)", rows.size());
 }
 
+// ----------------------------------------------------------- PendingQuery ---
+
+StatusOr<QueryResult> PendingQuery::Await() {
+  auto rows = query_->Await();
+  if (!rows.ok()) return rows.status();
+  QueryResult result;
+  result.schema = schema_;
+  result.plan_text = plan_text_;
+  result.rows = std::move(*rows);
+  return result;
+}
+
+bool PendingQuery::done() const { return query_->done(); }
+
+void PendingQuery::NotifyOnDone(std::function<void()> callback) {
+  query_->NotifyOnDone(std::move(callback));
+}
+
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() = default;
@@ -44,6 +62,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     opts.exchange_capacity_pages = db->options_.exchange_buffer_pages;
     opts.tuples_per_page = db->options_.tuples_per_page;
     opts.threads_per_stage = db->options_.threads_per_stage;
+    opts.shared_scans = db->options_.shared_scans;
     db->staged_ =
         std::make_unique<StagedEngineHandle>(db->catalog_.get(), opts);
   }
@@ -172,6 +191,25 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
     result.rows = std::move(*rows);
   }
   return result;
+}
+
+StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
+    const PhysicalPlan* plan) {
+  if (options_.mode != ExecutionMode::kStaged) {
+    return Status::InvalidArgument(
+        "SubmitPlanned requires staged execution mode");
+  }
+  auto pending = std::make_shared<PendingQuery>();
+  pending->schema_ = plan->schema;
+  pending->plan_text_ = plan->ToString();
+  pending->ctx_.catalog = catalog_.get();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    pending->ctx_.mutation_log = active_txn_.get();
+  }
+  stats_.GetCounter("stage.execute.packets")->Add(1);
+  pending->query_ = staged_->engine.Submit(plan, &pending->ctx_);
+  return pending;
 }
 
 }  // namespace stagedb::server

@@ -4,6 +4,7 @@
 #ifndef STAGEDB_SERVER_DATABASE_H_
 #define STAGEDB_SERVER_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -16,6 +17,10 @@
 #include "storage/disk_manager.h"
 #include "storage/txn.h"
 #include "storage/wal.h"
+
+namespace stagedb::engine {
+class StagedQuery;
+}  // namespace stagedb::engine
 
 namespace stagedb::server {
 
@@ -35,6 +40,8 @@ struct DatabaseOptions {
   size_t exchange_buffer_pages = 4;
   size_t tuples_per_page = 64;
   int threads_per_stage = 1;
+  /// Cooperative shared scans at the fscan stages (§5.4 run-time sharing).
+  bool shared_scans = true;
 };
 
 /// Result of one statement.
@@ -44,6 +51,28 @@ struct QueryResult {
   std::string plan_text;  // EXPLAIN-style rendering of the executed plan
   /// A short human-readable summary ("3 rows", "ok").
   std::string ToString() const;
+};
+
+/// Handle on a query submitted asynchronously to the staged engine (see
+/// Database::SubmitPlanned). Owns the execution context for the query's
+/// lifetime; Await consumes the result and must be called at most once.
+class PendingQuery {
+ public:
+  /// Blocks until the query completes and returns its result.
+  StatusOr<QueryResult> Await();
+  /// True once the query has completed (Await would not block).
+  bool done() const;
+  /// Fires `callback` exactly once on completion (immediately if already
+  /// done); used by the staged server to park lifecycle packets instead of
+  /// blocking an execute-stage worker.
+  void NotifyOnDone(std::function<void()> callback);
+
+ private:
+  friend class Database;
+  catalog::Schema schema_;
+  std::string plan_text_;
+  exec::ExecContext ctx_;
+  std::shared_ptr<engine::StagedQuery> query_;
 };
 
 /// An embedded staged database instance. Thread-compatible: concurrent
@@ -64,6 +93,14 @@ class Database {
   /// Executes an already-planned statement (used by the staged server's
   /// execute stage; Figure 3's precompiled-query bypass).
   StatusOr<QueryResult> ExecutePlanned(const optimizer::PhysicalPlan* plan);
+
+  /// Submits an already-planned statement to the staged engine without
+  /// blocking: returns a handle whose completion can be observed or awaited.
+  /// Only available in kStaged mode (InvalidArgument otherwise) — callers
+  /// fall back to ExecutePlanned. This is what lets concurrent queries
+  /// genuinely overlap inside the execute stage (and share fscan elevators).
+  StatusOr<std::shared_ptr<PendingQuery>> SubmitPlanned(
+      const optimizer::PhysicalPlan* plan);
 
   catalog::Catalog* catalog() { return catalog_.get(); }
   storage::BufferPool* buffer_pool() { return pool_.get(); }

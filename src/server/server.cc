@@ -46,6 +46,11 @@ class LifecycleTask : public StageTask {
       : server_(server), request_(std::move(request)) {}
 
   RunOutcome Run() override;
+  /// Re-checked before parking after kBlocked: the only blocking point is
+  /// the execute phase waiting on an in-flight staged query.
+  bool CanMakeProgress() override {
+    return pending_ != nullptr && pending_->done();
+  }
   void OnRetired() override;
 
  private:
@@ -55,6 +60,7 @@ class LifecycleTask : public StageTask {
   // The backpack.
   std::unique_ptr<parser::Statement> stmt_;
   std::unique_ptr<optimizer::PhysicalPlan> plan_;
+  std::shared_ptr<PendingQuery> pending_;  // in-flight staged execution
   StatusOr<QueryResult> result_{Status::Internal("not executed")};
   bool failed_ = false;
 };
@@ -115,7 +121,29 @@ RunOutcome LifecycleTask::Run() {
       return RunOutcome::kMoved;
     }
     case Phase::kExecute: {
+      if (pending_ != nullptr) {
+        // Resumed after the staged query completed: collect the result.
+        result_ = pending_->Await();
+        pending_.reset();
+        phase_ = Phase::kDisconnect;
+        set_next_stage(server_->disconnect_);
+        return RunOutcome::kMoved;
+      }
       db->stats()->GetCounter("stage.execute.packets")->Add(1);
+      if (db->options().mode == ExecutionMode::kStaged) {
+        // Submit asynchronously and park this packet: the execute-stage
+        // worker is free to start the next query, so concurrent queries
+        // genuinely overlap inside the engine (and cooperating fscan packets
+        // can share one elevator scan, §5.4).
+        auto pending = db->SubmitPlanned(plan_.get());
+        if (pending.ok()) {
+          pending_ = std::move(*pending);
+          Stage* execute = server_->execute_;
+          pending_->NotifyOnDone([this, execute] { execute->Activate(this); });
+          return RunOutcome::kBlocked;
+        }
+        // Fall through to the synchronous path on submission failure.
+      }
       result_ = db->ExecutePlanned(plan_.get());
       phase_ = Phase::kDisconnect;
       set_next_stage(server_->disconnect_);
@@ -211,8 +239,11 @@ std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
 
 void ThreadedServer::WorkerLoop() {
   while (auto request = queue_.Dequeue()) {
-    (*request)->Complete(db_->Execute((*request)->sql()));
+    auto result = db_->Execute((*request)->sql());
+    // Count before Complete: a client returning from Await must already see
+    // itself reflected in StatsReport.
     served_.fetch_add(1, std::memory_order_relaxed);
+    (*request)->Complete(std::move(result));
   }
 }
 

@@ -1,8 +1,15 @@
 #include "storage/heap_file.h"
 
+#include <shared_mutex>
+
 #include "storage/slotted_page.h"
 
 namespace stagedb::storage {
+
+// Latching protocol: every access to a page's bytes happens between FetchPage
+// and Unpin with the frame latch held — shared for readers (Get, scans,
+// ReadPage), exclusive for mutators (Insert, Delete, Update). The pin is what
+// keeps the frame from being recycled while the latch is held.
 
 StatusOr<std::unique_ptr<HeapFile>> HeapFile::Create(BufferPool* pool) {
   auto page_or = pool->NewPage();
@@ -37,17 +44,23 @@ StatusOr<Rid> HeapFile::Insert(std::string_view record) {
   if (!page_or.ok()) return page_or.status();
   Page* page = *page_or;
   SlottedPage sp(page);
-  auto slot_or = sp.Insert(record);
+  StatusOr<uint16_t> slot_or = uint16_t{0};
+  {
+    std::unique_lock<std::shared_mutex> latch(page->latch());
+    slot_or = sp.Insert(record);
+  }
   if (slot_or.ok()) {
     const Rid rid{page->page_id(), *slot_or};
     STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), true));
+    BumpVersion();
     return rid;
   }
   if (!slot_or.status().IsResourceExhausted()) {
     STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), false));
     return slot_or.status();
   }
-  // Page full: chain a new page.
+  // Page full: chain a new page. The fresh page is formatted and filled
+  // before set_next_page publishes it to in-flight scans.
   auto new_or = pool_->NewPage();
   if (!new_or.ok()) {
     STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), false));
@@ -55,49 +68,78 @@ StatusOr<Rid> HeapFile::Insert(std::string_view record) {
   }
   Page* fresh = *new_or;
   SlottedPage fresh_sp(fresh);
-  fresh_sp.Init();
-  sp.set_next_page(fresh->page_id());
+  StatusOr<uint16_t> slot2_or = uint16_t{0};
+  {
+    std::unique_lock<std::shared_mutex> latch(fresh->latch());
+    fresh_sp.Init();
+    slot2_or = fresh_sp.Insert(record);
+  }
+  {
+    std::unique_lock<std::shared_mutex> latch(page->latch());
+    sp.set_next_page(fresh->page_id());
+  }
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), true));
   last_page_ = fresh->page_id();
-  auto slot2_or = fresh_sp.Insert(record);
   if (!slot2_or.ok()) {
     STAGEDB_RETURN_IF_ERROR(pool_->Unpin(fresh->page_id(), true));
     return slot2_or.status();
   }
   const Rid rid{fresh->page_id(), *slot2_or};
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(fresh->page_id(), true));
+  BumpVersion();
   return rid;
 }
 
 Status HeapFile::Get(const Rid& rid, std::string* out) const {
   auto page_or = pool_->FetchPage(rid.page_id);
   if (!page_or.ok()) return page_or.status();
-  SlottedPage sp(*page_or);
-  auto rec_or = sp.Get(rid.slot);
-  if (!rec_or.ok()) {
-    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, false));
-    return rec_or.status();
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  Status status;
+  {
+    std::shared_lock<std::shared_mutex> latch(page->latch());
+    auto rec_or = sp.Get(rid.slot);
+    if (rec_or.ok()) {
+      out->assign(rec_or->data(), rec_or->size());
+    } else {
+      status = rec_or.status();
+    }
   }
-  out->assign(rec_or->data(), rec_or->size());
+  if (!status.ok()) {
+    STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, false));
+    return status;
+  }
   return pool_->Unpin(rid.page_id, false);
 }
 
 Status HeapFile::Delete(const Rid& rid) {
   auto page_or = pool_->FetchPage(rid.page_id);
   if (!page_or.ok()) return page_or.status();
-  SlottedPage sp(*page_or);
-  Status s = sp.Delete(rid.slot);
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  Status s;
+  {
+    std::unique_lock<std::shared_mutex> latch(page->latch());
+    s = sp.Delete(rid.slot);
+  }
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, s.ok()));
+  if (s.ok()) BumpVersion();
   return s;
 }
 
 StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
   auto page_or = pool_->FetchPage(rid.page_id);
   if (!page_or.ok()) return page_or.status();
-  SlottedPage sp(*page_or);
-  Status s = sp.UpdateInPlace(rid.slot, record);
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  Status s;
+  {
+    std::unique_lock<std::shared_mutex> latch(page->latch());
+    s = sp.UpdateInPlace(rid.slot, record);
+  }
   if (s.ok()) {
     STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, true));
+    BumpVersion();
     return rid;
   }
   if (!s.IsResourceExhausted()) {
@@ -105,8 +147,13 @@ StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
     return s;
   }
   // Record grew: delete here, re-insert at the tail.
-  STAGEDB_RETURN_IF_ERROR(sp.Delete(rid.slot));
+  {
+    std::unique_lock<std::shared_mutex> latch(page->latch());
+    s = sp.Delete(rid.slot);
+  }
+  STAGEDB_RETURN_IF_ERROR(s);
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, true));
+  BumpVersion();
   return Insert(record);
 }
 
@@ -128,25 +175,52 @@ bool HeapFile::Iterator::Next() {
       status_ = page_or.status();
       return false;
     }
-    SlottedPage sp(*page_or);
-    const uint16_t slots = sp.num_slots();
-    while (next_slot_ < slots) {
-      const uint16_t slot = static_cast<uint16_t>(next_slot_++);
-      auto rec_or = sp.Get(slot);
-      if (rec_or.ok()) {
-        rid_ = Rid{page_id_, slot};
-        record_.assign(rec_or->data(), rec_or->size());
-        status_ = file_->pool_->Unpin(page_id_, false);
-        return status_.ok();
+    Page* page = *page_or;
+    SlottedPage sp(page);
+    bool found = false;
+    PageId next = kInvalidPageId;
+    {
+      std::shared_lock<std::shared_mutex> latch(page->latch());
+      const uint16_t slots = sp.num_slots();
+      while (next_slot_ < slots) {
+        const uint16_t slot = static_cast<uint16_t>(next_slot_++);
+        auto rec_or = sp.Get(slot);
+        if (rec_or.ok()) {
+          rid_ = Rid{page_id_, slot};
+          record_.assign(rec_or->data(), rec_or->size());
+          found = true;
+          break;
+        }
       }
+      if (!found) next = sp.next_page();
     }
-    const PageId next = sp.next_page();
     status_ = file_->pool_->Unpin(page_id_, false);
-    if (!status_.ok()) return false;
+    if (found || !status_.ok()) return found && status_.ok();
     page_id_ = next;
     next_slot_ = 0;
   }
   return false;
+}
+
+Status HeapFile::ReadPage(PageId page_id, std::vector<std::string>* records,
+                          PageId* next) const {
+  records->clear();
+  *next = kInvalidPageId;
+  auto page_or = pool_->FetchPage(page_id);
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  {
+    std::shared_lock<std::shared_mutex> latch(page->latch());
+    const uint16_t slots = sp.num_slots();
+    records->reserve(slots);
+    for (uint16_t slot = 0; slot < slots; ++slot) {
+      auto rec_or = sp.Get(slot);
+      if (rec_or.ok()) records->emplace_back(rec_or->data(), rec_or->size());
+    }
+    *next = sp.next_page();
+  }
+  return pool_->Unpin(page_id, false);
 }
 
 }  // namespace stagedb::storage

@@ -4,9 +4,11 @@
 #ifndef STAGEDB_STORAGE_HEAP_FILE_H_
 #define STAGEDB_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/status.h"
 #include "storage/buffer_pool.h"
@@ -35,6 +37,11 @@ class HeapFile {
 
   PageId first_page() const { return first_page_; }
 
+  /// Monotone mutation counter, bumped by every successful Insert / Delete /
+  /// Update. Lets page-content caches (the shared-scan reuse window) detect
+  /// that a cached copy may predate a mutation and fall back to the pool.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
   /// Forward iterator over live records. Not stable under concurrent
   /// structural modification of the same pages.
   class Iterator {
@@ -58,6 +65,15 @@ class HeapFile {
 
   Iterator Scan() const { return Iterator(this, first_page_); }
 
+  /// Position-aware page read for cooperative scans: copies every live record
+  /// of `page_id` into `records` (slot order) and reports the successor page
+  /// in `*next` (kInvalidPageId at the tail). The page is fetched through the
+  /// buffer pool on every call, so a cursor built on ReadPage survives page
+  /// eviction between calls; the page latch is held shared for the copy, so
+  /// concurrent DML never yields a torn record.
+  Status ReadPage(PageId page_id, std::vector<std::string>* records,
+                  PageId* next) const;
+
   /// Number of live records (walks the file).
   StatusOr<int64_t> CountRecords() const;
 
@@ -65,9 +81,12 @@ class HeapFile {
   HeapFile(BufferPool* pool, PageId first_page, PageId last_page)
       : pool_(pool), first_page_(first_page), last_page_(last_page) {}
 
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_release); }
+
   BufferPool* pool_;
   PageId first_page_;
   PageId last_page_;
+  std::atomic<uint64_t> version_{0};
   std::mutex append_mu_;
 
   friend class Iterator;

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 
 namespace stagedb::storage {
 
@@ -50,11 +51,19 @@ class Page {
   bool dirty() const { return dirty_; }
   void set_dirty(bool d) { dirty_ = d; }
 
+  /// Content latch: heap-file readers take it shared, mutators exclusive, so
+  /// a scan never observes a half-written slot array. Held only between
+  /// FetchPage and Unpin (the pin keeps the frame from being recycled while
+  /// latched). The latch belongs to the frame, not the on-disk page, which is
+  /// safe precisely because it is only ever held under a pin.
+  std::shared_mutex& latch() const { return latch_; }
+
  private:
   char data_[kPageSize];
   PageId page_id_;
   int pin_count_;
   bool dirty_;
+  mutable std::shared_mutex latch_;
 };
 
 }  // namespace stagedb::storage

@@ -7,35 +7,43 @@ namespace stagedb::storage {
 
 // ------------------------------------------------------------ LockManager ---
 
+// Both acquire paths re-look-up the TableLock after every wait: ReleaseAll
+// erases entries that become fully unlocked, so a reference held across
+// cv_.wait_until would dangle.
+
 Status LockManager::AcquireShared(TxnId txn, int32_t table_id) {
   std::unique_lock<std::mutex> lock(mu_);
-  TableLock& l = locks_[table_id];
-  if (l.shared.count(txn) || l.exclusive == txn) return Status::OK();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros_);
-  while (!CanGrantShared(l, txn)) {
+  while (true) {
+    TableLock& l = locks_[table_id];
+    if (l.shared.count(txn) || l.exclusive == txn) return Status::OK();
+    if (CanGrantShared(l, txn)) {
+      l.shared.insert(txn);
+      return Status::OK();
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       return Status::Aborted("lock timeout (possible deadlock)");
     }
   }
-  l.shared.insert(txn);
-  return Status::OK();
 }
 
 Status LockManager::AcquireExclusive(TxnId txn, int32_t table_id) {
   std::unique_lock<std::mutex> lock(mu_);
-  TableLock& l = locks_[table_id];
-  if (l.exclusive == txn) return Status::OK();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros_);
-  while (!CanGrantExclusive(l, txn)) {
+  while (true) {
+    TableLock& l = locks_[table_id];
+    if (l.exclusive == txn) return Status::OK();
+    if (CanGrantExclusive(l, txn)) {
+      l.shared.erase(txn);  // upgrade
+      l.exclusive = txn;
+      return Status::OK();
+    }
     if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       return Status::Aborted("lock timeout (possible deadlock)");
     }
   }
-  l.shared.erase(txn);  // upgrade
-  l.exclusive = txn;
-  return Status::OK();
 }
 
 void LockManager::ReleaseAll(TxnId txn) {

@@ -144,5 +144,36 @@ TEST_F(ServerTest, StagedDatabaseModeUnderServer) {
   EXPECT_EQ(result->rows[0][0].int_value(), 6);
 }
 
+TEST_F(ServerTest, ConcurrentQueriesOverlapInExecuteStage) {
+  // In staged DB mode the execute stage submits to the engine and parks the
+  // lifecycle packet, so a single execute worker drives many in-flight
+  // queries at once (and their fscan packets share one elevator). A burst of
+  // concurrent SELECTs (plus a failing query mid-burst) must all complete
+  // correctly through the park/resume path.
+  DatabaseOptions dbo;
+  dbo.mode = ExecutionMode::kStaged;
+  auto db = Database::Open(dbo);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Execute("CREATE TABLE s (x INTEGER)").ok());
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(
+        (*db)->Execute("INSERT INTO s VALUES (" + std::to_string(i) + ")")
+            .ok());
+  }
+  StagedServer server(db->get());
+  std::vector<std::shared_ptr<Request>> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(server.Submit("SELECT COUNT(*), SUM(x) FROM s"));
+  }
+  auto bad = server.Submit("SELECT nope FROM s");
+  for (auto& r : requests) {
+    auto result = r->Await();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows[0][0].int_value(), 40);
+    EXPECT_EQ(result->rows[0][1].int_value(), 40 * 39 / 2);
+  }
+  EXPECT_FALSE(bad->Await().ok());
+}
+
 }  // namespace
 }  // namespace stagedb::server

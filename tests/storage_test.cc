@@ -174,7 +174,7 @@ TEST(BufferPoolTest, ConcurrentFetchesAreSafe) {
   std::vector<std::thread> threads;
   std::atomic<int> failures{0};
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&] {
+    threads.emplace_back([&, t] {
       Rng rng(t + 1);
       for (int i = 0; i < 500; ++i) {
         PageId id = ids[rng.Uniform(ids.size())];
