@@ -1,0 +1,254 @@
+// Figure 5 on the real engine: the gated scheduling-policy family under
+// concurrent client load.
+//
+// The simulation side reproduces Figure 5 analytically
+// (bench/fig5_scheduling_policies.cc over simsched); this ablation runs the
+// same policy family — free-run, non-gated, D-gated, T-gated(2) — in the
+// *live* staged runtime, against the staggered-arrival concurrent workload
+// of ablation_shared_scan: 4 tables x 4 aggregation queries, each wave
+// submitted while scans of its table are already in progress, a buffer pool
+// sized for ~one table, and a per-I/O disk latency so that scheduling
+// decisions cost real wall-clock time.
+//
+// Every policy must complete the identical workload; the report carries the
+// per-stage scheduling telemetry the runtime now exposes (visits, packets
+// per visit, wait-time percentiles) so the batching behaviour that
+// distinguishes the policies is visible in the artifact, not just the
+// bottom-line wall clock.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/staged_engine.h"
+#include "optimizer/planner.h"
+#include "parser/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "workload/wisconsin.h"
+
+using stagedb::engine::SchedulerPolicy;
+using stagedb::engine::StagedEngine;
+using stagedb::engine::StagedEngineOptions;
+using stagedb::engine::StageRuntime;
+using stagedb::catalog::Catalog;
+using stagedb::optimizer::PhysicalPlan;
+
+namespace {
+
+struct PolicyCase {
+  const char* key;    // JSON key prefix
+  const char* label;  // human-readable name
+  SchedulerPolicy policy;
+  int gate_rounds;
+};
+
+struct PolicyResult {
+  double wall_ms = 0;
+  int64_t completed = 0;
+  int64_t errors = 0;
+  StageRuntime::StatsSnapshot stats;
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Evicts the working set between policies so each starts from the same
+/// (cold) pool state.
+void ScrubPool(Catalog* catalog, const PhysicalPlan* scrub_plan) {
+  StagedEngineOptions opts;
+  opts.shared_scans = false;
+  StagedEngine engine(catalog, opts);
+  (void)engine.Execute(scrub_plan);
+}
+
+/// The staggered-arrival concurrent workload of ablation_shared_scan: wave q
+/// of every table arrives q*stagger after the first, so later queries find
+/// the stages already busy — the regime where the global policy decides
+/// which stage's batch gets the CPU.
+PolicyResult RunPolicy(Catalog* catalog, const PolicyCase& pc,
+                       const std::vector<std::vector<const PhysicalPlan*>>&
+                           per_table,
+                       std::chrono::microseconds stagger) {
+  StagedEngineOptions opts;
+  opts.scheduler = pc.policy;
+  opts.scheduler_gate_rounds = pc.gate_rounds;
+  StagedEngine engine(catalog, opts);
+  PolicyResult r;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<stagedb::engine::StagedQuery>> inflight;
+  const size_t waves = per_table.empty() ? 0 : per_table[0].size();
+  for (size_t q = 0; q < waves; ++q) {
+    for (const auto& plans : per_table) {
+      inflight.push_back(engine.Submit(plans[q]));
+    }
+    if (q + 1 < waves) std::this_thread::sleep_for(stagger);
+  }
+  for (auto& query : inflight) {
+    if (query->Await().ok()) {
+      ++r.completed;
+    } else {
+      ++r.errors;
+    }
+  }
+  r.wall_ms = ElapsedMs(start);
+  r.stats = engine.runtime()->Stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = stagedb::bench::BenchArgs::Parse(argc, argv);
+
+  const int64_t rows = args.smoke ? 2000 : 8000;
+  const size_t pool_pages = args.smoke ? 75 : 300;
+  const int64_t disk_latency_us = args.smoke ? 60 : 100;
+  const int queries_per_table = 4;
+
+  stagedb::storage::MemDiskManager disk(disk_latency_us);
+  stagedb::storage::BufferPool pool(&disk, pool_pages);
+  Catalog catalog(&pool);
+  const std::vector<std::string> tables = {"wa", "wb", "wc", "wd"};
+  for (const auto& t : tables) {
+    if (!stagedb::workload::CreateWisconsinTable(&catalog, t, rows).ok()) {
+      std::fprintf(stderr, "table build failed\n");
+      return 1;
+    }
+  }
+  if (!stagedb::workload::CreateWisconsinTable(&catalog, "scrub",
+                                               rows + rows / 2)
+           .ok()) {
+    std::fprintf(stderr, "table build failed\n");
+    return 1;
+  }
+
+  stagedb::optimizer::Planner planner(&catalog);
+  std::vector<std::unique_ptr<PhysicalPlan>> owned;
+  std::vector<std::vector<const PhysicalPlan*>> per_table(tables.size());
+  auto plan_query = [&](const std::string& sql) -> const PhysicalPlan* {
+    auto stmt = stagedb::parser::ParseStatement(sql);
+    if (!stmt.ok()) return nullptr;
+    auto plan = planner.Plan(**stmt);
+    if (!plan.ok()) return nullptr;
+    owned.push_back(std::move(*plan));
+    return owned.back().get();
+  };
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (int q = 0; q < queries_per_table; ++q) {
+      const PhysicalPlan* plan = plan_query(
+          "SELECT COUNT(*), MIN(unique1) FROM " + tables[t] +
+          " WHERE ten = " + std::to_string(q));
+      if (plan == nullptr) {
+        std::fprintf(stderr, "planning failed\n");
+        return 1;
+      }
+      per_table[t].push_back(plan);
+    }
+  }
+  const PhysicalPlan* scrub_plan = plan_query("SELECT COUNT(*) FROM scrub");
+  if (scrub_plan == nullptr) {
+    std::fprintf(stderr, "planning failed\n");
+    return 1;
+  }
+
+  // Calibrate the arrival stagger to the measured cold single-scan time
+  // (same rationale as ablation_shared_scan: every wave must arrive while
+  // the previous one is still in the stages).
+  ScrubPool(&catalog, scrub_plan);
+  const auto cal_start = std::chrono::steady_clock::now();
+  {
+    StagedEngineOptions opts;
+    StagedEngine engine(&catalog, opts);
+    (void)engine.Execute(per_table[0][0]);
+  }
+  const double scan_ms = ElapsedMs(cal_start);
+  const auto stagger = std::chrono::microseconds(
+      std::max<int64_t>(1000, (int64_t)(scan_ms * 1000 * 3) / 2));
+
+  const PolicyCase cases[] = {
+      {"free_run", "free-run", SchedulerPolicy::kFreeRun, 2},
+      {"non_gated", "non-gated", SchedulerPolicy::kNonGated, 2},
+      {"d_gated", "D-gated", SchedulerPolicy::kDGated, 2},
+      {"t_gated2", "T-gated(2)", SchedulerPolicy::kTGated, 2},
+  };
+  const int64_t total_queries =
+      (int64_t)tables.size() * queries_per_table;
+
+  std::vector<PolicyResult> results;
+  int64_t errors = 0;
+  for (const PolicyCase& pc : cases) {
+    ScrubPool(&catalog, scrub_plan);
+    results.push_back(RunPolicy(&catalog, pc, per_table, stagger));
+    errors += results.back().errors;
+  }
+
+  if (args.json) {
+    stagedb::bench::JsonReport report("ablation_policy");
+    report.Add("smoke", args.smoke);
+    report.Add("tables", (int64_t)tables.size());
+    report.Add("rows_per_table", rows);
+    report.Add("pool_pages", (int64_t)pool_pages);
+    report.Add("disk_latency_us", disk_latency_us);
+    report.Add("queries_per_table", queries_per_table);
+    report.Add("stagger_us", (int64_t)stagger.count());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PolicyCase& pc = cases[i];
+      const PolicyResult& r = results[i];
+      const std::string p = pc.key;
+      report.Add(p + ".policy", r.stats.policy);
+      report.Add(p + ".completed", r.completed);
+      report.Add(p + ".errors", r.errors);
+      report.Add(p + ".wall_ms", r.wall_ms);
+      report.Add(p + ".stage_switches", r.stats.stage_switches);
+      for (const auto& s : r.stats.stages) {
+        if (s.pops == 0) continue;  // stages the workload never touched
+        const std::string sp = p + ".stage." + s.name;
+        report.Add(sp + ".pops", s.pops);
+        report.Add(sp + ".visits", s.visits);
+        report.Add(sp + ".gate_rounds", s.gate_rounds);
+        report.Add(sp + ".packets_per_visit", s.PacketsPerVisit());
+        report.Add(sp + ".wait_p50_us", s.wait_micros.Percentile(50));
+        report.Add(sp + ".wait_p95_us", s.wait_micros.Percentile(95));
+        report.Add(sp + ".service_p50_us", s.service_micros.Percentile(50));
+      }
+    }
+    report.Add("errors", errors);
+    report.Print();
+  } else {
+    std::printf("Ablation: Figure-5 policy family on the live engine "
+                "(%lld concurrent aggregation\nqueries over %zu tables, "
+                "%zu-page pool, %lldus per miss, %lldus stagger)\n\n",
+                (long long)total_queries, tables.size(), pool_pages,
+                (long long)disk_latency_us, (long long)stagger.count());
+    std::printf("%-12s %-10s %-8s %-10s %-14s\n", "policy", "wall ms",
+                "done", "switches", "mean pkts/visit");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PolicyResult& r = results[i];
+      int64_t pops = 0, visits = 0;
+      for (const auto& s : r.stats.stages) {
+        pops += s.pops;
+        visits += s.visits;
+      }
+      std::printf("%-12s %-10.1f %-8lld %-10lld %-14.1f\n", cases[i].label,
+                  r.wall_ms, (long long)r.completed,
+                  (long long)r.stats.stage_switches,
+                  visits == 0 ? 0.0 : (double)pops / visits);
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+      std::printf("\n[%s]\n%s", cases[i].label,
+                  results[i].stats.ToString().c_str());
+    }
+    std::printf("\nAll four policies complete the identical staggered "
+                "concurrent workload; the gated\nvariants trade queue wait "
+                "for per-stage batching (packets per visit), the\n"
+                "Figure-5 control knob, now measured on the real runtime.\n");
+  }
+  return errors == 0 ? 0 : 1;
+}

@@ -7,25 +7,35 @@
 // created packets to other stages."
 //
 // Two-level scheduling (§4.1.1): local FIFO service by each stage's worker
-// threads, and a global policy deciding which stage the CPU serves:
-//   * kFreeRun — every stage's workers run whenever they have packets (the
-//     natural SMP operating point of §5.3).
-//   * kCohort — one stage is active at a time; its workers drain the queue
-//     (exhaustive / non-gated service) before the activation rotates to the
-//     next stage with work. This is the single-CPU affinity mode of §4.3
-//     ("rotating the thread group priorities among the stages").
+// threads, and a global SchedulingPolicy deciding which stage the CPU
+// serves. The policy family is the one Figure 5 compares (definitions:
+// docs/DESIGN.md §3, mirrored from simsched::Policy):
+//   * free-run   — every stage's workers run whenever they have packets (the
+//                  natural SMP operating point of §5.3); no cohort rotation.
+//   * non-gated  — one stage is active at a time and drains exhaustively:
+//                  packets arriving during the visit are admitted. This is
+//                  the single-CPU affinity mode of §4.3 ("rotating the
+//                  thread group priorities among the stages").
+//   * D-gated    — the gate closes when the rotation arrives: only packets
+//                  queued at that instant are served this visit; arrivals
+//                  (including yield re-queues) wait for the next visit.
+//   * T-gated(k) — gated, but the gate may close and re-open up to k times
+//                  per visit before the rotation moves on.
 #ifndef STAGEDB_ENGINE_RUNTIME_H_
 #define STAGEDB_ENGINE_RUNTIME_H_
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/stats.h"
 #include "common/status.h"
 
@@ -52,8 +62,10 @@ class StageTask {
   /// Performs a bounded amount of work. Called by stage worker threads.
   virtual RunOutcome Run() = 0;
 
-  /// Re-checked after a kBlocked outcome before parking, to close the race
-  /// between deciding to park and a producer/consumer waking us.
+  /// Re-checked after a kBlocked outcome, just before parking (while the
+  /// worker still owns the packet): returning true requeues instead of
+  /// parking, closing the race between deciding to park and a
+  /// producer/consumer making progress possible.
   virtual bool CanMakeProgress() { return false; }
 
   /// Called exactly once, after a kDone outcome, when the runtime will never
@@ -72,16 +84,102 @@ class StageTask {
   friend class StageRuntime;
   enum class State { kIdle, kQueued, kRunning, kDone };
   std::atomic<State> state_{State::kIdle};
+  /// Set by Activate when it finds the packet still kRunning (the worker has
+  /// not parked it yet); consumed under the runtime mutex by the park path,
+  /// which requeues instead of parking. This hand-off means no thread ever
+  /// touches the packet after its worker published kIdle — the wake-up is
+  /// never lost and the packet cannot be served-and-retired under a thread
+  /// still inspecting it.
+  std::atomic<bool> wake_pending_{false};
   Stage* home_stage_ = nullptr;
   Stage* next_stage_ = nullptr;
   int64_t query_id_ = -1;
+  // Timestamps for the wait/service histograms; written and read only while
+  // the runtime mutex is held.
+  int64_t enqueue_micros_ = 0;
+  int64_t service_start_micros_ = 0;
 };
+
+/// The named members of the policy family (Figure 5). kCohort is the
+/// pre-policy-object name for exhaustive cohort rotation and is kept as an
+/// alias so existing call sites read unchanged.
+enum class SchedulerPolicy {
+  kFreeRun,
+  kCohort,               ///< exhaustive (non-gated) cohort rotation
+  kNonGated = kCohort,   ///< alias: the Figure-5 name for the same policy
+  kDGated,
+  kTGated,
+};
+
+/// Pluggable global scheduling policy (level two of §4.1.1's two-level
+/// scheme). The runtime owns the rotation mechanics — one active stage, a
+/// per-visit admission gate, FIFO service — and consults the policy, with
+/// the runtime mutex held, for the admission decisions that distinguish the
+/// Figure-5 family. Implementations must not block or call back into the
+/// runtime.
+class SchedulingPolicy {
+ public:
+  /// Admission value meaning "no bound": serve as long as the queue is
+  /// non-empty (exhaustive service).
+  static constexpr int64_t kUnbounded = -1;
+
+  virtual ~SchedulingPolicy() = default;
+
+  /// Human-readable policy name for stats and bench reports.
+  virtual std::string name() const = 0;
+
+  /// True = bypass cohort rotation entirely: every stage's workers may serve
+  /// whenever their queue is non-empty. OnVisitStart/OnGateExhausted are
+  /// never called.
+  virtual bool free_run() const { return false; }
+
+  /// The rotation arrived at a stage with `queued` packets: how many
+  /// dequeues the first gate round admits (clamped to `queued`), or
+  /// kUnbounded for exhaustive service.
+  virtual int64_t OnVisitStart(size_t queued) {
+    (void)queued;
+    return kUnbounded;
+  }
+
+  /// The current gate is exhausted, no packet of this stage is in service,
+  /// and `queued` packets (arrivals during the visit) are waiting:
+  /// return the admission for another gate round, or 0 to end the visit and
+  /// rotate. `rounds_done` counts gate rounds already served this visit.
+  virtual int64_t OnGateExhausted(size_t queued, int rounds_done) {
+    (void)queued;
+    (void)rounds_done;
+    return 0;
+  }
+};
+
+/// Builds the named policies: kFreeRun, kCohort/kNonGated, kDGated, and
+/// kTGated with `gate_rounds` rounds per visit (2 = "T-gated(2)";
+/// values < 2 are clamped to 2 — T-gated(1) is D-gated).
+std::unique_ptr<SchedulingPolicy> MakeSchedulerPolicy(SchedulerPolicy policy,
+                                                      int gate_rounds = 2);
+
+/// Per-stage worker-pool configuration. §4.1 gives each stage its own thread
+/// support; §4.3 binds a stage's threads to a processor for cache affinity.
+struct StagePoolSpec {
+  int num_workers = 1;
+  /// CPU to pin this stage's workers to (Linux; ignored elsewhere and taken
+  /// modulo the hardware concurrency). -1 = unpinned. Best-effort: if the
+  /// process's affinity mask excludes the CPU, the workers run unpinned.
+  int pinned_cpu = -1;
+};
+
+/// The stage_pools lookup shared by the engine and the staged server: the
+/// entry for `name` if present, else `default_workers` unpinned.
+StagePoolSpec PoolSpecFor(const std::map<std::string, StagePoolSpec>& pools,
+                          const std::string& name, int default_workers);
 
 /// A stage: queue + worker pool + monitoring counters.
 class Stage {
  public:
   const std::string& name() const { return name_; }
   int id() const { return id_; }
+  int num_workers() const { return spec_.num_workers; }
+  int pinned_cpu() const { return spec_.pinned_cpu; }
 
   /// Enqueues a packet. First activation binds the packet to this stage.
   void Enqueue(StageTask* task);
@@ -99,28 +197,65 @@ class Stage {
 
  private:
   friend class StageRuntime;
-  Stage(StageRuntime* runtime, std::string name, int id, int num_workers)
-      : runtime_(runtime), name_(std::move(name)), id_(id),
-        num_workers_(num_workers) {}
+  Stage(StageRuntime* runtime, std::string name, int id, StagePoolSpec spec)
+      : runtime_(runtime), name_(std::move(name)), id_(id), spec_(spec) {}
+
+  /// Appends an already-kQueued packet (caller holds the runtime mutex).
+  void PushLocked(StageTask* task);
 
   StageRuntime* runtime_;
   const std::string name_;
   const int id_;
-  const int num_workers_;
+  const StagePoolSpec spec_;
   std::deque<StageTask*> queue_;  // guarded by the runtime mutex
   int inflight_ = 0;              // workers currently running a packet
   std::atomic<int64_t> processed_{0};
   std::atomic<int64_t> yielded_{0};
   std::atomic<int64_t> blocked_{0};
+  // Visit accounting and latency histograms; guarded by the runtime mutex.
+  int64_t visits_ = 0;       // rotation arrivals (stays 0 under free-run)
+  int64_t gate_rounds_ = 0;  // gate rounds served (re-gates = rounds - visits)
+  int64_t pops_ = 0;         // packets dequeued for service
+  Histogram wait_micros_;    // enqueue -> dequeue
+  Histogram service_micros_;  // one Run() invocation
 };
-
-/// Global scheduling policy across stages.
-enum class SchedulerPolicy { kFreeRun, kCohort };
 
 /// Owns the stages and their worker threads.
 class StageRuntime {
  public:
+  /// Point-in-time copy of one stage's monitoring state (§5.2).
+  struct StageStats {
+    std::string name;
+    int num_workers = 0;
+    int pinned_cpu = -1;
+    size_t queue_depth = 0;
+    int64_t processed = 0;
+    int64_t yielded = 0;
+    int64_t blocked = 0;
+    int64_t visits = 0;
+    int64_t gate_rounds = 0;
+    int64_t pops = 0;
+    Histogram wait_micros;
+    Histogram service_micros;
+    /// Mean batch size per rotation arrival (the Figure-5 x-axis analogue).
+    double PacketsPerVisit() const {
+      return visits == 0 ? 0.0 : static_cast<double>(pops) / visits;
+    }
+  };
+
+  /// Consistent snapshot of the whole runtime, taken under the runtime
+  /// mutex.
+  struct StatsSnapshot {
+    std::string policy;
+    int64_t stage_switches = 0;
+    std::vector<StageStats> stages;
+    /// Multi-line human-readable report (one row per stage).
+    std::string ToString() const;
+  };
+
   explicit StageRuntime(SchedulerPolicy policy = SchedulerPolicy::kFreeRun);
+  /// Takes ownership of a custom policy object (never null).
+  explicit StageRuntime(std::unique_ptr<SchedulingPolicy> policy);
   ~StageRuntime();
 
   StageRuntime(const StageRuntime&) = delete;
@@ -129,15 +264,18 @@ class StageRuntime {
   /// Creates a stage with its worker pool. All stages must be created before
   /// the first packet is enqueued.
   Stage* CreateStage(const std::string& name, int num_workers = 1);
+  Stage* CreateStage(const std::string& name, StagePoolSpec spec);
 
   /// Stops all workers (drains nothing; callers should have completed or
   /// cancelled their queries).
   void Shutdown();
 
-  SchedulerPolicy policy() const { return policy_; }
+  const SchedulingPolicy& policy() const { return *policy_; }
   /// Number of times the cohort activation rotated between stages.
   int64_t stage_switches() const { return stage_switches_; }
   const std::vector<std::unique_ptr<Stage>>& stages() const { return stages_; }
+
+  StatsSnapshot Stats() const;
 
  private:
   friend class Stage;
@@ -146,19 +284,24 @@ class StageRuntime {
   /// Blocks until a packet for `stage` may run under the global policy.
   StageTask* WaitForTask(Stage* stage);
   void FinishTask(Stage* stage, StageTask* task, RunOutcome outcome);
-  /// Cohort mode: advance the active stage if the current one is exhausted.
-  /// Caller holds mu_.
+  /// Cohort modes: close/extend the current visit and advance the active
+  /// stage per the policy. Caller holds mu_.
   void MaybeRotateLocked();
 
-  const SchedulerPolicy policy_;
-  std::mutex mu_;
+  const std::unique_ptr<SchedulingPolicy> policy_;
+  const bool free_run_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
-  size_t active_stage_ = 0;  // cohort mode
+  // Cohort rotation state, guarded by mu_. While a visit is open only the
+  // active stage's workers may dequeue, and only while the gate admits.
+  size_t active_stage_ = 0;
+  bool visit_open_ = false;
+  int64_t gate_remaining_ = 0;  // admissions left; kUnbounded = exhaustive
+  int visit_rounds_ = 0;        // gate rounds served in the open visit
   std::atomic<int64_t> stage_switches_{0};
   std::vector<std::unique_ptr<Stage>> stages_;
   std::vector<std::thread> workers_;
-  bool started_ = false;
 };
 
 }  // namespace stagedb::engine

@@ -926,23 +926,35 @@ class DmlTask : public StageTask {
 
 StagedEngine::StagedEngine(catalog::Catalog* catalog,
                            StagedEngineOptions options)
-    : catalog_(catalog), options_(options), runtime_(options.scheduler),
+    : catalog_(catalog), options_(std::move(options)),
+      runtime_(MakeSchedulerPolicy(options_.scheduler,
+                                   options_.scheduler_gate_rounds)),
       shared_scans_(std::make_unique<SharedScanManager>(
-          options.shared_scan_window_pages)) {
-  const int w = options_.threads_per_stage;
+          options_.shared_scan_window_pages)) {
   if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {
-    execute_stage_ = runtime_.CreateStage("execute", w);
+    execute_stage_ = runtime_.CreateStage("execute", PoolFor("execute"));
     return;
   }
-  iscan_stage_ = runtime_.CreateStage("iscan", w);
-  qual_stage_ = runtime_.CreateStage("qual", w);
-  sort_stage_ = runtime_.CreateStage("sort", w);
-  join_stage_ = runtime_.CreateStage("join", w);
-  aggr_stage_ = runtime_.CreateStage("aggr", w);
-  dml_stage_ = runtime_.CreateStage("dml", w);
+  iscan_stage_ = runtime_.CreateStage("iscan", PoolFor("iscan"));
+  qual_stage_ = runtime_.CreateStage("qual", PoolFor("qual"));
+  sort_stage_ = runtime_.CreateStage("sort", PoolFor("sort"));
+  join_stage_ = runtime_.CreateStage("join", PoolFor("join"));
+  aggr_stage_ = runtime_.CreateStage("aggr", PoolFor("aggr"));
+  dml_stage_ = runtime_.CreateStage("dml", PoolFor("dml"));
   if (!options_.stage_per_table_scans) {
-    fscan_shared_ = runtime_.CreateStage("fscan", w);
+    fscan_shared_ = runtime_.CreateStage("fscan", PoolFor("fscan"));
   }
+}
+
+StagePoolSpec StagedEngine::PoolFor(const std::string& stage_name) const {
+  // Per-table scan stages fall back to the "fscan" key before the default.
+  if (stage_name.rfind("fscan.", 0) == 0 &&
+      options_.stage_pools.count(stage_name) == 0) {
+    return PoolSpecFor(options_.stage_pools, "fscan",
+                       options_.threads_per_stage);
+  }
+  return PoolSpecFor(options_.stage_pools, stage_name,
+                     options_.threads_per_stage);
 }
 
 StagedEngine::~StagedEngine() { runtime_.Shutdown(); }
@@ -957,8 +969,8 @@ Stage* StagedEngine::StageFor(const PhysicalPlan& node) {
       std::lock_guard<std::mutex> lock(stage_map_mu_);
       auto it = fscan_stages_.find(node.table->id);
       if (it != fscan_stages_.end()) return it->second;
-      Stage* stage = runtime_.CreateStage("fscan." + node.table->name,
-                                          options_.threads_per_stage);
+      const std::string name = "fscan." + node.table->name;
+      Stage* stage = runtime_.CreateStage(name, PoolFor(name));
       fscan_stages_[node.table->id] = stage;
       return stage;
     }

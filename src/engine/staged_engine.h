@@ -31,8 +31,18 @@ namespace stagedb::engine {
 
 /// Engine knobs (§4.4 tuning parameters).
 struct StagedEngineOptions {
+  /// Global scheduling policy (the Figure-5 family; see engine/runtime.h):
+  /// kFreeRun, kCohort/kNonGated (exhaustive), kDGated, kTGated.
   SchedulerPolicy scheduler = SchedulerPolicy::kFreeRun;
+  /// Gate rounds per visit when scheduler == kTGated (2 = "T-gated(2)").
+  int scheduler_gate_rounds = 2;
+  /// Default worker-pool size for stages without a stage_pools entry.
   int threads_per_stage = 1;
+  /// Per-stage pool overrides (size + optional core pinning), keyed by stage
+  /// name ("fscan", "iscan", "qual", "sort", "join", "aggr", "dml",
+  /// "execute"). Per-table scan stages ("fscan.<table>") first look up their
+  /// exact name, then fall back to the "fscan" key.
+  std::map<std::string, StagePoolSpec> stage_pools;
   /// Exchange buffer capacity in pages (back-pressure depth).
   size_t exchange_capacity_pages = 4;
   /// Tuples per exchanged page (§4.4c: "the page size for exchanging
@@ -124,6 +134,10 @@ class StagedEngine {
   Stage* StageFor(const optimizer::PhysicalPlan& node);
 
  private:
+  /// Pool configuration for a stage: exact stage_pools entry, the "fscan"
+  /// fallback for per-table scan stages, else threads_per_stage unpinned.
+  StagePoolSpec PoolFor(const std::string& stage_name) const;
+
   catalog::Catalog* catalog_;
   StagedEngineOptions options_;
   StageRuntime runtime_;

@@ -63,10 +63,18 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     opts.tuples_per_page = db->options_.tuples_per_page;
     opts.threads_per_stage = db->options_.threads_per_stage;
     opts.shared_scans = db->options_.shared_scans;
+    opts.scheduler = db->options_.scheduler;
+    opts.scheduler_gate_rounds = db->options_.scheduler_gate_rounds;
+    opts.stage_pools = db->options_.stage_pools;
     db->staged_ =
         std::make_unique<StagedEngineHandle>(db->catalog_.get(), opts);
   }
   return db;
+}
+
+engine::StageRuntime::StatsSnapshot Database::EngineStats() const {
+  if (staged_ == nullptr) return {};
+  return staged_->engine.runtime()->Stats();
 }
 
 int64_t Database::statements_executed() const {

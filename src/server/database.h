@@ -5,6 +5,7 @@
 #define STAGEDB_SERVER_DATABASE_H_
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "catalog/catalog.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "engine/runtime.h"
 #include "exec/executor.h"
 #include "optimizer/planner.h"
 #include "storage/disk_manager.h"
@@ -42,6 +44,13 @@ struct DatabaseOptions {
   int threads_per_stage = 1;
   /// Cooperative shared scans at the fscan stages (§5.4 run-time sharing).
   bool shared_scans = true;
+  /// Global scheduling policy across the engine's operator stages (the
+  /// Figure-5 family; see engine/runtime.h) and the T-gated(k) round bound.
+  engine::SchedulerPolicy scheduler = engine::SchedulerPolicy::kFreeRun;
+  int scheduler_gate_rounds = 2;
+  /// Per-stage worker-pool overrides (size + optional core pin), keyed by
+  /// stage name; stages without an entry get threads_per_stage workers.
+  std::map<std::string, engine::StagePoolSpec> stage_pools;
 };
 
 /// Result of one statement.
@@ -111,6 +120,11 @@ class Database {
   /// Statement counts by lifecycle stage (connect/parse/optimize/execute),
   /// mirroring the monitoring hooks of the staged design.
   int64_t statements_executed() const;
+
+  /// Per-stage scheduling/latency snapshot of the staged engine's runtime
+  /// (queue depths, visits, packets per visit, wait/service histograms —
+  /// §5.2 monitoring at stage granularity). Empty in volcano mode.
+  engine::StageRuntime::StatsSnapshot EngineStats() const;
 
  private:
   explicit Database(DatabaseOptions options);

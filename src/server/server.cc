@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include <atomic>
+
 #include "common/string_util.h"
 #include "optimizer/planner.h"
 #include "parser/parser.h"
@@ -63,6 +65,10 @@ class LifecycleTask : public StageTask {
   std::shared_ptr<PendingQuery> pending_;  // in-flight staged execution
   StatusOr<QueryResult> result_{Status::Internal("not executed")};
   bool failed_ = false;
+  /// False while a NotifyOnDone callback targeting this packet may still be
+  /// running on an engine worker thread. OnRetired waits for it before the
+  /// packet frees itself (which also gates server teardown via inflight_).
+  std::atomic<bool> callback_done_{true};
 };
 
 RunOutcome LifecycleTask::Run() {
@@ -139,7 +145,15 @@ RunOutcome LifecycleTask::Run() {
         if (pending.ok()) {
           pending_ = std::move(*pending);
           Stage* execute = server_->execute_;
-          pending_->NotifyOnDone([this, execute] { execute->Activate(this); });
+          // The callback may fire on an engine worker thread and race with
+          // this packet being re-woken through the CanMakeProgress fallback;
+          // callback_done_ keeps the packet (and the server's stages) alive
+          // until the callback has fully left Activate (see OnRetired).
+          callback_done_.store(false, std::memory_order_relaxed);
+          pending_->NotifyOnDone([this, execute] {
+            execute->Activate(this);
+            callback_done_.store(true, std::memory_order_release);
+          });
           return RunOutcome::kBlocked;
         }
         // Fall through to the synchronous path on submission failure.
@@ -158,6 +172,15 @@ RunOutcome LifecycleTask::Run() {
 }
 
 void LifecycleTask::OnRetired() {
+  // If the engine's completion callback lost the wake-up race (this packet
+  // was resumed through the CanMakeProgress fallback instead), it may still
+  // be inside Activate on another thread. Retiring now would free this
+  // packet — and unblock ~StagedServer into freeing the stages — under it,
+  // so wait for the callback's final store. The wait is bounded by the few
+  // instructions left in Activate.
+  while (!callback_done_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
   request_->Complete(std::move(result_));
   StagedServer* server = server_;
   {
@@ -171,12 +194,18 @@ void LifecycleTask::OnRetired() {
 // ------------------------------------------------------------ StagedServer --
 
 StagedServer::StagedServer(Database* db, ServerOptions options)
-    : db_(db), options_(options), runtime_(options.scheduler) {
-  connect_ = runtime_.CreateStage("connect", options_.threads_per_stage);
-  parse_ = runtime_.CreateStage("parse", options_.threads_per_stage);
-  optimize_ = runtime_.CreateStage("optimize", options_.threads_per_stage);
-  execute_ = runtime_.CreateStage("execute", options_.threads_per_stage);
-  disconnect_ = runtime_.CreateStage("disconnect", options_.threads_per_stage);
+    : db_(db), options_(std::move(options)),
+      runtime_(engine::MakeSchedulerPolicy(options_.scheduler,
+                                           options_.scheduler_gate_rounds)) {
+  auto pool = [this](const char* name) {
+    return engine::PoolSpecFor(options_.stage_pools, name,
+                               options_.threads_per_stage);
+  };
+  connect_ = runtime_.CreateStage("connect", pool("connect"));
+  parse_ = runtime_.CreateStage("parse", pool("parse"));
+  optimize_ = runtime_.CreateStage("optimize", pool("optimize"));
+  execute_ = runtime_.CreateStage("execute", pool("execute"));
+  disconnect_ = runtime_.CreateStage("disconnect", pool("disconnect"));
 }
 
 StagedServer::~StagedServer() {
