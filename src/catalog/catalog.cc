@@ -25,6 +25,7 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
   for (const Column& c : schema.columns()) symbols_.Intern(c.name);
   TableInfo* ptr = info.get();
   tables_[name] = std::move(info);
+  BumpVersion();
   return ptr;
 }
 
@@ -61,6 +62,7 @@ Status Catalog::DropTable(const std::string& name) {
     }
   }
   tables_.erase(it);
+  BumpVersion();
   return Status::OK();
 }
 
@@ -104,6 +106,7 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
   IndexInfo* ptr = info.get();
   indexes_[index_name] = std::move(info);
   table->indexes.push_back(ptr);
+  BumpVersion();
   return ptr;
 }
 

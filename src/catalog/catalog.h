@@ -4,6 +4,8 @@
 #ifndef STAGEDB_CATALOG_CATALOG_H_
 #define STAGEDB_CATALOG_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -72,8 +74,19 @@ class Catalog {
   SymbolTable* symbols() { return &symbols_; }
   storage::BufferPool* buffer_pool() { return pool_; }
 
+  /// Catalog epoch: monotonically bumped by every DDL operation (CREATE
+  /// TABLE/INDEX, DROP TABLE) and by explicit BumpVersion() calls (statistics
+  /// refresh). Cached plans record the epoch they were planned under; an
+  /// epoch mismatch marks them stale so they are replanned instead of
+  /// executing against a dropped or altered table.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  /// Invalidates plans built against the current catalog state without a
+  /// schema change (e.g. after a table-statistics refresh).
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
  private:
   storage::BufferPool* pool_;
+  std::atomic<uint64_t> version_{1};
   mutable std::mutex mu_;
   TableId next_table_id_ = 0;
   IndexId next_index_id_ = 0;

@@ -57,25 +57,43 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 double Histogram::Percentile(double p) const {
+  // Semantics: p <= 0 is the recorded minimum, p >= 100 the recorded
+  // maximum, and an empty histogram reports 0 for any p. In between, the
+  // p-th percentile interpolates linearly inside the bucket containing the
+  // ceil(count * p/100)-th recorded value (1-based).
   if (count_ == 0) return 0.0;
-  const uint64_t threshold =
-      static_cast<uint64_t>(std::ceil(count_ * (p / 100.0)));
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  // Clamp into [1, count_]: the old code let a threshold of 0 reach the
+  // bucket walk, where `buckets_[b] - (cumulative - threshold)` underflowed
+  // its unsigned arithmetic for any bucket the cumulative count had already
+  // passed, and only the final clamp hid the garbage.
+  uint64_t threshold = static_cast<uint64_t>(std::ceil(count_ * (p / 100.0)));
+  threshold = std::clamp<uint64_t>(threshold, 1, count_);
   uint64_t cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
     cumulative += buckets_[b];
-    if (cumulative >= threshold && buckets_[b] > 0) {
-      const double lo = (b == 0) ? 0.0 : BucketLimit(b - 1);
-      const double hi = BucketLimit(b);
-      const uint64_t into = buckets_[b] - (cumulative - threshold);
-      const double frac = static_cast<double>(into) / buckets_[b];
-      double v = lo + (hi - lo) * frac;
-      return std::clamp(v, min_, max_);
-    }
+    if (cumulative < threshold) continue;
+    // First bucket reaching the threshold: `cumulative - threshold` is in
+    // [0, buckets_[b] - 1] (the previous cumulative was < threshold), so
+    // `into` is in [1, buckets_[b]] — no underflow.
+    const uint64_t into = buckets_[b] - (cumulative - threshold);
+    // Interpolate inside the bucket, but within the observed value range:
+    // the first bucket starts at min_, the last ends at max_, so a
+    // single-value histogram reports that value for every percentile.
+    const double lo = std::max((b == 0) ? 0.0 : BucketLimit(b - 1), min_);
+    const double hi = std::min(BucketLimit(b), max_);
+    if (hi <= lo) return std::clamp(lo, min_, max_);
+    const double frac = static_cast<double>(into) / buckets_[b];
+    return std::clamp(lo + (hi - lo) * frac, min_, max_);
   }
   return max_;
 }
 
 std::string Histogram::ToString() const {
+  // The accessors (not the raw fields) guard the count_ == 0 case, where
+  // min_/max_ hold stale or zero-initialized values.
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",

@@ -24,8 +24,10 @@ class Histogram {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
   double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
-  /// Approximate percentile (p in [0,100]) by linear interpolation inside the
-  /// containing bucket.
+  /// Approximate percentile by linear interpolation inside the containing
+  /// bucket, bounded by the observed min/max. Defined boundary semantics:
+  /// p <= 0 returns min(), p >= 100 returns max(), and an empty histogram
+  /// returns 0 for any p.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
 

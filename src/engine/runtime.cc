@@ -417,6 +417,16 @@ std::string StageRuntime::StatsSnapshot::ToString() const {
         s.wait_micros.Percentile(50), s.wait_micros.Percentile(95),
         s.service_micros.Percentile(50));
   }
+  if (plan_cache.hits + plan_cache.misses + plan_cache.invalidations > 0) {
+    out += StrFormat(
+        "  plan_cache   hits=%llu misses=%llu invalidations=%llu "
+        "evictions=%llu entries=%llu\n",
+        static_cast<unsigned long long>(plan_cache.hits),
+        static_cast<unsigned long long>(plan_cache.misses),
+        static_cast<unsigned long long>(plan_cache.invalidations),
+        static_cast<unsigned long long>(plan_cache.evictions),
+        static_cast<unsigned long long>(plan_cache.entries));
+  }
   return out;
 }
 

@@ -243,12 +243,26 @@ class StageRuntime {
     }
   };
 
+  /// Plan-cache counters mirrored into the snapshot by the Database facade
+  /// (plain numbers here so the engine does not depend on the frontend
+  /// module; see frontend::PlanCacheStats for the source of truth).
+  struct PlanCacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+  };
+
   /// Consistent snapshot of the whole runtime, taken under the runtime
   /// mutex.
   struct StatsSnapshot {
     std::string policy;
     int64_t stage_switches = 0;
     std::vector<StageStats> stages;
+    /// Front-end work-reuse counters (filled by Database::EngineStats; zero
+    /// when no plan cache is attached).
+    PlanCacheCounters plan_cache;
     /// Multi-line human-readable report (one row per stage).
     std::string ToString() const;
   };

@@ -1,0 +1,172 @@
+#include "frontend/normalizer.h"
+
+#include "common/string_util.h"
+#include "parser/lexer.h"
+
+namespace stagedb::frontend {
+
+using catalog::TypeId;
+using catalog::Value;
+using parser::Token;
+using parser::TokenType;
+
+namespace {
+
+const char* PunctText(TokenType t) {
+  switch (t) {
+    case TokenType::kComma:
+      return ",";
+    case TokenType::kLParen:
+      return "(";
+    case TokenType::kRParen:
+      return ")";
+    case TokenType::kSemicolon:
+      return ";";
+    case TokenType::kDot:
+      return ".";
+    case TokenType::kStar:
+      return "*";
+    case TokenType::kPlus:
+      return "+";
+    case TokenType::kMinus:
+      return "-";
+    case TokenType::kSlash:
+      return "/";
+    case TokenType::kPercent:
+      return "%";
+    case TokenType::kEq:
+      return "=";
+    case TokenType::kNeq:
+      return "<>";
+    case TokenType::kLt:
+      return "<";
+    case TokenType::kLe:
+      return "<=";
+    case TokenType::kGt:
+      return ">";
+    case TokenType::kGe:
+      return ">=";
+    default:
+      return "";
+  }
+}
+
+void AppendToken(const Token& tok, std::string* out) {
+  if (!out->empty()) out->push_back(' ');
+  switch (tok.type) {
+    case TokenType::kKeyword:
+      *out += tok.text;  // already upper-cased
+      return;
+    case TokenType::kIdentifier:
+      if (tok.quoted) {
+        // Quoted identifiers keep case; re-quote so "SELECT" the identifier
+        // can never collide with SELECT the keyword in the key.
+        out->push_back('"');
+        for (char c : tok.text) {
+          if (c == '"') out->push_back('"');
+          out->push_back(c);
+        }
+        out->push_back('"');
+      } else {
+        *out += tok.text;  // already lower-cased by the lexer
+      }
+      return;
+    case TokenType::kParam:
+      out->push_back('?');
+      return;
+    case TokenType::kIntLiteral:
+      *out += StrFormat("%lld", static_cast<long long>(tok.int_value));
+      return;
+    case TokenType::kDoubleLiteral:
+      *out += StrFormat("%.17g", tok.double_value);
+      return;
+    case TokenType::kStringLiteral: {
+      // Only reachable in user-placeholder mode (auto mode extracts these);
+      // string literals keep their bytes — case included — exactly.
+      out->push_back('\'');
+      for (char c : tok.text) {
+        if (c == '\'') out->push_back('\'');
+        out->push_back(c);
+      }
+      out->push_back('\'');
+      return;
+    }
+    default:
+      *out += PunctText(tok.type);
+      return;
+  }
+}
+
+}  // namespace
+
+StatusOr<NormalizedStatement> Normalize(const std::string& sql) {
+  parser::Lexer lexer(sql);
+  auto tokens_or = lexer.Tokenize();
+  if (!tokens_or.ok()) return tokens_or.status();
+  std::vector<Token> tokens = std::move(*tokens_or);
+
+  NormalizedStatement norm;
+  const Token& first = tokens.front();
+  norm.cacheable = first.type == TokenType::kKeyword &&
+                   (first.text == "SELECT" || first.text == "INSERT" ||
+                    first.text == "UPDATE" || first.text == "DELETE");
+  if (!norm.cacheable) return norm;
+
+  bool has_user_params = false;
+  for (const Token& tok : tokens) {
+    if (tok.type == TokenType::kParam) has_user_params = true;
+  }
+  norm.auto_params = !has_user_params;
+
+  if (norm.auto_params) {
+    // Rewrite literals to placeholders, extracting their values.
+    bool after_limit = false;
+    for (Token& tok : tokens) {
+      if (tok.type == TokenType::kKeyword) {
+        after_limit = tok.text == "LIMIT";
+        continue;
+      }
+      const bool limit_literal =
+          after_limit && tok.type == TokenType::kIntLiteral;
+      after_limit = false;
+      Value value;
+      switch (tok.type) {
+        case TokenType::kIntLiteral:
+          // The LIMIT count is folded into the plan shape; keep it in the
+          // key so different limits get different cache entries.
+          if (limit_literal) continue;
+          value = Value::Int(tok.int_value);
+          break;
+        case TokenType::kDoubleLiteral:
+          value = Value::Double(tok.double_value);
+          break;
+        case TokenType::kStringLiteral:
+          value = Value::Varchar(std::move(tok.text));
+          break;
+        default:
+          continue;
+      }
+      tok = Token{};
+      tok.type = TokenType::kParam;
+      tok.int_value = static_cast<int64_t>(norm.params.size());
+      norm.param_types.push_back(value.type());
+      norm.params.push_back(std::move(value));
+    }
+    norm.num_params = norm.params.size();
+  } else {
+    for (const Token& tok : tokens) {
+      if (tok.type == TokenType::kParam) ++norm.num_params;
+    }
+    norm.param_types.assign(norm.num_params, TypeId::kNull);
+  }
+
+  for (const Token& tok : tokens) {
+    if (tok.type == TokenType::kEof) break;
+    if (tok.type == TokenType::kSemicolon) continue;  // trailing ';'
+    AppendToken(tok, &norm.key);
+  }
+  norm.tokens = std::move(tokens);
+  return norm;
+}
+
+}  // namespace stagedb::frontend

@@ -1,0 +1,70 @@
+// SQL normalization for cross-query work reuse (§2/§5 of the paper: the
+// parse and optimize stages serve repeated or parameterized statements from
+// memoized results instead of redoing the work per query).
+//
+// The normalizer rewrites constant literals in a statement to '?' parameter
+// placeholders and renders the rewritten token stream as a canonical string:
+// keywords upper-cased, unquoted identifiers lower-cased, whitespace and
+// comments collapsed. Two statements that differ only in literal values (or
+// in spacing/case) therefore share one cache key — and one cached plan.
+#ifndef STAGEDB_FRONTEND_NORMALIZER_H_
+#define STAGEDB_FRONTEND_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/types.h"
+#include "catalog/value.h"
+#include "common/status.h"
+#include "parser/token.h"
+
+namespace stagedb::frontend {
+
+/// The outcome of normalizing one SQL statement.
+struct NormalizedStatement {
+  /// Only SELECT / INSERT / UPDATE / DELETE statements are cacheable; DDL
+  /// and transaction control always take the direct path (and bump the
+  /// catalog epoch, invalidating cached plans, rather than populating it).
+  bool cacheable = false;
+
+  /// True when the normalizer extracted the parameters itself (the statement
+  /// held no user-written '?'): `params` then carries the literal values in
+  /// placeholder order. When the user wrote explicit '?' placeholders the
+  /// statement is left untouched (literals stay literal, `params` is empty)
+  /// and the caller supplies values at execution time.
+  bool auto_params = true;
+
+  /// Canonical cache key (normalized SQL with '?' placeholders).
+  std::string key;
+
+  /// Total number of '?' placeholders in `tokens`.
+  size_t num_params = 0;
+
+  /// Extracted literal values, indexed by placeholder ordinal (auto mode).
+  std::vector<catalog::Value> params;
+
+  /// Normalized type of each placeholder (kNull when unknown — explicit
+  /// user placeholders). Passed to Planner::Plan for template binding.
+  std::vector<catalog::TypeId> param_types;
+
+  /// The rewritten token stream (ends with kEof); parsing this instead of
+  /// re-lexing `key` is what a cache miss pays for template planning.
+  std::vector<parser::Token> tokens;
+};
+
+/// Normalizes one SQL statement. Fails only when lexing fails (the caller
+/// falls back to the regular parse path, which reports the same error).
+///
+/// Normalization rules (see docs/DESIGN.md):
+///  * int / double / string literals become '?' placeholders, recording
+///    their value and type;
+///  * the literal after LIMIT stays a literal (it is folded into the plan
+///    shape, so parameterizing it would let plans with different limits
+///    collide on one cache entry);
+///  * TRUE / FALSE / NULL are keywords and stay as written;
+///  * statements that already contain '?' are never auto-parameterized.
+StatusOr<NormalizedStatement> Normalize(const std::string& sql);
+
+}  // namespace stagedb::frontend
+
+#endif  // STAGEDB_FRONTEND_NORMALIZER_H_

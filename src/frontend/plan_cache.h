@@ -1,0 +1,124 @@
+// The versioned front-end plan cache: normalized SQL -> bound physical plan
+// template, with LRU eviction, sharding, and catalog-epoch invalidation.
+//
+// This is the paper's cross-query work reuse at the parse and optimize
+// stages (§2, §5): a hit serves a repeated or parameterized statement from
+// the memoized plan, skipping both stages, so the packet routes straight to
+// execution (Figure 3's precompiled-query bypass edge).
+//
+// Safety: every entry records the catalog epoch it was planned under
+// (catalog::Catalog::version()). DDL bumps the epoch, so a lookup that finds
+// an entry from an older epoch treats it as stale — the entry is evicted and
+// the statement replanned — rather than executing a plan whose table/index
+// pointers may reference dropped objects. Entries are handed out as
+// shared_ptr-to-const so an invalidation never frees a template another
+// thread is still instantiating.
+#ifndef STAGEDB_FRONTEND_PLAN_CACHE_H_
+#define STAGEDB_FRONTEND_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/types.h"
+#include "catalog/value.h"
+#include "common/status.h"
+#include "optimizer/plan.h"
+
+namespace stagedb::frontend {
+
+/// One cached entry: an immutable plan template plus its parameter shape.
+struct CachedPlan {
+  /// The bound template. May contain kParam placeholders; execution always
+  /// goes through InstantiatePlan (a zero-parameter template instantiates to
+  /// a plain clone).
+  std::unique_ptr<const optimizer::PhysicalPlan> plan;
+  size_t num_params = 0;
+  std::vector<catalog::TypeId> param_types;
+  /// Catalog epoch the template was planned under.
+  uint64_t epoch = 0;
+};
+
+/// Counters surfaced through Database::EngineStats() / CacheStats().
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;          // key absent (includes first-ever lookups)
+  uint64_t invalidations = 0;   // stale-epoch entries evicted on lookup
+  uint64_t evictions = 0;       // LRU capacity evictions
+  uint64_t insertions = 0;
+  uint64_t entries = 0;         // current live entries across all shards
+  double HitRate() const {
+    const uint64_t total = hits + misses + invalidations;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// A bounded, sharded LRU cache. Thread-safe; one mutex per shard keeps the
+/// parse-stage lookups of concurrent clients from serializing on one lock.
+class PlanCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across `shards`
+  /// (each shard holds at least one entry).
+  explicit PlanCache(size_t capacity = 128, size_t shards = 8);
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the entry for `key` if present and planned under `epoch`.
+  /// A present-but-stale entry is evicted (counted as an invalidation) and
+  /// nullptr returned so the caller replans.
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           uint64_t epoch);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the shard's least
+  /// recently used entry when at capacity.
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> entry);
+
+  /// Drops every entry (stats counters keep accumulating).
+  void Clear();
+
+  PlanCacheStats Stats() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most recently used at the front.
+    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string,
+                            std::shared_ptr<const CachedPlan>>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  const size_t capacity_;
+  const size_t shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+};
+
+/// Binds a plan template to concrete parameter values: deep-clones the
+/// template, replaces every kParam expression node with a literal, resolves
+/// parameterized index-scan bounds (saturating at the INT64 range ends), and
+/// folds parameterized VALUES rows into literal tuples — applying the same
+/// numeric widening and type checks the planner applies to literal INSERTs.
+/// The result contains no parameters and is what the engines execute.
+StatusOr<std::unique_ptr<optimizer::PhysicalPlan>> InstantiatePlan(
+    const optimizer::PhysicalPlan& tmpl,
+    const std::vector<catalog::Value>& params);
+
+}  // namespace stagedb::frontend
+
+#endif  // STAGEDB_FRONTEND_PLAN_CACHE_H_

@@ -19,6 +19,14 @@ std::unique_ptr<BoundExpr> BoundExpr::Literal(Value v) {
   return e;
 }
 
+std::unique_ptr<BoundExpr> BoundExpr::Param(size_t index, TypeId t) {
+  auto e = std::make_unique<BoundExpr>();
+  e->kind = Kind::kParam;
+  e->column = index;
+  e->type = t;
+  return e;
+}
+
 std::unique_ptr<BoundExpr> BoundExpr::Column(size_t index, TypeId t) {
   auto e = std::make_unique<BoundExpr>();
   e->kind = Kind::kColumn;
@@ -83,6 +91,13 @@ std::unique_ptr<BoundExpr> BoundExpr::Clone() const {
   return e;
 }
 
+bool BoundExpr::ContainsParam() const {
+  if (kind == Kind::kParam) return true;
+  if (left && left->ContainsParam()) return true;
+  if (right && right->ContainsParam()) return true;
+  return false;
+}
+
 bool BoundExpr::ReferencesColumnsIn(size_t lo, size_t hi) const {
   if (kind == Kind::kColumn && column >= lo && column < hi) return true;
   if (left && left->ReferencesColumnsIn(lo, hi)) return true;
@@ -102,6 +117,8 @@ std::string BoundExpr::ToString() const {
   switch (kind) {
     case Kind::kLiteral:
       return literal.ToString();
+    case Kind::kParam:
+      return StrFormat("?%zu", column);
     case Kind::kColumn:
       return StrFormat("#%zu", column);
     case Kind::kAggRef:
@@ -217,6 +234,11 @@ StatusOr<Value> Eval(const BoundExpr& expr, const catalog::Tuple& in) {
   switch (expr.kind) {
     case BoundExpr::Kind::kLiteral:
       return expr.literal;
+    case BoundExpr::Kind::kParam:
+      return Status::Internal(StrFormat(
+          "unbound parameter ?%zu (plan template executed without "
+          "instantiation)",
+          expr.column));
     case BoundExpr::Kind::kColumn:
     case BoundExpr::Kind::kAggRef: {
       if (expr.column >= in.size()) {

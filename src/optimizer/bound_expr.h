@@ -16,18 +16,24 @@ namespace stagedb::optimizer {
 /// An expression with column references resolved to positions in the input
 /// tuple and with a computed result type.
 struct BoundExpr {
-  enum class Kind { kLiteral, kColumn, kUnary, kBinary, kAggRef };
+  enum class Kind { kLiteral, kParam, kColumn, kUnary, kBinary, kAggRef };
 
   Kind kind = Kind::kLiteral;
   catalog::TypeId type = catalog::TypeId::kNull;
   catalog::Value literal;             // kLiteral
-  size_t column = 0;                  // kColumn / kAggRef slot
+  size_t column = 0;                  // kColumn / kAggRef slot / kParam index
   parser::UnaryOp unary_op = parser::UnaryOp::kNeg;
   parser::BinaryOp binary_op = parser::BinaryOp::kAdd;
   std::unique_ptr<BoundExpr> left;
   std::unique_ptr<BoundExpr> right;
 
   static std::unique_ptr<BoundExpr> Literal(catalog::Value v);
+  /// Parameter placeholder in a cached plan template. `t` is the type the
+  /// statement was normalized with (kNull when unknown, e.g. a user-written
+  /// '?'). Templates are never executed directly: parameters are substituted
+  /// with literal values by frontend::InstantiatePlan before execution, so
+  /// Eval on a kParam node reports an internal error.
+  static std::unique_ptr<BoundExpr> Param(size_t index, catalog::TypeId t);
   static std::unique_ptr<BoundExpr> Column(size_t index, catalog::TypeId t);
   static std::unique_ptr<BoundExpr> AggRef(size_t slot, catalog::TypeId t);
   static std::unique_ptr<BoundExpr> Unary(parser::UnaryOp op,
@@ -37,6 +43,8 @@ struct BoundExpr {
                                            std::unique_ptr<BoundExpr> r);
 
   std::unique_ptr<BoundExpr> Clone() const;
+  /// True if any node in the tree is a kParam placeholder.
+  bool ContainsParam() const;
   /// True if the expression references any column in [lo, hi).
   bool ReferencesColumnsIn(size_t lo, size_t hi) const;
   /// Rewrites column references by `shift` (used when an input is re-based

@@ -61,6 +61,14 @@ struct PhysicalPlan {
   catalog::IndexInfo* index = nullptr;
   int64_t index_lo = INT64_MIN;  // inclusive range for kIndexScan
   int64_t index_hi = INT64_MAX;
+  // Parameterized kIndexScan bounds (plan templates): when >= 0, the bound is
+  // `params[index_*_param] + index_*_adjust` tightened against the static
+  // index_lo/index_hi by frontend::InstantiatePlan (the adjust turns the
+  // strict comparisons `col > ?` / `col < ?` into inclusive bounds).
+  int index_lo_param = -1;
+  int index_hi_param = -1;
+  int index_lo_adjust = 0;
+  int index_hi_adjust = 0;
 
   // kFilter / join residual predicates / kDelete / kUpdate condition.
   std::unique_ptr<BoundExpr> predicate;
@@ -85,10 +93,23 @@ struct PhysicalPlan {
 
   // kValues literal rows (INSERT source).
   std::vector<catalog::Tuple> rows;
+  // kValues rows of a parameterized INSERT template: kept unevaluated until
+  // frontend::InstantiatePlan substitutes the parameters and folds them into
+  // `rows` (the execution engines only ever see `rows`).
+  std::vector<std::vector<std::unique_ptr<BoundExpr>>> row_exprs;
 
   // Cost-model annotations.
   double estimated_rows = 0.0;
   double estimated_cost = 0.0;
+
+  /// Deep copy (children, expressions, rows; table/index pointers shared).
+  /// Much cheaper than replanning — this is what a plan-cache hit pays.
+  std::unique_ptr<PhysicalPlan> Clone() const;
+
+  /// True if any expression anywhere in the tree contains a kParam
+  /// placeholder or a parameterized index bound / VALUES row (i.e. the plan
+  /// is a template that must be instantiated before execution).
+  bool IsTemplate() const;
 
   /// EXPLAIN-style tree rendering.
   std::string ToString(int indent = 0) const;

@@ -134,6 +134,8 @@ StatusOr<std::unique_ptr<BoundExpr>> Planner::Bind(const Expr& expr,
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return BoundExpr::Literal(expr.literal);
+    case Expr::Kind::kParam:
+      return BoundExpr::Param(expr.param_index, ParamType(expr.param_index));
     case Expr::Kind::kStar:
       return Status::InvalidArgument("'*' is only valid in COUNT(*)");
     case Expr::Kind::kColumnRef: {
@@ -165,8 +167,17 @@ StatusOr<std::unique_ptr<BoundExpr>> Planner::Bind(const Expr& expr,
   return Status::Internal("unhandled expression kind in binder");
 }
 
+catalog::TypeId Planner::ParamType(size_t index) const {
+  if (param_types_ != nullptr && index < param_types_->size()) {
+    return (*param_types_)[index];
+  }
+  return TypeId::kNull;
+}
+
 StatusOr<std::unique_ptr<PhysicalPlan>> Planner::Plan(
-    const parser::Statement& stmt) {
+    const parser::Statement& stmt,
+    const std::vector<catalog::TypeId>* param_types) {
+  param_types_ = param_types;
   switch (stmt.kind) {
     case parser::Statement::Kind::kSelect:
       return PlanSelect(static_cast<const parser::SelectStmt&>(stmt));
@@ -189,9 +200,15 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanBaseRelation(
   const catalog::TableStats& stats = *rel.table->stats;
   const double base_rows = std::max<double>(1.0, stats.row_count());
 
-  // Try to carve an index range out of the conjuncts.
+  // Try to carve an index range out of the conjuncts. A comparand may be a
+  // literal (folded into the static lo/hi) or a '?' parameter of INTEGER
+  // normalized type (recorded as a parameterized bound that
+  // frontend::InstantiatePlan resolves; at most one parameter per side —
+  // further parameterized conjuncts stay in the residual filter).
   catalog::IndexInfo* best_index = nullptr;
   int64_t lo = INT64_MIN, hi = INT64_MAX;
+  int lo_param = -1, hi_param = -1;
+  int lo_adjust = 0, hi_adjust = 0;
   std::vector<const Expr*> remaining;
   if (options_.enable_index_scan) {
     for (const Expr* conjunct : local_conjuncts) {
@@ -200,12 +217,16 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanBaseRelation(
         const Expr* col = nullptr;
         const Expr* lit = nullptr;
         BinaryOp op = conjunct->binary_op;
+        const auto is_comparand = [](const Expr& e) {
+          return e.kind == Expr::Kind::kLiteral ||
+                 e.kind == Expr::Kind::kParam;
+        };
         if (conjunct->left->kind == Expr::Kind::kColumnRef &&
-            conjunct->right->kind == Expr::Kind::kLiteral) {
+            is_comparand(*conjunct->right)) {
           col = conjunct->left.get();
           lit = conjunct->right.get();
         } else if (conjunct->right->kind == Expr::Kind::kColumnRef &&
-                   conjunct->left->kind == Expr::Kind::kLiteral) {
+                   is_comparand(*conjunct->left)) {
           col = conjunct->right.get();
           lit = conjunct->left.get();
           // Mirror the comparison: lit OP col == col OP' lit.
@@ -226,35 +247,64 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanBaseRelation(
               break;
           }
         }
-        if (col != nullptr && lit->literal.type() == TypeId::kInt64) {
+        const bool is_param = lit != nullptr &&
+                              lit->kind == Expr::Kind::kParam;
+        // A parameter of unknown type (user-written '?') may still drive an
+        // index range: indexes only exist on INTEGER columns here, so the
+        // value is resolved as INTEGER at instantiation (a non-integer value
+        // fails there with a clear type error, like any prepared-statement
+        // parameter resolution).
+        const bool int_comparand =
+            lit != nullptr &&
+            (is_param ? (ParamType(lit->param_index) == TypeId::kInt64 ||
+                         ParamType(lit->param_index) == TypeId::kNull)
+                      : lit->literal.type() == TypeId::kInt64);
+        if (col != nullptr && int_comparand) {
           auto idx_or = rel.schema.Find(ColumnRefName(*col));
           if (idx_or.ok()) {
             catalog::IndexInfo* index =
                 catalog_->FindIndexOn(rel.table->id, *idx_or);
             if (index != nullptr &&
                 (best_index == nullptr || index == best_index)) {
-              const int64_t v = lit->literal.int_value();
+              const int64_t v = is_param ? 0 : lit->literal.int_value();
+              const int p =
+                  is_param ? static_cast<int>(lit->param_index) : -1;
+              const auto take_lo = [&](int adjust) {
+                if (is_param) {
+                  if (lo_param >= 0) return false;  // one parameter per side
+                  lo_param = p;
+                  lo_adjust = adjust;
+                } else {
+                  lo = std::max(lo, v + adjust);
+                }
+                return true;
+              };
+              const auto take_hi = [&](int adjust) {
+                if (is_param) {
+                  if (hi_param >= 0) return false;
+                  hi_param = p;
+                  hi_adjust = adjust;
+                } else {
+                  hi = std::min(hi, v + adjust);
+                }
+                return true;
+              };
               switch (op) {
                 case BinaryOp::kEq:
-                  lo = std::max(lo, v);
-                  hi = std::min(hi, v);
-                  used = true;
+                  if (is_param && (lo_param >= 0 || hi_param >= 0)) break;
+                  used = take_lo(0) && take_hi(0);
                   break;
                 case BinaryOp::kLt:
-                  hi = std::min(hi, v - 1);
-                  used = true;
+                  used = take_hi(-1);
                   break;
                 case BinaryOp::kLe:
-                  hi = std::min(hi, v);
-                  used = true;
+                  used = take_hi(0);
                   break;
                 case BinaryOp::kGt:
-                  lo = std::max(lo, v + 1);
-                  used = true;
+                  used = take_lo(1);
                   break;
                 case BinaryOp::kGe:
-                  lo = std::max(lo, v);
-                  used = true;
+                  used = take_lo(0);
                   break;
                 default:
                   break;
@@ -278,13 +328,27 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanBaseRelation(
     plan->index = best_index;
     plan->index_lo = lo;
     plan->index_hi = hi;
+    plan->index_lo_param = lo_param;
+    plan->index_hi_param = hi_param;
+    plan->index_lo_adjust = lo_adjust;
+    plan->index_hi_adjust = hi_adjust;
     plan->schema = rel.schema;
-    const double sel = stats.RangeSelectivity(
-        best_index->column, Value::Int(lo == INT64_MIN ? 0 : lo),
-        Value::Int(hi == INT64_MAX ? 0 : hi));
-    const double frac = (lo == INT64_MIN && hi == INT64_MAX) ? 1.0
-                        : (lo == hi ? stats.EqSelectivity(best_index->column)
-                                    : std::max(sel, 1e-6));
+    double frac;
+    if (lo_param >= 0 || hi_param >= 0) {
+      // Parameterized bound: the value is unknown at plan time. Point lookup
+      // (both bounds from the same '?') estimates like equality; open ranges
+      // get the generic inequality guess.
+      frac = (lo_param >= 0 && lo_param == hi_param)
+                 ? stats.EqSelectivity(best_index->column)
+                 : 1.0 / 3.0;
+    } else {
+      const double sel = stats.RangeSelectivity(
+          best_index->column, Value::Int(lo == INT64_MIN ? 0 : lo),
+          Value::Int(hi == INT64_MAX ? 0 : hi));
+      frac = (lo == INT64_MIN && hi == INT64_MAX) ? 1.0
+             : (lo == hi ? stats.EqSelectivity(best_index->column)
+                         : std::max(sel, 1e-6));
+    }
     plan->estimated_rows = std::max(1.0, base_rows * frac);
     plan->estimated_cost =
         std::log2(base_rows + 2) + plan->estimated_rows * kCpuPerTuple * 4;
@@ -848,11 +912,32 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanInsert(
   values->kind = PlanKind::kValues;
   values->schema = schema;
   const Schema empty;
+  // A parameterized INSERT keeps *every* row as unevaluated expressions
+  // (preserving row order across mixed literal/parameter rows); evaluation —
+  // including the numeric widening and type checks below — then happens in
+  // frontend::InstantiatePlan once the parameter values are known.
+  bool has_params = false;
+  for (const auto& row : stmt.rows) {
+    for (const auto& cell : row) {
+      if (cell->ContainsParam()) has_params = true;
+    }
+  }
   for (const auto& row : stmt.rows) {
     if (row.size() != schema.num_columns()) {
       return Status::InvalidArgument(
           StrFormat("INSERT expects %zu values, got %zu",
                     schema.num_columns(), row.size()));
+    }
+    if (has_params) {
+      std::vector<std::unique_ptr<BoundExpr>> cells;
+      cells.reserve(row.size());
+      for (const auto& cell : row) {
+        auto bound = Bind(*cell, empty, nullptr);
+        if (!bound.ok()) return bound.status();
+        cells.push_back(std::move(*bound));
+      }
+      values->row_exprs.push_back(std::move(cells));
+      continue;
     }
     catalog::Tuple tuple;
     for (size_t i = 0; i < row.size(); ++i) {
@@ -875,7 +960,8 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanInsert(
     }
     values->rows.push_back(std::move(tuple));
   }
-  values->estimated_rows = static_cast<double>(values->rows.size());
+  values->estimated_rows =
+      static_cast<double>(values->rows.size() + values->row_exprs.size());
 
   auto insert = std::make_unique<PhysicalPlan>();
   insert->kind = PlanKind::kInsert;

@@ -32,7 +32,15 @@ class Planner {
   explicit Planner(catalog::Catalog* catalog, PlannerOptions options = {})
       : catalog_(catalog), options_(options) {}
 
-  StatusOr<std::unique_ptr<PhysicalPlan>> Plan(const parser::Statement& stmt);
+  /// Plans one statement. When the statement contains '?' parameter
+  /// placeholders, `param_types` (indexed by parameter ordinal) supplies the
+  /// types the statement was normalized with — the frontend plan cache passes
+  /// the types of the literals it extracted — and the result is a plan
+  /// *template* that frontend::InstantiatePlan must bind before execution.
+  /// Unknown/absent types bind as kNull and are checked at instantiation.
+  StatusOr<std::unique_ptr<PhysicalPlan>> Plan(
+      const parser::Statement& stmt,
+      const std::vector<catalog::TypeId>* param_types = nullptr);
 
  private:
   struct Relation {
@@ -63,8 +71,12 @@ class Planner {
                                             const catalog::Schema& schema,
                                             AggContext* agg = nullptr) const;
 
+  /// The normalized type of parameter `index` (kNull when unknown).
+  catalog::TypeId ParamType(size_t index) const;
+
   catalog::Catalog* catalog_;
   PlannerOptions options_;
+  const std::vector<catalog::TypeId>* param_types_ = nullptr;
 };
 
 /// Splits an expression on top-level ANDs.

@@ -59,6 +59,13 @@ std::unique_ptr<Expr> Expr::Literal(catalog::Value v) {
   return e;
 }
 
+std::unique_ptr<Expr> Expr::Param(size_t index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParam;
+  e->param_index = index;
+  return e;
+}
+
 std::unique_ptr<Expr> Expr::ColumnRef(std::string table, std::string column) {
   auto e = std::make_unique<Expr>();
   e->kind = Kind::kColumnRef;
@@ -103,6 +110,7 @@ std::unique_ptr<Expr> Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
   e->literal = literal;
+  e->param_index = param_index;
   e->table = table;
   e->column = column;
   e->unary_op = unary_op;
@@ -120,12 +128,21 @@ bool Expr::ContainsAggregate() const {
   return false;
 }
 
+bool Expr::ContainsParam() const {
+  if (kind == Kind::kParam) return true;
+  if (left && left->ContainsParam()) return true;
+  if (right && right->ContainsParam()) return true;
+  return false;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kLiteral:
       return literal.type() == catalog::TypeId::kVarchar
                  ? "'" + literal.ToString() + "'"
                  : literal.ToString();
+    case Kind::kParam:
+      return StrFormat("?%zu", param_index);
     case Kind::kColumnRef:
       return table.empty() ? column : table + "." + column;
     case Kind::kUnary:

@@ -40,6 +40,7 @@ const char* AggFuncName(AggFunc f);
 struct Expr {
   enum class Kind {
     kLiteral,
+    kParam,  // '?' placeholder, bound at execution time
     kColumnRef,
     kUnary,
     kBinary,
@@ -50,6 +51,8 @@ struct Expr {
   Kind kind;
   // kLiteral
   catalog::Value literal;
+  // kParam
+  size_t param_index = 0;
   // kColumnRef
   std::string table;   // optional qualifier
   std::string column;
@@ -63,6 +66,7 @@ struct Expr {
   // aggregate argument is in `left` (null for COUNT(*))
 
   static std::unique_ptr<Expr> Literal(catalog::Value v);
+  static std::unique_ptr<Expr> Param(size_t index);
   static std::unique_ptr<Expr> ColumnRef(std::string table, std::string column);
   static std::unique_ptr<Expr> Unary(UnaryOp op, std::unique_ptr<Expr> operand);
   static std::unique_ptr<Expr> Binary(BinaryOp op, std::unique_ptr<Expr> l,
@@ -73,6 +77,8 @@ struct Expr {
   std::unique_ptr<Expr> Clone() const;
   /// True if any node in the tree is an aggregate call.
   bool ContainsAggregate() const;
+  /// True if any node in the tree is a '?' parameter placeholder.
+  bool ContainsParam() const;
   std::string ToString() const;
 };
 

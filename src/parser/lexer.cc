@@ -70,9 +70,46 @@ StatusOr<Token> Lexer::Next() {
       tok.type = TokenType::kKeyword;
       tok.text = upper;
     } else {
+      // Only *unquoted* identifiers fold; string literals and quoted
+      // identifiers below keep their bytes exactly.
       tok.type = TokenType::kIdentifier;
       tok.text = ToLower(word);  // identifiers are case-insensitive
     }
+    return tok;
+  }
+
+  if (c == '"') {
+    // Double-quoted identifier: case-preserving, never matched against
+    // keywords ("" escapes an embedded quote).
+    ++pos_;
+    std::string s;
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '"') {
+        if (Peek(1) == '"') {
+          s += '"';
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        if (s.empty()) {
+          return Status::InvalidArgument(
+              StrFormat("empty quoted identifier at %zu", tok.position));
+        }
+        tok.type = TokenType::kIdentifier;
+        tok.quoted = true;
+        tok.text = std::move(s);
+        return tok;
+      }
+      s += input_[pos_++];
+    }
+    return Status::InvalidArgument(
+        StrFormat("unterminated quoted identifier at %zu", tok.position));
+  }
+
+  if (c == '?') {
+    ++pos_;
+    tok.type = TokenType::kParam;
+    tok.int_value = next_param_ordinal_++;
     return tok;
   }
 

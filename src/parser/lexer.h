@@ -11,7 +11,10 @@
 namespace stagedb::parser {
 
 /// Tokenizes a SQL string. Keywords are recognized case-insensitively and
-/// normalized to upper case.
+/// normalized to upper case; unquoted identifiers fold to lower case, while
+/// string literals and double-quoted identifiers preserve case exactly.
+/// '?' lexes as a parameter placeholder with ordinals assigned in input
+/// order (prepared statements and the frontend normalizer).
 class Lexer {
  public:
   explicit Lexer(std::string input) : input_(std::move(input)) {}
@@ -30,6 +33,7 @@ class Lexer {
 
   std::string input_;
   size_t pos_ = 0;
+  int64_t next_param_ordinal_ = 0;
 };
 
 }  // namespace stagedb::parser

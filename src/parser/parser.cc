@@ -507,6 +507,10 @@ StatusOr<std::unique_ptr<Expr>> Parser::ParsePrimary() {
       std::string s = Advance().text;
       return Expr::Literal(Value::Varchar(std::move(s)));
     }
+    case TokenType::kParam: {
+      const int64_t ordinal = Advance().int_value;
+      return Expr::Param(static_cast<size_t>(ordinal));
+    }
     case TokenType::kLParen: {
       Advance();
       auto e = ParseExpr();

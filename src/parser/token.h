@@ -14,6 +14,7 @@ enum class TokenType {
   kIntLiteral,
   kDoubleLiteral,
   kStringLiteral,
+  kParam,  // '?' placeholder; int_value holds the 0-based ordinal
   // punctuation / operators
   kComma,
   kLParen,
@@ -39,6 +40,8 @@ struct Token {
   int64_t int_value = 0;
   double double_value = 0.0;
   size_t position = 0;  // byte offset in the input, for error messages
+  /// Double-quoted ("...") identifier: case preserved, never a keyword.
+  bool quoted = false;
 
   bool IsKeyword(const char* kw) const {
     return type == TokenType::kKeyword && text == kw;

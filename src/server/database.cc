@@ -57,6 +57,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   db->wal_ = std::make_unique<storage::WriteAheadLog>();
   db->txn_mgr_ =
       std::make_unique<storage::TransactionManager>(db->wal_.get());
+  if (db->options_.plan_cache) {
+    db->plan_cache_ = std::make_unique<frontend::PlanCache>(
+        db->options_.plan_cache_capacity, db->options_.plan_cache_shards);
+  }
   if (db->options_.mode == ExecutionMode::kStaged) {
     engine::StagedEngineOptions opts;
     opts.exchange_capacity_pages = db->options_.exchange_buffer_pages;
@@ -73,8 +77,22 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
 }
 
 engine::StageRuntime::StatsSnapshot Database::EngineStats() const {
-  if (staged_ == nullptr) return {};
-  return staged_->engine.runtime()->Stats();
+  engine::StageRuntime::StatsSnapshot snap;
+  if (staged_ != nullptr) snap = staged_->engine.runtime()->Stats();
+  if (plan_cache_ != nullptr) {
+    const frontend::PlanCacheStats cache = plan_cache_->Stats();
+    snap.plan_cache.hits = cache.hits;
+    snap.plan_cache.misses = cache.misses;
+    snap.plan_cache.invalidations = cache.invalidations;
+    snap.plan_cache.evictions = cache.evictions;
+    snap.plan_cache.entries = cache.entries;
+  }
+  return snap;
+}
+
+frontend::PlanCacheStats Database::CacheStats() const {
+  if (plan_cache_ == nullptr) return {};
+  return plan_cache_->Stats();
 }
 
 int64_t Database::statements_executed() const {
@@ -92,8 +110,91 @@ StatusOr<std::string> Database::Explain(const std::string& sql) {
   return (*plan)->ToString();
 }
 
+StatusOr<std::shared_ptr<const frontend::CachedPlan>> Database::GetOrPlanCached(
+    const frontend::NormalizedStatement& norm) {
+  if (plan_cache_ != nullptr) {
+    if (auto hit = plan_cache_->Lookup(norm.key, catalog_->version())) {
+      return hit;
+    }
+  }
+  // The facade performs the parse and optimize work itself, so it owns the
+  // per-stage counters here; the staged server counts its own stage visits.
+  stats_.GetCounter("stage.parse.packets")->Add(1);
+  parser::internal::Parser parser(norm.tokens, catalog_->symbols());
+  auto stmt = parser.ParseSingle();
+  if (!stmt.ok()) return stmt.status();
+  stats_.GetCounter("stage.optimize.packets")->Add(1);
+  return PlanAndCacheTemplate(**stmt, norm);
+}
+
+StatusOr<std::shared_ptr<const frontend::CachedPlan>>
+Database::PlanAndCacheTemplate(const parser::Statement& stmt,
+                               const frontend::NormalizedStatement& norm) {
+  // Read the epoch BEFORE planning: if a DDL interleaves, the entry is
+  // tagged with an epoch older than the catalog's — a conservative stale
+  // mark that forces a replan — never the other way around.
+  const uint64_t epoch = catalog_->version();
+  Planner planner(catalog_.get(), options_.planner);
+  auto plan = planner.Plan(stmt, &norm.param_types);
+  if (!plan.ok()) return plan.status();
+  auto entry = std::make_shared<frontend::CachedPlan>();
+  entry->plan = std::move(*plan);
+  entry->num_params = norm.num_params;
+  entry->param_types = norm.param_types;
+  entry->epoch = epoch;
+  if (plan_cache_ != nullptr) plan_cache_->Insert(norm.key, entry);
+  return std::shared_ptr<const frontend::CachedPlan>(std::move(entry));
+}
+
+StatusOr<std::shared_ptr<PreparedStatement>> Database::Prepare(
+    const std::string& sql) {
+  auto norm = frontend::Normalize(sql);
+  if (!norm.ok()) return norm.status();
+  if (!norm->cacheable) {
+    return Status::InvalidArgument(
+        "only SELECT/INSERT/UPDATE/DELETE statements can be prepared");
+  }
+  // Eager validation: parse + plan the template now (also warms the cache).
+  auto entry = GetOrPlanCached(*norm);
+  if (!entry.ok()) return entry.status();
+  auto prepared = std::make_shared<PreparedStatement>();
+  prepared->norm_ = std::move(*norm);
+  return prepared;
+}
+
+StatusOr<QueryResult> Database::ExecutePrepared(
+    const PreparedStatement& stmt, const std::vector<catalog::Value>& params) {
+  stats_.GetCounter("db.statements")->Add(1);
+  const std::vector<catalog::Value>& effective =
+      (params.empty() && stmt.norm_.auto_params) ? stmt.norm_.params : params;
+  if (effective.size() != stmt.num_params()) {
+    return Status::InvalidArgument(
+        StrFormat("statement takes %zu parameter(s), got %zu",
+                  stmt.num_params(), effective.size()));
+  }
+  auto entry = GetOrPlanCached(stmt.norm_);
+  if (!entry.ok()) return entry.status();
+  auto plan = frontend::InstantiatePlan(*(*entry)->plan, effective);
+  if (!plan.ok()) return plan.status();
+  return ExecutePlanned(plan->get());
+}
+
 StatusOr<QueryResult> Database::Execute(const std::string& sql) {
   stats_.GetCounter("db.statements")->Add(1);
+  // --- front-end work reuse: serve repeated/parameterized statements from
+  // the plan cache, skipping parse + optimize on a hit ---
+  if (plan_cache_ != nullptr) {
+    auto norm = frontend::Normalize(sql);
+    if (norm.ok() && norm->cacheable && norm->auto_params) {
+      auto entry = GetOrPlanCached(*norm);
+      if (!entry.ok()) return entry.status();
+      auto plan = frontend::InstantiatePlan(*(*entry)->plan, norm->params);
+      if (!plan.ok()) return plan.status();
+      return ExecutePlanned(plan->get());
+    }
+    // Not cacheable (DDL, txn control, explicit '?', lex error): fall
+    // through to the direct path, which reports any error as before.
+  }
   // --- parse stage ---
   auto stmt_or = parser::ParseStatement(sql, catalog_->symbols());
   if (!stmt_or.ok()) return stmt_or.status();
@@ -177,6 +278,13 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
 }
 
 StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
+  // A template must be instantiated first: the engines ignore parameterized
+  // index bounds and unevaluated VALUES rows, so executing one would return
+  // wrong results (full-range scans, zero-row inserts), not fail.
+  if (plan->IsTemplate()) {
+    return Status::InvalidArgument(
+        "statement contains '?' parameters; use Prepare/ExecutePrepared");
+  }
   QueryResult result;
   result.schema = plan->schema;
   result.plan_text = plan->ToString();
@@ -206,6 +314,10 @@ StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
   if (options_.mode != ExecutionMode::kStaged) {
     return Status::InvalidArgument(
         "SubmitPlanned requires staged execution mode");
+  }
+  if (plan->IsTemplate()) {
+    return Status::InvalidArgument(
+        "statement contains '?' parameters; use Prepare/ExecutePrepared");
   }
   auto pending = std::make_shared<PendingQuery>();
   pending->schema_ = plan->schema;

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "engine/runtime.h"
 #include "exec/executor.h"
+#include "frontend/normalizer.h"
+#include "frontend/plan_cache.h"
 #include "optimizer/planner.h"
 #include "storage/disk_manager.h"
 #include "storage/txn.h"
@@ -51,6 +53,12 @@ struct DatabaseOptions {
   /// Per-stage worker-pool overrides (size + optional core pin), keyed by
   /// stage name; stages without an entry get threads_per_stage workers.
   std::map<std::string, engine::StagePoolSpec> stage_pools;
+  /// Front-end work reuse (§2/§5): cache normalized statements' bound plan
+  /// templates so repeated/parameterized statements skip parse + optimize.
+  /// Shared by Execute, Prepare/ExecutePrepared, and both servers.
+  bool plan_cache = true;
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
 };
 
 /// Result of one statement.
@@ -84,6 +92,27 @@ class PendingQuery {
   std::shared_ptr<engine::StagedQuery> query_;
 };
 
+/// A prepared statement: the normalized form of one SQL statement, reusable
+/// across executions with different parameter values. Created by
+/// Database::Prepare; immutable and shareable across threads. The plan
+/// template itself lives in the database's plan cache (keyed by the
+/// normalized SQL), so a prepared statement survives cache eviction and
+/// catalog-epoch invalidation — execution transparently replans.
+class PreparedStatement {
+ public:
+  /// The normalized SQL (also the plan-cache key).
+  const std::string& sql() const { return norm_.key; }
+  /// Number of '?' parameters the statement takes.
+  size_t num_params() const { return norm_.num_params; }
+  /// True when the parameters were auto-extracted from literals (executing
+  /// with no explicit values re-uses the extracted ones).
+  bool auto_params() const { return norm_.auto_params; }
+
+ private:
+  friend class Database;
+  frontend::NormalizedStatement norm_;
+};
+
 /// An embedded staged database instance. Thread-compatible: concurrent
 /// Execute calls are allowed in both modes (the staged engine serializes
 /// through its stages; the volcano engine runs on the caller's thread).
@@ -96,8 +125,26 @@ class Database {
   /// Parses, plans, and executes one SQL statement.
   StatusOr<QueryResult> Execute(const std::string& sql);
 
-  /// Parses and plans only (EXPLAIN).
+  /// Parses and plans only (EXPLAIN). Always plans fresh (never consults or
+  /// populates the plan cache).
   StatusOr<std::string> Explain(const std::string& sql);
+
+  /// Prepares a statement for repeated execution: normalizes it, plans the
+  /// bound template, and warms the plan cache. Only SELECT / INSERT /
+  /// UPDATE / DELETE can be prepared. Statements with explicit '?'
+  /// placeholders take values at ExecutePrepared time; statements written
+  /// with literals are auto-parameterized (the literals become the default
+  /// parameter values).
+  StatusOr<std::shared_ptr<PreparedStatement>> Prepare(const std::string& sql);
+
+  /// Executes a prepared statement with the given parameter values (empty =
+  /// the auto-extracted defaults). A plan-cache hit skips parse and optimize
+  /// entirely; a stale or evicted entry is transparently replanned under the
+  /// current catalog epoch, so DDL between executions can never yield a
+  /// stale-plan execution.
+  StatusOr<QueryResult> ExecutePrepared(
+      const PreparedStatement& stmt,
+      const std::vector<catalog::Value>& params = {});
 
   /// Executes an already-planned statement (used by the staged server's
   /// execute stage; Figure 3's precompiled-query bypass).
@@ -117,6 +164,28 @@ class Database {
   StatsRegistry* stats() { return &stats_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// The shared front-end plan cache (nullptr when disabled). The staged
+  /// server's parse stage consults it directly; the threaded server reuses
+  /// it through Execute.
+  frontend::PlanCache* plan_cache() { return plan_cache_.get(); }
+  /// Plan-cache counters (zeros when the cache is disabled).
+  frontend::PlanCacheStats CacheStats() const;
+
+  /// Looks up (or parses + plans and inserts) the plan template for a
+  /// normalized statement, tagged with the catalog epoch observed *before*
+  /// planning — a concurrent DDL therefore always marks the entry stale,
+  /// never fresh. Works with the cache disabled (plans without memoizing).
+  StatusOr<std::shared_ptr<const frontend::CachedPlan>> GetOrPlanCached(
+      const frontend::NormalizedStatement& norm);
+
+  /// The plan-and-publish half of GetOrPlanCached, for callers that already
+  /// parsed the normalized statement (the staged server's optimize stage):
+  /// plans the template under the pre-read epoch and inserts it into the
+  /// cache. Both cache-population paths share this so the invalidation
+  /// protocol lives in one place.
+  StatusOr<std::shared_ptr<const frontend::CachedPlan>> PlanAndCacheTemplate(
+      const parser::Statement& stmt, const frontend::NormalizedStatement& norm);
+
   /// Statement counts by lifecycle stage (connect/parse/optimize/execute),
   /// mirroring the monitoring hooks of the staged design.
   int64_t statements_executed() const;
@@ -135,6 +204,7 @@ class Database {
   std::unique_ptr<catalog::Catalog> catalog_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   std::unique_ptr<storage::TransactionManager> txn_mgr_;
+  std::unique_ptr<frontend::PlanCache> plan_cache_;
   StatsRegistry stats_;
 
   // Explicit SQL transaction state (single implicit session).

@@ -108,8 +108,22 @@ class ThreadedServer : public Server {
   ThreadedServer(Database* db, ServerOptions options = {});
   ~ThreadedServer() override;
 
+  /// One consistent snapshot of the server's request accounting, taken under
+  /// a single lock: submitted >= started >= served always holds within one
+  /// snapshot (a request is admitted, then picked up by a worker, then
+  /// completed), and queued is derived from the same snapshot rather than
+  /// read from the queue under a second lock.
+  struct ThreadedStats {
+    int64_t submitted = 0;  ///< admitted into the queue
+    int64_t started = 0;    ///< dequeued by a worker
+    int64_t served = 0;     ///< completed (result published)
+    int64_t queued() const { return submitted - started; }
+    int64_t in_flight() const { return started - served; }
+  };
+
   std::shared_ptr<Request> Submit(std::string sql) override;
   std::string StatsReport() const override;
+  ThreadedStats Stats() const;
 
  private:
   void WorkerLoop();
@@ -118,7 +132,11 @@ class ThreadedServer : public Server {
   ServerOptions options_;
   BoundedQueue<std::shared_ptr<Request>> queue_;
   std::vector<std::thread> workers_;
-  std::atomic<int64_t> served_{0};
+  /// Guards the three ThreadedStats counters so Stats() returns a mutually
+  /// consistent snapshot (the pre-fix code mixed an atomic counter with an
+  /// unsynchronized queue-size read).
+  mutable std::mutex stats_mu_;
+  ThreadedStats counts_;
 };
 
 }  // namespace stagedb::server

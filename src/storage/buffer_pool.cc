@@ -12,6 +12,7 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity) : disk_(disk) {
     frames_.push_back(std::make_unique<Page>());
     free_frames_.push_back(static_cast<int>(i));
   }
+  lru_pos_.assign(capacity, lru_.end());
 }
 
 int BufferPool::FindVictim() {
@@ -23,12 +24,21 @@ int BufferPool::FindVictim() {
   if (lru_.empty()) return -1;
   int f = lru_.front();
   lru_.pop_front();
+  lru_pos_[f] = lru_.end();
   return f;
 }
 
 void BufferPool::TouchLru(int frame) {
-  lru_.remove(frame);
+  UnlinkLru(frame);
   lru_.push_back(frame);
+  lru_pos_[frame] = std::prev(lru_.end());
+}
+
+void BufferPool::UnlinkLru(int frame) {
+  if (lru_pos_[frame] != lru_.end()) {
+    lru_.erase(lru_pos_[frame]);
+    lru_pos_[frame] = lru_.end();
+  }
 }
 
 StatusOr<Page*> BufferPool::FetchPage(PageId id) {
@@ -37,7 +47,7 @@ StatusOr<Page*> BufferPool::FetchPage(PageId id) {
   if (it != page_table_.end()) {
     ++hits_;
     Page* page = frames_[it->second].get();
-    if (page->pin_count() == 0) lru_.remove(it->second);
+    if (page->pin_count() == 0) UnlinkLru(it->second);
     page->set_pin_count(page->pin_count() + 1);
     return page;
   }

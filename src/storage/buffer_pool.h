@@ -41,13 +41,21 @@ class BufferPool {
   /// Finds a victim frame (free list first, then LRU unpinned). Returns -1 if
   /// every frame is pinned.
   int FindVictim();
+  /// Moves a frame to the MRU end of the LRU list. O(1): each frame caches
+  /// its list position in lru_pos_ (the previous std::list::remove-based
+  /// update walked the whole list, turning every unpin into an O(capacity)
+  /// scan once the pool filled).
   void TouchLru(int frame);
+  /// Removes a frame from the LRU list if present. O(1).
+  void UnlinkLru(int frame);
 
   DiskManager* disk_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, int> page_table_;
   std::list<int> lru_;  // front = least recently used, unpinned frames only
+  /// Per-frame position in lru_; lru_.end() when not linked.
+  std::vector<std::list<int>::iterator> lru_pos_;
   std::vector<int> free_frames_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;

@@ -230,6 +230,69 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_DOUBLE_EQ(a.max(), 3.0);
 }
 
+// Regression: Percentile once computed `buckets_[b] - (cumulative -
+// threshold)` in uint64 arithmetic; a p≈0 threshold of 0 underflowed it and
+// only the final clamp hid the garbage. Boundary semantics are now defined:
+// p<=0 -> min, p>=100 -> max, empty -> 0 for every p.
+TEST(HistogramTest, PercentileBoundarySemantics) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 0.0);
+  EXPECT_NE(empty.ToString().find("count=0"), std::string::npos);
+
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), h.min());
+  EXPECT_DOUBLE_EQ(h.Percentile(-5), h.min());  // out-of-range p clamps
+  EXPECT_DOUBLE_EQ(h.Percentile(100), h.max());
+  EXPECT_DOUBLE_EQ(h.Percentile(250), h.max());
+  // A tiny-but-positive p lands on the first recorded value, not on bucket
+  // garbage below it.
+  EXPECT_GE(h.Percentile(1e-9), h.min());
+  EXPECT_LE(h.Percentile(1e-9), 2.0);
+}
+
+TEST(HistogramTest, SingleValueReportsThatValueEverywhere) {
+  Histogram h;
+  h.Record(42);
+  for (double p : {0.0, 0.001, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentilesAreMonotoneAndWithinRange) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record((i * 37) % 500);
+  double prev = h.Percentile(0);
+  for (double p = 0; p <= 100; p += 0.5) {
+    const double v = h.Percentile(p);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    EXPECT_GE(v, prev) << "non-monotone at p=" << p;
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, MergedHistogramPercentileBoundaries) {
+  Histogram a, b;
+  a.Record(5);
+  b.Record(500);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 500.0);
+  const double median = a.Percentile(50);
+  EXPECT_GE(median, 5.0);
+  EXPECT_LE(median, 500.0);
+  // Merging an empty histogram changes nothing, in either direction.
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.Merge(a);
+  EXPECT_DOUBLE_EQ(empty.Percentile(0), 5.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100), 500.0);
+}
+
 // ------------------------------------------------------------------ Stats ----
 
 TEST(StatsTest, CountersAreNamedAndStable) {

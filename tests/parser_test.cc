@@ -71,6 +71,57 @@ TEST(LexerTest, ErrorsOnStrayCharacter) {
   EXPECT_FALSE(lexer.Tokenize().ok());
 }
 
+// Case audit: only *unquoted identifiers* fold to lower case. Keywords
+// normalize to upper case regardless of input case; string literals keep
+// every byte; quoted identifiers keep case and never match keywords. This
+// pins down the contract the frontend normalizer depends on — normalization
+// must never change result casing.
+TEST(LexerTest, MixedCaseKeywordIdentifierLiteral) {
+  Lexer lexer("SeLeCt Name FROM Emp WHERE city = 'LoNdOn'");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("SELECT"));
+  EXPECT_EQ((*tokens)[1].text, "name");       // unquoted identifier folds
+  EXPECT_EQ((*tokens)[3].text, "emp");
+  EXPECT_EQ((*tokens)[7].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[7].text, "LoNdOn");     // literal keeps case exactly
+  EXPECT_FALSE((*tokens)[7].quoted);
+}
+
+TEST(LexerTest, QuotedIdentifiersKeepCaseAndEscapeQuotes) {
+  Lexer lexer("SELECT \"MiXeD\" FROM \"My\"\"Table\"");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_TRUE((*tokens)[1].quoted);
+  EXPECT_EQ((*tokens)[1].text, "MiXeD");
+  EXPECT_EQ((*tokens)[3].text, "My\"Table");
+}
+
+TEST(LexerTest, QuotedKeywordIsAnIdentifier) {
+  Lexer lexer("\"select\"");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "select");
+}
+
+TEST(LexerTest, ErrorsOnUnterminatedOrEmptyQuotedIdentifier) {
+  EXPECT_FALSE(Lexer("\"oops").Tokenize().ok());
+  EXPECT_FALSE(Lexer("SELECT \"\" FROM t").Tokenize().ok());
+}
+
+TEST(LexerTest, ParamPlaceholdersGetSequentialOrdinals) {
+  Lexer lexer("a = ? AND b < ? AND c > ?");
+  auto tokens = lexer.Tokenize();
+  ASSERT_TRUE(tokens.ok());
+  std::vector<int64_t> ordinals;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kParam) ordinals.push_back(t.int_value);
+  }
+  EXPECT_EQ(ordinals, (std::vector<int64_t>{0, 1, 2}));
+}
+
 // --------------------------------------------------------- Statement parse ---
 
 template <typename T>
@@ -105,6 +156,26 @@ TEST(ParserTest, CreateIndexAndDrop) {
   auto drop = ParseStatement("DROP TABLE tenk1;");
   ASSERT_TRUE(drop.ok());
   EXPECT_NE(As<DropTableStmt>(*drop), nullptr);
+}
+
+TEST(ParserTest, ParamPlaceholdersParseIntoExpressions) {
+  auto stmt = ParseStatement("SELECT a FROM t WHERE a = ? AND b < ?");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_NE(sel->where, nullptr);
+  EXPECT_TRUE(sel->where->ContainsParam());
+  EXPECT_EQ(sel->where->ToString(), "((a = ?0) AND (b < ?1))");
+}
+
+TEST(ParserTest, QuotedIdentifiersStayCaseSensitiveThroughParse) {
+  auto stmt = ParseStatement("SELECT \"MiXeD\" FROM \"TbL\" WHERE x = 1");
+  ASSERT_TRUE(stmt.ok());
+  const auto* sel = As<SelectStmt>(*stmt);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_EQ(sel->from.table, "TbL");
+  ASSERT_EQ(sel->items.size(), 1u);
+  EXPECT_EQ(sel->items[0].expr->column, "MiXeD");
 }
 
 TEST(ParserTest, InsertMultiRow) {

@@ -175,5 +175,52 @@ TEST_F(ServerTest, ConcurrentQueriesOverlapInExecuteStage) {
   EXPECT_FALSE(bad->Await().ok());
 }
 
+// Regression for the Stats race: the old StatsReport mixed an atomic
+// `served_` load with an unsynchronized queue read, so a snapshot could show
+// more requests served than submitted. Hammer Stats() against concurrent
+// submitters and check the invariant chain within every snapshot (the TSan
+// leg additionally verifies the locking).
+TEST_F(ServerTest, ThreadedStatsSnapshotsAreConsistentUnderLoad) {
+  ServerOptions opts;
+  opts.worker_threads = 4;
+  ThreadedServer server(db_.get(), opts);
+
+  std::atomic<bool> stop{false};
+  std::thread observer([&] {
+    while (!stop.load()) {
+      const ThreadedServer::ThreadedStats stats = server.Stats();
+      EXPECT_GE(stats.submitted, stats.started);
+      EXPECT_GE(stats.started, stats.served);
+      EXPECT_GE(stats.served, 0);
+      EXPECT_GE(stats.queued(), 0);
+      EXPECT_GE(stats.in_flight(), 0);
+    }
+  });
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 50;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        if (server.Submit("SELECT COUNT(*) FROM t")->Await().ok()) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop.store(true);
+  observer.join();
+
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  const ThreadedServer::ThreadedStats stats = server.Stats();
+  EXPECT_EQ(stats.submitted, kClients * kPerClient);
+  EXPECT_EQ(stats.served, kClients * kPerClient);
+  EXPECT_EQ(stats.queued(), 0);
+  EXPECT_EQ(stats.in_flight(), 0);
+}
+
 }  // namespace
 }  // namespace stagedb::server
