@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -41,10 +42,16 @@ struct BenchArgs {
 
 /// Accumulates flat key -> value metrics and prints them as one JSON object.
 /// Keys are emitted in insertion order so reports diff cleanly run-to-run.
+/// Every report leads with the bench name and the machine's hardware
+/// concurrency: wall-clock numbers are only comparable between runs on the
+/// same core count, so tools/bench_compare.py keys its perf tolerances on
+/// hw_threads (benches that sweep a DOP add a per-run "dop" field too).
 class JsonReport {
  public:
   explicit JsonReport(const std::string& bench_name) {
     Add("bench", bench_name);
+    Add("hw_threads",
+        static_cast<int64_t>(std::thread::hardware_concurrency()));
   }
 
   void Add(const std::string& key, const std::string& value) {
@@ -72,7 +79,8 @@ class JsonReport {
   void Print() const {
     std::printf("{");
     for (size_t i = 0; i < fields_.size(); ++i) {
-      std::printf("%s%s: %s", i == 0 ? "" : ", ", Quote(fields_[i].first).c_str(),
+      std::printf("%s%s: %s", i == 0 ? "" : ", ",
+                  Quote(fields_[i].first).c_str(),
                   fields_[i].second.c_str());
     }
     std::printf("}\n");

@@ -104,9 +104,10 @@ int main(int argc, char** argv) {
     std::printf("staged server   : %8.1f queries/sec\n", staged.qps);
     std::printf("threaded server : %8.1f queries/sec\n", threaded.qps);
     std::printf("\nBoth architectures execute the identical workload "
-                "correctly; on a %u-core host the\nwall-clock difference is "
-                "dominated by scheduling noise — the cache-affinity argument\n"
-                "is quantified by the deterministic benches (fig1/fig2/fig5).\n",
+                "correctly; on a %u-core host the\nwall-clock difference "
+                "is dominated by scheduling noise — the cache-affinity\n"
+                "argument is quantified by the deterministic benches "
+                "(fig1/fig2/fig5).\n",
                 std::thread::hardware_concurrency());
   }
   if (failures > 0) {

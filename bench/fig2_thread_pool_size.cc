@@ -114,7 +114,9 @@ int main(int argc, char** argv) {
   for (const auto& t : distinct_a) {
     mean_a += (t.TotalCpuMicros() + t.TotalIos() * 10000.0) / distinct_a.size();
   }
-  for (const auto& t : distinct_b) mean_b += t.TotalCpuMicros() / distinct_b.size();
+  for (const auto& t : distinct_b) {
+    mean_b += t.TotalCpuMicros() / distinct_b.size();
+  }
 
   std::printf("Figure 2: throughput vs thread pool size (%% of max "
               "attainable per workload)\n");

@@ -33,7 +33,8 @@ namespace {
 double ParseCpuMicros(Catalog* catalog, const std::string& sql) {
   auto stmt = stagedb::parser::ParseStatement(sql, catalog->symbols());
   if (!stmt.ok()) {
-    std::fprintf(stderr, "parse failed: %s\n", stmt.status().ToString().c_str());
+    std::fprintf(stderr, "parse failed: %s\n",
+                 stmt.status().ToString().c_str());
     exit(1);
   }
   return 125.0 * sql.size();

@@ -57,7 +57,9 @@ int main() {
     ctx.trace = &trace;
     auto rows = stagedb::exec::ExecutePlan(plan->get(), &ctx);
     if (!rows.ok()) return 1;
-    for (const auto& entry : trace.entries()) private_tuples += entry.tuples_out;
+    for (const auto& entry : trace.entries()) {
+      private_tuples += entry.tuples_out;
+    }
     auto staged_rows = engine.Execute(plan->get());
     if (!staged_rows.ok()) return 1;
     result_rows += static_cast<int64_t>(staged_rows->size());

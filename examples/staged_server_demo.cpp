@@ -44,6 +44,7 @@ int main() {
   for (auto& t : clients) t.join();
   std::printf("done, %d errors\n\n", errors.load());
   std::printf("%s\n", server.StatsReport().c_str());
-  std::printf("database-wide stage counters:\n%s", db->stats()->Report().c_str());
+  std::printf("database-wide stage counters:\n%s",
+              db->stats()->Report().c_str());
   return errors.load() == 0 ? 0 : 1;
 }

@@ -8,7 +8,7 @@
 
 namespace stagedb {
 
-/// xoshiro256** — fast, high-quality, seedable PRNG. All experiments use fixed
+/// xoshiro256** — fast, high-quality, seedable PRNG. Experiments use fixed
 /// seeds so every figure in EXPERIMENTS.md is reproducible bit-for-bit.
 class Rng {
  public:
@@ -46,7 +46,8 @@ class Rng {
   /// Uniform integer in [lo, hi] inclusive.
   int64_t UniformRange(int64_t lo, int64_t hi) {
     assert(lo <= hi);
-    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+    return lo +
+           static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
   }
 
   /// Uniform double in [0, 1).

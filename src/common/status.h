@@ -94,7 +94,8 @@ template <typename T>
 class StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+    assert(!status_.ok() &&
+           "StatusOr constructed from OK status without value");
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
 

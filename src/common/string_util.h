@@ -9,7 +9,8 @@
 namespace stagedb {
 
 /// printf-style formatting into a std::string.
-std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 /// Splits on a single character; keeps empty fields.
 std::vector<std::string> StrSplit(const std::string& s, char sep);

@@ -1,79 +1,104 @@
 #include "engine/exchange.h"
 
+#include "exec/row_utils.h"
+
 namespace stagedb::engine {
 
+void ExchangeBuffer::BindProducer(Stage* stage, StageTask* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  producers_.push_back({stage, task});
+}
+
+void ExchangeBuffer::BindConsumer(Stage* stage, StageTask* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consumers_.push_back({stage, task});
+}
+
+void ExchangeBuffer::WakeAll(const std::vector<Endpoint>& endpoints) {
+  // Called outside mu_: Activate takes the runtime mutex, and holding both
+  // would order them against TryPush callers. The endpoint vectors are only
+  // appended to during query wiring (before any packet runs), so reading
+  // them unlocked here is safe.
+  for (const Endpoint& e : endpoints) {
+    if (e.stage != nullptr && e.task != nullptr) e.stage->Activate(e.task);
+  }
+}
+
 ExchangeBuffer::PushResult ExchangeBuffer::TryPush(TupleBatch* batch) {
-  Stage* wake_stage = nullptr;
-  StageTask* wake_task = nullptr;
+  bool was_empty = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (pages_.size() >= capacity_) return PushResult::kFull;
+    was_empty = pages_.empty();
     pages_.push_back(std::move(*batch));
     batch->tuples.clear();
     ++pages_pushed_;
-    wake_stage = consumer_stage_;
-    wake_task = consumer_;
   }
-  // Parent activation: the first page enqueued for a parked (or not yet
-  // activated) consumer wakes it.
-  if (wake_stage != nullptr && wake_task != nullptr) {
-    wake_stage->Activate(wake_task);
-  }
+  // Parent activation: the empty -> non-empty transition wakes the parked
+  // (or not yet activated) consumers. A consumer can only be parked when it
+  // observed an empty buffer (the runtime re-checks CanMakeProgress under
+  // its mutex just before parking), so pushes onto a non-empty buffer need
+  // not wake anyone — that keeps fan-in edges from multiplying runtime-
+  // mutex traffic by their endpoint count.
+  if (was_empty) WakeAll(consumers_);
   return PushResult::kOk;
 }
 
 void ExchangeBuffer::MarkEof() {
-  Stage* wake_stage = nullptr;
-  StageTask* wake_task = nullptr;
+  bool became_eof = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++eof_marks_;
+    // With at most one producer bound this is the classic single-producer
+    // EOF; with M bound, the stream ends at the M-th mark (fan-in).
+    if (eof_marks_ >= std::max<size_t>(1, producers_.size()) && !eof_) {
+      eof_ = true;
+      became_eof = true;
+    }
+  }
+  // Only the mark that actually ends the stream can unblock a consumer
+  // (AtEof needs eof_); earlier marks change nothing a parked packet polls.
+  if (became_eof) WakeAll(consumers_);
+}
+
+void ExchangeBuffer::ForceEof() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     eof_ = true;
-    wake_stage = consumer_stage_;
-    wake_task = consumer_;
   }
-  if (wake_stage != nullptr && wake_task != nullptr) {
-    wake_stage->Activate(wake_task);
-  }
+  WakeAll(consumers_);
 }
 
 bool ExchangeBuffer::TryPop(TupleBatch* out, bool* eof) {
-  Stage* wake_stage = nullptr;
-  StageTask* wake_task = nullptr;
   bool popped = false;
+  bool was_full = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     *eof = false;
     if (!pages_.empty()) {
+      was_full = pages_.size() >= capacity_;
       *out = std::move(pages_.front());
       pages_.pop_front();
       popped = true;
-      wake_stage = producer_stage_;
-      wake_task = producer_;
     } else if (eof_) {
       *eof = true;
     }
   }
-  // Space freed: wake a producer parked on back-pressure.
-  if (popped && wake_stage != nullptr && wake_task != nullptr) {
-    wake_stage->Activate(wake_task);
-  }
+  // Space freed: the full -> not-full transition wakes producers parked on
+  // back-pressure (a producer can only be parked when it observed a full
+  // buffer, mirroring the consumer-side argument in TryPush).
+  if (popped && was_full) WakeAll(producers_);
   return popped;
 }
 
 void ExchangeBuffer::Close() {
-  Stage* wake_stage = nullptr;
-  StageTask* wake_task = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     closed_ = true;
     pages_.clear();
-    wake_stage = producer_stage_;
-    wake_task = producer_;
   }
-  if (wake_stage != nullptr && wake_task != nullptr) {
-    wake_stage->Activate(wake_task);
-  }
+  WakeAll(producers_);
 }
 
 bool ExchangeBuffer::HasData() const {
@@ -94,6 +119,40 @@ bool ExchangeBuffer::HasSpaceOrClosed() const {
 bool ExchangeBuffer::closed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return closed_;
+}
+
+int64_t ExchangeBuffer::pages_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_pushed_;
+}
+
+StatusOr<size_t> PartitionedExchange::PartitionOf(const catalog::Tuple& tuple,
+                                                  uint64_t* rr_cursor) const {
+  const size_t n = partitions_.size();
+  if (!key_columns_.empty()) {
+    // Same fold as exec::RowKeyHash, computed straight off the tuple: this
+    // runs once per routed tuple, so it must not materialize a RowKey
+    // (vector allocation + Value copies) just to hash it.
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (size_t c : key_columns_) {
+      if (c >= tuple.size()) {
+        return Status::Internal("partition key column out of range");
+      }
+      h ^= tuple[c].Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h % n;
+  }
+  if (!key_exprs_.empty()) {
+    exec::RowKey key;
+    key.values.reserve(key_exprs_.size());
+    for (const optimizer::BoundExpr* expr : key_exprs_) {
+      auto v = optimizer::Eval(*expr, tuple);
+      if (!v.ok()) return v.status();
+      key.values.push_back(std::move(*v));
+    }
+    return exec::RowKeyHash{}(key) % n;
+  }
+  return (*rr_cursor)++ % n;
 }
 
 }  // namespace stagedb::engine

@@ -2,6 +2,13 @@
 // "Dataflow takes place through the use of intermediate result buffers and
 //  page-based data exchange using a producer-consumer type of operator/stage
 //  communication."
+//
+// Partitioned intra-query parallelism (§4.3) extends the same machinery:
+// a buffer may have several producers (fan-in: N partition packets merging
+// into one consumer; end-of-stream is reached when every producer has marked
+// EOF) and several consumers (fan-out wake-up), and a PartitionedExchange
+// groups N partition buffers behind one hash partition function so a
+// producer can spread its output across N parallel operator packets.
 #ifndef STAGEDB_ENGINE_EXCHANGE_H_
 #define STAGEDB_ENGINE_EXCHANGE_H_
 
@@ -11,6 +18,7 @@
 
 #include "catalog/tuple.h"
 #include "engine/runtime.h"
+#include "optimizer/bound_expr.h"
 
 namespace stagedb::engine {
 
@@ -22,35 +30,49 @@ struct TupleBatch {
   size_t size() const { return tuples.size(); }
 };
 
-/// A bounded buffer of pages between one producer and one consumer operator
-/// instance. Non-blocking on both sides: a full buffer makes the producer
+/// A bounded buffer of pages between producer and consumer operator
+/// instances. Non-blocking on both sides: a full buffer makes the producer
 /// yield its packet (back-pressure), an empty one parks the consumer; pushes
-/// and pops wake the peer through Stage::Activate (the paper's "checks for
+/// and pops wake the peers through Stage::Activate (the paper's "checks for
 /// parent activation" step).
+///
+/// Endpoints: Bind{Producer,Consumer} may each be called several times — a
+/// partitioned plan wires M producer packets and (for fan-out buffers) the
+/// partition's consumer packet. With M producers bound, the stream ends when
+/// all M have called MarkEof; with zero or one bound (the DOP=1 wiring and
+/// unit tests), a single MarkEof ends it, exactly the pre-parallelism
+/// semantics.
 class ExchangeBuffer {
  public:
   explicit ExchangeBuffer(size_t capacity_pages)
       : capacity_(capacity_pages) {}
 
-  /// Wires the endpoints so the buffer can activate parked packets.
-  void BindProducer(Stage* stage, StageTask* task) {
-    producer_stage_ = stage;
-    producer_ = task;
-  }
-  void BindConsumer(Stage* stage, StageTask* task) {
-    consumer_stage_ = stage;
-    consumer_ = task;
-  }
+  /// Registers a producer endpoint so pops can wake packets parked on
+  /// back-pressure. Each registered producer is expected to MarkEof exactly
+  /// once.
+  void BindProducer(Stage* stage, StageTask* task);
+  /// Registers a consumer endpoint so pushes / EOF can wake packets parked
+  /// on an empty buffer.
+  void BindConsumer(Stage* stage, StageTask* task);
 
   enum class PushResult { kOk, kFull, kClosed };
 
   /// Offers a page; consumes *batch only on kOk. kFull = back-pressure (the
   /// caller keeps the page and re-enqueues its packet); kClosed = the
-  /// consumer no longer wants data (caller should finish early).
+  /// consumer no longer wants data (caller should finish early). A
+  /// zero-capacity buffer rejects every push with kFull (kClosed once
+  /// closed); the engine therefore never creates one.
   PushResult TryPush(TupleBatch* batch);
 
-  /// Marks end-of-stream (producer side) and activates the consumer.
+  /// Marks end-of-stream for one producer and, once every bound producer has
+  /// done so (or immediately when at most one is bound), activates the
+  /// consumers.
   void MarkEof();
+
+  /// Unconditional end-of-stream, regardless of how many producers have
+  /// reported: used by query cancellation (StagedQuery::Fail), where waiting
+  /// for M producer EOFs could deadlock against the failure being delivered.
+  void ForceEof();
 
   /// Takes the next page if available. Returns false with *eof=false when the
   /// buffer is momentarily empty, false with *eof=true at end of stream.
@@ -65,19 +87,66 @@ class ExchangeBuffer {
   bool HasSpaceOrClosed() const;
   bool closed() const;
 
-  int64_t pages_pushed() const { return pages_pushed_; }
+  int64_t pages_pushed() const;
 
  private:
+  struct Endpoint {
+    Stage* stage = nullptr;
+    StageTask* task = nullptr;
+  };
+
+  void WakeAll(const std::vector<Endpoint>& endpoints);
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<TupleBatch> pages_;
   bool eof_ = false;
   bool closed_ = false;
+  size_t eof_marks_ = 0;  // producers that have called MarkEof
   int64_t pages_pushed_ = 0;
-  Stage* producer_stage_ = nullptr;
-  StageTask* producer_ = nullptr;
-  Stage* consumer_stage_ = nullptr;
-  StageTask* consumer_ = nullptr;
+  std::vector<Endpoint> producers_;
+  std::vector<Endpoint> consumers_;
+};
+
+/// Hash fan-out for partitioned intra-query parallelism (§4.3): routes each
+/// tuple of a producer's output to one of N partition ExchangeBuffers, so the
+/// N packets of a parallel hash-join or partial-aggregation each receive a
+/// disjoint, key-complete share of the stream.
+///
+/// The partition function is the hash of the partition key — either key
+/// *columns* (equi-join keys: both join inputs use the same RowKeyHash, so
+/// matching keys always meet in the same partition) or key *expressions*
+/// (group-by exprs of a partial aggregation) — taken modulo N. With no key
+/// (a global aggregate), tuples are dealt round-robin from a caller-held
+/// cursor. Does not own the buffers: they live in StagedQuery::buffers with
+/// every other exchange buffer so cancellation closes them uniformly.
+class PartitionedExchange {
+ public:
+  explicit PartitionedExchange(std::vector<ExchangeBuffer*> partitions)
+      : partitions_(std::move(partitions)) {}
+
+  /// Partition on the hash of these column positions of the input tuple.
+  void SetKeyColumns(std::vector<size_t> columns) {
+    key_columns_ = std::move(columns);
+  }
+  /// Partition on the hash of these expressions evaluated over the input
+  /// tuple (pointers must outlive the exchange; they point into the plan).
+  void SetKeyExprs(std::vector<const optimizer::BoundExpr*> exprs) {
+    key_exprs_ = std::move(exprs);
+  }
+
+  size_t num_partitions() const { return partitions_.size(); }
+  ExchangeBuffer* partition(size_t i) const { return partitions_[i]; }
+
+  /// The partition for `tuple`. `rr_cursor` is the caller's (per-producer)
+  /// round-robin cursor, advanced only when the exchange has no key.
+  StatusOr<size_t> PartitionOf(const catalog::Tuple& tuple,
+                               uint64_t* rr_cursor) const;
+
+ private:
+  std::vector<ExchangeBuffer*> partitions_;
+  std::vector<size_t> key_columns_;
+  std::vector<const optimizer::BoundExpr*> key_exprs_;
 };
 
 }  // namespace stagedb::engine

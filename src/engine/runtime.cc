@@ -392,6 +392,10 @@ StageRuntime::StatsSnapshot StageRuntime::Stats() const {
     s.processed = stage->processed_.load(std::memory_order_relaxed);
     s.yielded = stage->yielded_.load(std::memory_order_relaxed);
     s.blocked = stage->blocked_.load(std::memory_order_relaxed);
+    s.parallel_packets =
+        stage->parallel_packets_.load(std::memory_order_relaxed);
+    s.parallel_groups =
+        stage->parallel_groups_.load(std::memory_order_relaxed);
     s.visits = stage->visits_;
     s.gate_rounds = stage->gate_rounds_;
     s.pops = stage->pops_;
@@ -416,6 +420,12 @@ std::string StageRuntime::StatsSnapshot::ToString() const {
         static_cast<long long>(s.visits), s.PacketsPerVisit(),
         s.wait_micros.Percentile(50), s.wait_micros.Percentile(95),
         s.service_micros.Percentile(50));
+    if (s.parallel_packets > 0) {
+      out += StrFormat("  %-12s parallel_packets=%lld groups=%lld\n",
+                       s.name.c_str(),
+                       static_cast<long long>(s.parallel_packets),
+                       static_cast<long long>(s.parallel_groups));
+    }
   }
   if (plan_cache.hits + plan_cache.misses + plan_cache.invalidations > 0) {
     out += StrFormat(

@@ -195,6 +195,16 @@ class Stage {
   int64_t packets_blocked() const { return blocked_; }
   size_t queue_depth() const;
 
+  /// Intra-query parallelism accounting: `count` partition packets of one
+  /// dop>1 operator were created on this stage (called by the engine when it
+  /// fans a plan node out; §4.3).
+  void CountParallelPackets(int64_t count) {
+    parallel_packets_ += count;
+    ++parallel_groups_;
+  }
+  int64_t parallel_packets() const { return parallel_packets_; }
+  int64_t parallel_groups() const { return parallel_groups_; }
+
  private:
   friend class StageRuntime;
   Stage(StageRuntime* runtime, std::string name, int id, StagePoolSpec spec)
@@ -212,6 +222,9 @@ class Stage {
   std::atomic<int64_t> processed_{0};
   std::atomic<int64_t> yielded_{0};
   std::atomic<int64_t> blocked_{0};
+  // Partition packets (and dop>1 operator groups) instantiated here.
+  std::atomic<int64_t> parallel_packets_{0};
+  std::atomic<int64_t> parallel_groups_{0};
   // Visit accounting and latency histograms; guarded by the runtime mutex.
   int64_t visits_ = 0;       // rotation arrivals (stays 0 under free-run)
   int64_t gate_rounds_ = 0;  // gate rounds served (re-gates = rounds - visits)
@@ -232,6 +245,11 @@ class StageRuntime {
     int64_t processed = 0;
     int64_t yielded = 0;
     int64_t blocked = 0;
+    /// Partition packets created here by dop>1 operators, and how many such
+    /// parallel operator groups they came from (0/0 when every plan ran at
+    /// DOP=1).
+    int64_t parallel_packets = 0;
+    int64_t parallel_groups = 0;
     int64_t visits = 0;
     int64_t gate_rounds = 0;
     int64_t pops = 0;

@@ -37,7 +37,7 @@ struct SharedScanStats {
   int64_t heap_page_reads = 0;  ///< pages physically read from the heap file
   int64_t pages_delivered = 0;  ///< page deliveries to readers (>= heap reads)
   int64_t window_hits = 0;      ///< deliveries served from the reuse window
-  int64_t cursor_resets = 0;    ///< last-reader detaches (cursor back to page 0)
+  int64_t cursor_resets = 0;  ///< last-reader detaches (cursor to page 0)
 
   /// Pages handed out per physical heap read — the sharing factor.
   double DeliveriesPerRead() const {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "exec/partial_agg.h"
 #include "exec/row_utils.h"
 #include "optimizer/bound_expr.h"
 
@@ -42,9 +43,11 @@ void StagedQuery::Fail(Status status) {
     }
   }
   // Cancel the dataflow: producers see closed sinks, consumers see EOF.
+  // ForceEof (not MarkEof): a fan-in buffer normally waits for every
+  // producer's EOF mark, but cancellation must not wait for anyone.
   for (auto& buffer : buffers) {
     buffer->Close();
-    buffer->MarkEof();
+    buffer->ForceEof();
   }
 }
 
@@ -90,7 +93,10 @@ enum class BlockReason { kNone, kInput0, kInput1, kAnyInput, kOutput };
 
 /// One relational operator of one query: the paper's packet. Run() performs
 /// up to a work quantum of page-granular processing and re-enqueues itself
-/// when it cannot continue.
+/// when it cannot continue. A dop>1 plan node is instantiated as `dop`
+/// packets (partitions) of the same node; each receives the hash partition
+/// of the input streams its key share maps to (§4.3 intra-operator
+/// parallelism).
 class OperatorInstance : public StageTask {
  public:
   OperatorInstance(StagedEngine* engine, StagedQuery* query,
@@ -100,7 +106,20 @@ class OperatorInstance : public StageTask {
   }
 
   std::vector<ExchangeBuffer*> inputs_;
-  ExchangeBuffer* output_ = nullptr;
+  /// Output sinks: empty = root (rows append to the query result), one =
+  /// the classic single-consumer edge, N = hash fan-out to the consumer's N
+  /// partition packets through out_exchange_.
+  std::vector<ExchangeBuffer*> outputs_;
+  PartitionedExchange* out_exchange_ = nullptr;  // set iff outputs_ > 1
+  int partition_ = 0;  // this packet's id within its dop group
+
+  /// Called once the wiring above is final: sizes the per-partition output
+  /// staging pages and decorrelates the round-robin cursors of sibling
+  /// producers.
+  void FinishWiring() {
+    out_batches_.resize(outputs_.size());
+    rr_cursor_ = static_cast<uint64_t>(partition_);
+  }
 
   RunOutcome Run() override;
   bool CanMakeProgress() override;
@@ -138,21 +157,31 @@ class OperatorInstance : public StageTask {
   }
 
   Sink EmitTuple(Tuple t) {
-    if (output_ == nullptr) {
+    if (outputs_.empty()) {
       query_->AppendResult(std::move(t));
       return Sink::kOk;
     }
-    out_batch_.tuples.push_back(std::move(t));
-    if (out_batch_.size() >= page_size()) return FlushOut();
+    size_t idx = 0;
+    if (out_exchange_ != nullptr) {
+      auto p = out_exchange_->PartitionOf(t, &rr_cursor_);
+      if (!p.ok()) {
+        query_->Fail(p.status());
+        return Sink::kClosed;  // caller finishes early; failure is recorded
+      }
+      idx = *p;
+    }
+    out_batches_[idx].tuples.push_back(std::move(t));
+    if (out_batches_[idx].size() >= page_size()) return FlushPartition(idx);
     return Sink::kOk;
   }
 
-  Sink FlushOut() {
-    if (output_ == nullptr || out_batch_.empty()) return Sink::kOk;
-    switch (output_->TryPush(&out_batch_)) {
+  Sink FlushPartition(size_t idx) {
+    if (out_batches_[idx].empty()) return Sink::kOk;
+    switch (outputs_[idx]->TryPush(&out_batches_[idx])) {
       case ExchangeBuffer::PushResult::kOk:
         return Sink::kOk;
       case ExchangeBuffer::PushResult::kFull:
+        blocked_output_ = idx;
         return Sink::kFull;
       case ExchangeBuffer::PushResult::kClosed:
         return Sink::kClosed;
@@ -160,20 +189,32 @@ class OperatorInstance : public StageTask {
     return Sink::kOk;
   }
 
-  /// If a previously filled page is still pending, retry it. Returns false
+  /// Flushes every pending page (full or partial). kFull parks on the first
+  /// partition that pushes back; the rest retry on the next invocation.
+  Sink FlushAll() {
+    for (size_t i = 0; i < outputs_.size(); ++i) {
+      const Sink s = FlushPartition(i);
+      if (s != Sink::kOk) return s;
+    }
+    return Sink::kOk;
+  }
+
+  /// If previously filled pages are still pending, retry them. Returns false
   /// (with *outcome set) when the packet must park or finish.
   bool EnsureOutputWritable(RunOutcome* outcome) {
-    if (output_ == nullptr || out_batch_.size() < page_size()) return true;
-    switch (FlushOut()) {
-      case Sink::kOk:
-        return true;
-      case Sink::kFull:
-        block_ = BlockReason::kOutput;
-        *outcome = RunOutcome::kBlocked;
-        return false;
-      case Sink::kClosed:
-        *outcome = FinishEarly();
-        return false;
+    for (size_t i = 0; i < out_batches_.size(); ++i) {
+      if (out_batches_[i].size() < page_size()) continue;
+      switch (FlushPartition(i)) {
+        case Sink::kOk:
+          break;
+        case Sink::kFull:
+          block_ = BlockReason::kOutput;
+          *outcome = RunOutcome::kBlocked;
+          return false;
+        case Sink::kClosed:
+          *outcome = FinishEarly();
+          return false;
+      }
     }
     return true;
   }
@@ -195,9 +236,11 @@ class OperatorInstance : public StageTask {
     return true;
   }
 
-  /// Normal completion: flush the final partial page and mark EOF.
+  /// Normal completion: flush the final partial pages and mark EOF on every
+  /// output partition (a fan-in consumer ends only at the last producer's
+  /// marks).
   RunOutcome Finish() {
-    switch (FlushOut()) {
+    switch (FlushAll()) {
       case Sink::kFull:
         block_ = BlockReason::kOutput;
         finishing_ = true;
@@ -206,7 +249,7 @@ class OperatorInstance : public StageTask {
       case Sink::kClosed:
         break;
     }
-    if (output_ != nullptr) output_->MarkEof();
+    for (ExchangeBuffer* out : outputs_) out->MarkEof();
     return RunOutcome::kDone;
   }
 
@@ -214,7 +257,7 @@ class OperatorInstance : public StageTask {
   RunOutcome FinishEarly() {
     for (ExchangeBuffer* input : inputs_) input->Close();
     shared_cursor_.Detach();  // leave the elevator promptly, not at teardown
-    if (output_ != nullptr) output_->MarkEof();
+    for (ExchangeBuffer* out : outputs_) out->MarkEof();
     return RunOutcome::kDone;
   }
 
@@ -234,12 +277,20 @@ class OperatorInstance : public StageTask {
   RunOutcome RunAggregate();
   RunOutcome RunValues();
 
+  /// Folds one raw input row into groups_ (kComplete / kPartial modes).
+  Status AccumulateInputRow(const Tuple& t);
+  /// Folds one partial-state row from a kPartial child into groups_
+  /// (kMerge mode).
+  Status AccumulateMergeRow(const Tuple& t);
+
   StagedEngine* engine_;
   StagedQuery* query_;
   const PhysicalPlan* plan_;
 
   InputCursor cursors_[2];
-  TupleBatch out_batch_;
+  std::vector<TupleBatch> out_batches_;  // one staging page per output
+  size_t blocked_output_ = 0;            // partition that returned kFull
+  uint64_t rr_cursor_ = 0;               // keyless round-robin partitioning
   BlockReason block_ = BlockReason::kNone;
   bool finishing_ = false;
 
@@ -310,7 +361,8 @@ bool OperatorInstance::CanMakeProgress() {
     case BlockReason::kNone:
       return true;
     case BlockReason::kOutput:
-      return output_ == nullptr || output_->HasSpaceOrClosed();
+      return outputs_.empty() ||
+             outputs_[blocked_output_]->HasSpaceOrClosed();
     case BlockReason::kInput0:
       return inputs_[0]->HasData() || inputs_[0]->AtEof();
     case BlockReason::kInput1:
@@ -805,7 +857,53 @@ RunOutcome OperatorInstance::RunSort() {
   return RunOutcome::kYield;
 }
 
+Status OperatorInstance::AccumulateInputRow(const Tuple& t) {
+  RowKey key;
+  for (const auto& expr : plan_->exprs) {
+    auto v = optimizer::Eval(*expr, t);
+    if (!v.ok()) return v.status();
+    key.values.push_back(std::move(*v));
+  }
+  auto& accs = groups_[key];
+  if (accs.empty()) accs.resize(plan_->aggregates.size());
+  for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+    const optimizer::AggSpec& spec = plan_->aggregates[i];
+    Value v = Value::Int(1);
+    if (spec.arg) {
+      auto val = optimizer::Eval(*spec.arg, t);
+      if (!val.ok()) return val.status();
+      v = std::move(*val);
+      if (v.is_null()) continue;
+    }
+    exec::AggAccumulate(&accs[i], spec, v);
+  }
+  return Status::OK();
+}
+
+Status OperatorInstance::AccumulateMergeRow(const Tuple& t) {
+  // Partial rows are the group key columns followed by each aggregate's
+  // mergeable state (exec/partial_agg.h layout).
+  const size_t num_group_cols =
+      plan_->schema.num_columns() - plan_->aggregates.size();
+  if (t.size() < num_group_cols) {
+    return Status::Internal("partial aggregation row too narrow");
+  }
+  RowKey key;
+  key.values.reserve(num_group_cols);
+  for (size_t i = 0; i < num_group_cols; ++i) key.values.push_back(t[i]);
+  auto& accs = groups_[key];
+  if (accs.empty()) accs.resize(plan_->aggregates.size());
+  size_t col = num_group_cols;
+  for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
+    Status s = exec::MergePartialState(plan_->aggregates[i], t, &col,
+                                       &accs[i]);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
 RunOutcome OperatorInstance::RunAggregate() {
+  using optimizer::AggMode;
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
   Tuple t;
@@ -821,30 +919,12 @@ RunOutcome OperatorInstance::RunAggregate() {
           budget = 0;
           break;
         case Fetch::kTuple: {
-          RowKey key;
-          for (const auto& expr : plan_->exprs) {
-            auto v = optimizer::Eval(*expr, t);
-            if (!v.ok()) {
-              query_->Fail(v.status());
-              return FinishEarly();
-            }
-            key.values.push_back(std::move(*v));
-          }
-          auto& accs = groups_[key];
-          if (accs.empty()) accs.resize(plan_->aggregates.size());
-          for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
-            const optimizer::AggSpec& spec = plan_->aggregates[i];
-            Value v = Value::Int(1);
-            if (spec.arg) {
-              auto val = optimizer::Eval(*spec.arg, t);
-              if (!val.ok()) {
-                query_->Fail(val.status());
-                return FinishEarly();
-              }
-              v = std::move(*val);
-              if (v.is_null()) continue;
-            }
-            exec::AggAccumulate(&accs[i], spec, v);
+          const Status s = plan_->agg_mode == AggMode::kMerge
+                               ? AccumulateMergeRow(t)
+                               : AccumulateInputRow(t);
+          if (!s.ok()) {
+            query_->Fail(s);
+            return FinishEarly();
           }
           break;
         }
@@ -853,7 +933,16 @@ RunOutcome OperatorInstance::RunAggregate() {
     if (phase_ == 0) return RunOutcome::kYield;
   }
   if (phase_ == 1) {
-    if (groups_.empty() && plan_->exprs.empty()) {
+    // Global aggregation over zero rows still yields one output row — but
+    // only at the finalizing node: a kPartial packet that saw no rows emits
+    // nothing (its siblings cover the input), and the kMerge packet above
+    // supplies the empty-input row exactly once.
+    const bool global_agg = plan_->agg_mode == AggMode::kMerge
+                                ? plan_->schema.num_columns() ==
+                                      plan_->aggregates.size()
+                                : plan_->exprs.empty();
+    if (groups_.empty() && global_agg &&
+        plan_->agg_mode != AggMode::kPartial) {
       groups_[RowKey{}] =
           std::vector<AggAccumulator>(plan_->aggregates.size());
     }
@@ -861,7 +950,11 @@ RunOutcome OperatorInstance::RunAggregate() {
       Tuple row;
       for (const Value& v : key.values) row.push_back(v);
       for (size_t i = 0; i < plan_->aggregates.size(); ++i) {
-        row.push_back(exec::AggFinalize(plan_->aggregates[i], accs[i]));
+        if (plan_->agg_mode == AggMode::kPartial) {
+          exec::AppendPartialState(plan_->aggregates[i], accs[i], &row);
+        } else {
+          row.push_back(exec::AggFinalize(plan_->aggregates[i], accs[i]));
+        }
       }
       staged_rows_.push_back(std::move(row));
     }
@@ -1016,30 +1109,97 @@ std::shared_ptr<StagedQuery> StagedEngine::Submit(const PhysicalPlan* plan,
   }
 
   // Build the operator instance tree bottom-up and wire exchange buffers.
+  // A node with an effective DOP of N becomes N partition packets; each
+  // edge into such a group fans out through a hash PartitionedExchange (one
+  // bounded buffer per partition), and the N packets' outputs fan back into
+  // their consumer's single input buffer, which treats them as N producers
+  // (EOF at the last mark). With every node at DOP=1 this wiring — one
+  // packet, one buffer per edge — is exactly the pre-parallelism shape.
   std::vector<std::pair<OperatorInstance*, Stage*>> leaves;
   struct Builder {
     StagedEngine* engine;
     StagedQuery* query;
     std::vector<std::pair<OperatorInstance*, Stage*>>* leaves;
-    OperatorInstance* Build(const PhysicalPlan* node) {
-      auto inst = std::make_unique<OperatorInstance>(engine, query, node);
-      OperatorInstance* ptr = inst.get();
-      query->instances.push_back(std::move(inst));
-      for (const auto& child : node->children) {
-        OperatorInstance* child_inst = Build(child.get());
-        auto buffer = std::make_unique<ExchangeBuffer>(
-            engine->options().exchange_capacity_pages);
-        ExchangeBuffer* b = buffer.get();
-        query->buffers.push_back(std::move(buffer));
-        child_inst->output_ = b;
-        ptr->inputs_.push_back(b);
-        b->BindProducer(engine->StageFor(*child), child_inst);
-        b->BindConsumer(engine->StageFor(*node), ptr);
+
+    /// Plan-node dop clamped by the engine option; only hash joins and
+    /// partial aggregations partition (their inputs hash cleanly on the
+    /// join/group key).
+    int EffectiveDop(const PhysicalPlan& node) const {
+      if (node.dop <= 1 || engine->options().max_dop <= 1) return 1;
+      const bool partitionable =
+          (node.kind == PlanKind::kHashJoin && !node.left_keys.empty()) ||
+          (node.kind == PlanKind::kHashAggregate &&
+           node.agg_mode == optimizer::AggMode::kPartial);
+      if (!partitionable) return 1;
+      return std::min(node.dop, engine->options().max_dop);
+    }
+
+    std::vector<OperatorInstance*> Build(const PhysicalPlan* node) {
+      Stage* stage = engine->StageFor(*node);
+      const int dop = EffectiveDop(*node);
+      std::vector<OperatorInstance*> group;
+      group.reserve(dop);
+      for (int p = 0; p < dop; ++p) {
+        auto inst = std::make_unique<OperatorInstance>(engine, query, node);
+        inst->partition_ = p;
+        group.push_back(inst.get());
+        query->instances.push_back(std::move(inst));
+      }
+      if (dop > 1) stage->CountParallelPackets(dop);
+
+      for (size_t ci = 0; ci < node->children.size(); ++ci) {
+        const PhysicalPlan* child = node->children[ci].get();
+        std::vector<OperatorInstance*> producers = Build(child);
+        Stage* child_stage = engine->StageFor(*child);
+
+        // One bounded buffer per consumer partition (a single-consumer edge
+        // is the classic one-buffer edge).
+        std::vector<ExchangeBuffer*> parts;
+        parts.reserve(group.size());
+        for (OperatorInstance* consumer : group) {
+          // max(1, ...): a zero-capacity buffer rejects every push, which
+          // would park the producer forever.
+          auto buffer = std::make_unique<ExchangeBuffer>(
+              std::max<size_t>(1, engine->options().exchange_capacity_pages));
+          ExchangeBuffer* b = buffer.get();
+          query->buffers.push_back(std::move(buffer));
+          b->BindConsumer(stage, consumer);
+          consumer->inputs_.push_back(b);
+          parts.push_back(b);
+        }
+
+        PartitionedExchange* px = nullptr;
+        if (parts.size() > 1) {
+          auto exchange = std::make_unique<PartitionedExchange>(parts);
+          px = exchange.get();
+          if (node->kind == PlanKind::kHashJoin) {
+            // Probe input partitions on the left keys, build input on the
+            // right keys: equal join keys meet in the same partition.
+            px->SetKeyColumns(ci == 0 ? node->left_keys : node->right_keys);
+          } else {
+            // Partial aggregation partitions on the group-by expressions
+            // (none = round-robin; the merge combines the global states).
+            std::vector<const optimizer::BoundExpr*> key_exprs;
+            key_exprs.reserve(node->exprs.size());
+            for (const auto& e : node->exprs) key_exprs.push_back(e.get());
+            px->SetKeyExprs(std::move(key_exprs));
+          }
+          query->exchanges.push_back(std::move(exchange));
+        }
+
+        for (OperatorInstance* producer : producers) {
+          producer->outputs_ = parts;
+          producer->out_exchange_ = px;
+          producer->FinishWiring();
+          for (ExchangeBuffer* b : parts) {
+            b->BindProducer(child_stage, producer);
+          }
+        }
       }
       if (node->children.empty()) {
-        leaves->emplace_back(ptr, engine->StageFor(*node));
+        for (OperatorInstance* inst : group) leaves->emplace_back(inst, stage);
       }
-      return ptr;
+      return group;
     }
   };
   Builder builder{this, query.get(), &leaves};

@@ -65,6 +65,13 @@ struct StagedEngineOptions {
   bool shared_scans = true;
   /// Recently read pages the elevator keeps decoded for lagging readers.
   size_t shared_scan_window_pages = 32;
+  /// Partitioned intra-query parallelism cap (§4.3): the engine instantiates
+  /// min(plan-node dop, max_dop) partition packets for a dop>1 hash-join or
+  /// partial-aggregation node. The default of 1 keeps every plan on the
+  /// single-packet-per-operator path, bit-compatible with the pre-DOP
+  /// engine; raise it together with the stage's worker-pool size (a lone
+  /// worker serializes the partition packets again).
+  int max_dop = 1;
 };
 
 /// Tracks one in-flight query: its operator packets, exchange buffers,
@@ -94,6 +101,9 @@ class StagedQuery {
   int64_t id = 0;
   std::vector<std::unique_ptr<StageTask>> instances;
   std::vector<std::unique_ptr<ExchangeBuffer>> buffers;
+  /// Partition routers for dop>1 edges. The partition buffers themselves
+  /// live in `buffers` (above) so Fail() cancels them uniformly.
+  std::vector<std::unique_ptr<PartitionedExchange>> exchanges;
   exec::ExecContext* exec_ctx = nullptr;  // for DML packets
 
  private:

@@ -813,7 +813,8 @@ class UpdateExec : public Executor {
       // Delete + reinsert keeps indexes and stats consistent.
       STAGEDB_RETURN_IF_ERROR(
           ctx_->catalog->DeleteTuple(plan_->table, pending.rid));
-      auto new_rid = ctx_->catalog->InsertTuple(plan_->table, pending.new_tuple);
+      auto new_rid =
+          ctx_->catalog->InsertTuple(plan_->table, pending.new_tuple);
       if (!new_rid.ok()) return new_rid.status();
       if (ctx_->mutation_log != nullptr) {
         ctx_->mutation_log->LogDelete(plan_->table, pending.rid,
@@ -866,6 +867,14 @@ StatusOr<std::unique_ptr<Executor>> CreateExecutor(const PhysicalPlan* plan,
       return std::unique_ptr<Executor>(
           new SortExec(plan, std::move(children[0]), ctx));
     case PlanKind::kHashAggregate:
+      // The partial/merge split of a dop>1 aggregation exists only for the
+      // staged engine's partition packets; the volcano engine always plans
+      // at max_dop=1 (see DatabaseOptions), so seeing one here is a wiring
+      // bug, not a user error.
+      if (plan->agg_mode != optimizer::AggMode::kComplete) {
+        return Status::Internal(
+            "partial/merge aggregation requires the staged engine");
+      }
       return std::unique_ptr<Executor>(
           new HashAggExec(plan, std::move(children[0]), ctx));
     case PlanKind::kLimit:

@@ -1,0 +1,98 @@
+// Mergeable partial-aggregation state (§4.3 intra-operator parallelism).
+//
+// A kPartial kHashAggregate packet aggregates its hash partition of the
+// input and emits, per group, the group key columns followed by each
+// aggregate's partial state; the kMerge packet folds those state columns
+// back into AggAccumulators and finalizes with the usual AggFinalize. The
+// column layout per aggregate is defined by optimizer::PartialStateTypes —
+// one column for COUNT/SUM/MIN/MAX, two (sum, non-NULL count) for AVG, whose
+// division must happen only after every partition's sums are combined.
+#ifndef STAGEDB_EXEC_PARTIAL_AGG_H_
+#define STAGEDB_EXEC_PARTIAL_AGG_H_
+
+#include "exec/row_utils.h"
+
+namespace stagedb::exec {
+
+/// Number of columns the partial state of `spec` occupies in a partial row.
+inline size_t PartialStateWidth(const optimizer::AggSpec& spec) {
+  return optimizer::PartialStateTypes(spec).size();
+}
+
+/// Appends the partial (mergeable) state of `acc` to `row`.
+inline void AppendPartialState(const optimizer::AggSpec& spec,
+                               const AggAccumulator& acc,
+                               catalog::Tuple* row) {
+  using catalog::Value;
+  using parser::AggFunc;
+  switch (spec.func) {
+    case AggFunc::kCount:
+      row->push_back(Value::Int(acc.count));
+      return;
+    case AggFunc::kSum:
+      row->push_back(acc.any ? Value::Double(acc.sum) : Value::Null());
+      return;
+    case AggFunc::kAvg:
+      row->push_back(acc.any ? Value::Double(acc.sum) : Value::Null());
+      row->push_back(Value::Int(acc.count));
+      return;
+    case AggFunc::kMin:
+      row->push_back(acc.min);
+      return;
+    case AggFunc::kMax:
+      row->push_back(acc.max);
+      return;
+  }
+}
+
+/// Folds the partial state of `spec` starting at (*col) of `row` into `acc`,
+/// advancing *col past the consumed state columns. The merged accumulator
+/// finalizes through the regular AggFinalize.
+inline Status MergePartialState(const optimizer::AggSpec& spec,
+                                const catalog::Tuple& row, size_t* col,
+                                AggAccumulator* acc) {
+  using catalog::Value;
+  using parser::AggFunc;
+  const size_t width = PartialStateWidth(spec);
+  if (*col + width > row.size()) {
+    return Status::Internal("partial aggregation row too narrow");
+  }
+  const Value& v = row[*col];
+  switch (spec.func) {
+    case AggFunc::kCount:
+      acc->count += v.int_value();
+      acc->any = acc->any || v.int_value() > 0;
+      break;
+    case AggFunc::kSum:
+      if (!v.is_null()) {
+        acc->any = true;
+        acc->sum += v.AsDouble();
+      }
+      break;
+    case AggFunc::kAvg: {
+      const Value& count = row[*col + 1];
+      if (!v.is_null()) acc->sum += v.AsDouble();
+      acc->count += count.int_value();
+      acc->any = acc->any || count.int_value() > 0;
+      break;
+    }
+    case AggFunc::kMin:
+      if (!v.is_null() && (acc->min.is_null() || v.Compare(acc->min) < 0)) {
+        acc->min = v;
+        acc->any = true;
+      }
+      break;
+    case AggFunc::kMax:
+      if (!v.is_null() && (acc->max.is_null() || v.Compare(acc->max) > 0)) {
+        acc->max = v;
+        acc->any = true;
+      }
+      break;
+  }
+  *col += width;
+  return Status::OK();
+}
+
+}  // namespace stagedb::exec
+
+#endif  // STAGEDB_EXEC_PARTIAL_AGG_H_

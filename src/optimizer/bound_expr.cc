@@ -259,7 +259,9 @@ StatusOr<Value> Eval(const BoundExpr& expr, const catalog::Tuple& in) {
         return Value::Bool(!v->bool_value());
       }
       if (v->type() == TypeId::kInt64) return Value::Int(-v->int_value());
-      if (v->type() == TypeId::kDouble) return Value::Double(-v->double_value());
+      if (v->type() == TypeId::kDouble) {
+        return Value::Double(-v->double_value());
+      }
       return Status::InvalidArgument("negation of non-numeric value");
     }
     case BoundExpr::Kind::kBinary: {

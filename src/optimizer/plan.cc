@@ -38,10 +38,28 @@ const char* PlanKindName(PlanKind kind) {
   return "?";
 }
 
+std::vector<catalog::TypeId> PartialStateTypes(const AggSpec& spec) {
+  using catalog::TypeId;
+  switch (spec.func) {
+    case parser::AggFunc::kCount:
+      return {TypeId::kInt64};
+    case parser::AggFunc::kSum:
+      return {TypeId::kDouble};
+    case parser::AggFunc::kAvg:
+      return {TypeId::kDouble, TypeId::kInt64};  // sum, non-NULL count
+    case parser::AggFunc::kMin:
+    case parser::AggFunc::kMax:
+      return {spec.result_type};
+  }
+  return {TypeId::kNull};
+}
+
 std::unique_ptr<PhysicalPlan> PhysicalPlan::Clone() const {
   auto p = std::make_unique<PhysicalPlan>();
   p->kind = kind;
   p->schema = schema;
+  p->dop = dop;
+  p->agg_mode = agg_mode;
   p->table = table;
   p->index = index;
   p->index_lo = index_lo;
@@ -109,6 +127,9 @@ bool PhysicalPlan::IsTemplate() const {
 std::string PhysicalPlan::ToString(int indent) const {
   std::string pad(indent * 2, ' ');
   std::string line = pad + PlanKindName(kind);
+  if (agg_mode == AggMode::kPartial) line += "[partial]";
+  if (agg_mode == AggMode::kMerge) line += "[merge]";
+  if (dop > 1) line += StrFormat(" dop=%d", dop);
   if (table != nullptr) line += " " + table->name;
   if (kind == PlanKind::kIndexScan) {
     const auto bound = [](int64_t value, int param, int adjust) {

@@ -36,6 +36,16 @@ enum class PlanKind {
 
 const char* PlanKindName(PlanKind kind);
 
+struct AggSpec;
+
+/// Column types of the mergeable partial state one aggregate contributes to
+/// a kPartial kHashAggregate output row: COUNT carries its count, SUM its
+/// running sum (NULL when no non-NULL input), MIN/MAX the partition extremum,
+/// and AVG both the sum and the non-NULL count (the merge node re-divides).
+/// exec/partial_agg.h's append/merge helpers emit/consume exactly these
+/// columns in this order.
+std::vector<catalog::TypeId> PartialStateTypes(const AggSpec& spec);
+
 /// Aggregate function instance inside a kHashAggregate node.
 struct AggSpec {
   parser::AggFunc func = parser::AggFunc::kCount;
@@ -49,12 +59,27 @@ struct SortKey {
   bool descending = false;
 };
 
+/// Role of a kHashAggregate node in a parallel (partitioned) aggregation.
+/// kComplete is the classic single-packet aggregation; a dop>1 rewrite
+/// splits it into N kPartial packets (each aggregating its hash partition of
+/// the input into mergeable per-group states) under one kMerge packet that
+/// combines the states and finalizes (§4.3 intra-operator parallelism).
+enum class AggMode { kComplete, kPartial, kMerge };
+
 /// A physical plan node. A tagged struct keeps the plan walkable by both
 /// engines without a visitor hierarchy.
 struct PhysicalPlan {
   PlanKind kind = PlanKind::kSeqScan;
   catalog::Schema schema;  // output schema
   std::vector<std::unique_ptr<PhysicalPlan>> children;
+
+  /// Degree of parallelism: how many partition packets the staged engine
+  /// instantiates for this node (kHashJoin and kPartial kHashAggregate
+  /// only; the engine additionally clamps to its own max_dop). 1 = the
+  /// classic one-packet-per-operator shape, byte-compatible with pre-DOP
+  /// plans.
+  int dop = 1;
+  AggMode agg_mode = AggMode::kComplete;
 
   // Scans and mutations.
   catalog::TableInfo* table = nullptr;

@@ -126,8 +126,9 @@ StatusOr<std::unique_ptr<BoundExpr>> Planner::Bind(const Expr& expr,
       }
       agg->agg_text.push_back(text);
       agg->specs->push_back(std::move(spec));
-      return BoundExpr::AggRef(agg->group_text.size() + agg->agg_text.size() - 1,
-                               agg->specs->back().result_type);
+      return BoundExpr::AggRef(
+          agg->group_text.size() + agg->agg_text.size() - 1,
+          agg->specs->back().result_type);
     }
   }
 
@@ -463,7 +464,8 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanSelect(
     std::vector<const Expr*> local;
     if (options_.enable_predicate_pushdown) {
       for (ConjunctInfo& info : infos) {
-        if (!info.consumed && info.rels.size() == 1 && *info.rels.begin() == r) {
+        if (!info.consumed && info.rels.size() == 1 &&
+            *info.rels.begin() == r) {
           local.push_back(info.expr);
           info.consumed = true;
         }
@@ -575,7 +577,8 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanSelect(
           left_keys.push_back(outer_col);
           right_keys.push_back(*lidx);
           is_equi = true;
-        } else if (ridx.ok() && !lidx.ok() && combined_find(lname, &outer_col)) {
+        } else if (ridx.ok() && !lidx.ok() &&
+                   combined_find(lname, &outer_col)) {
           left_keys.push_back(outer_col);
           right_keys.push_back(*ridx);
           is_equi = true;
@@ -896,7 +899,83 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::PlanSelect(
     limit->children.push_back(std::move(plan));
     plan = std::move(limit);
   }
+
+  // 11. Intra-query parallelism (§4.3): tag hash joins with a DOP and split
+  // aggregations into merge-over-partial shapes for the staged engine.
+  if (options_.max_dop > 1) Parallelize(&plan);
   return plan;
+}
+
+int Planner::ChooseDop(double input_rows) const {
+  const double unit = std::max(1.0, options_.parallel_min_rows);
+  const double by_rows = input_rows / unit;
+  if (by_rows >= options_.max_dop) return options_.max_dop;
+  return std::max(1, static_cast<int>(by_rows));
+}
+
+void Planner::Parallelize(std::unique_ptr<PhysicalPlan>* node_ptr) const {
+  PhysicalPlan* node = node_ptr->get();
+  for (auto& child : node->children) Parallelize(&child);
+
+  if (node->kind == PlanKind::kHashJoin && !node->left_keys.empty()) {
+    // The engine creates `dop` build/probe packets, each fed the hash
+    // partition of both inputs that its share of the key space maps to.
+    node->dop = ChooseDop(node->children[0]->estimated_rows +
+                          node->children[1]->estimated_rows);
+    return;
+  }
+
+  if (node->kind != PlanKind::kHashAggregate ||
+      node->agg_mode != AggMode::kComplete) {
+    return;
+  }
+  const int dop = ChooseDop(node->children[0]->estimated_rows);
+  if (dop <= 1) return;
+
+  // Rewrite: the node keeps its place (and output schema) as the merge
+  // packet; a new partial node underneath takes the group-by expressions,
+  // the aggregate specs, and the original input, and is partitioned on the
+  // group keys (round-robin when there are none — the merge then combines
+  // the partial states of the single global group).
+  auto partial = std::make_unique<PhysicalPlan>();
+  partial->kind = PlanKind::kHashAggregate;
+  partial->agg_mode = AggMode::kPartial;
+  partial->dop = dop;
+  partial->children = std::move(node->children);
+  partial->exprs = std::move(node->exprs);
+  partial->aggregates = std::move(node->aggregates);
+  partial->estimated_rows = node->estimated_rows;
+  partial->estimated_cost = node->estimated_cost;
+
+  const size_t num_groups =
+      node->schema.num_columns() - partial->aggregates.size();
+  std::vector<catalog::Column> cols;
+  for (size_t i = 0; i < num_groups; ++i) {
+    cols.push_back(node->schema.column(i));
+  }
+  for (size_t i = 0; i < partial->aggregates.size(); ++i) {
+    const std::vector<catalog::TypeId> types =
+        PartialStateTypes(partial->aggregates[i]);
+    for (size_t j = 0; j < types.size(); ++j) {
+      cols.push_back({StrFormat("partial%zu_%zu", i, j), types[j], ""});
+    }
+  }
+  partial->schema = catalog::Schema(std::move(cols));
+
+  // The merge node groups on the leading key columns of the partial rows
+  // and needs only each aggregate's function and result type; the argument
+  // expressions were already evaluated by the partials.
+  node->agg_mode = AggMode::kMerge;
+  node->exprs.clear();
+  node->aggregates.clear();
+  for (const AggSpec& a : partial->aggregates) {
+    AggSpec copy;
+    copy.func = a.func;
+    copy.result_type = a.result_type;
+    node->aggregates.push_back(std::move(copy));
+  }
+  node->children.clear();
+  node->children.push_back(std::move(partial));
 }
 
 // ------------------------------------------------------------- mutations ---

@@ -24,6 +24,17 @@ struct PlannerOptions {
   bool enable_index_scan = true;
   bool enable_predicate_pushdown = true;
   bool enable_join_reorder = true;
+  /// Maximum degree of intra-operator parallelism (§4.3) the planner may
+  /// assign to a node. 1 (the default) disables the parallelization pass
+  /// entirely: plans are byte-identical to pre-DOP plans. Values > 1 only
+  /// help on the staged engine (the volcano engine runs every node on the
+  /// calling thread), so the Database facade leaves this at 1 in volcano
+  /// mode.
+  int max_dop = 1;
+  /// DOP heuristic: a node gets one partition packet per this many estimated
+  /// input rows (clamped to [1, max_dop]), so small inputs never pay the
+  /// fan-out/fan-in overhead (docs/DESIGN.md §7).
+  double parallel_min_rows = 512.0;
 };
 
 /// Stateless per-statement planner over a catalog.
@@ -73,6 +84,14 @@ class Planner {
 
   /// The normalized type of parameter `index` (kNull when unknown).
   catalog::TypeId ParamType(size_t index) const;
+
+  /// Post-pass over a SELECT plan (max_dop > 1 only): tags hash joins with a
+  /// degree of parallelism and rewrites aggregations into a merge node over
+  /// a partitioned partial node, so the staged engine can fan each one out
+  /// across its stage's worker pool (§4.3 intra-operator parallelism).
+  void Parallelize(std::unique_ptr<PhysicalPlan>* node_ptr) const;
+  /// The DOP for a node with `input_rows` estimated input rows.
+  int ChooseDop(double input_rows) const;
 
   catalog::Catalog* catalog_;
   PlannerOptions options_;

@@ -96,8 +96,9 @@ StatusOr<QueryTrace> CaptureQueryTrace(catalog::Catalog* catalog,
     const int64_t tuples = std::max<int64_t>(entry.tuples_out, 1);
     seg.cpu_micros =
         cost.exec_micros_per_tuple * OpCostMultiplier(entry.kind) * tuples;
-    if (cost.charge_scan_io && (entry.kind == optimizer::PlanKind::kSeqScan ||
-                                entry.kind == optimizer::PlanKind::kIndexScan)) {
+    if (cost.charge_scan_io &&
+        (entry.kind == optimizer::PlanKind::kSeqScan ||
+         entry.kind == optimizer::PlanKind::kIndexScan)) {
       seg.io_count = static_cast<int>(
           (tuples + cost.rows_per_io_page - 1) / cost.rows_per_io_page);
       if (entry.kind == optimizer::PlanKind::kIndexScan) {

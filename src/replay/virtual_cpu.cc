@@ -277,8 +277,9 @@ class StagedReplay {
 
   void ServeExhaustively(size_t m) {
     while (true) {
-      auto it = std::find_if(queues_[m].begin(), queues_[m].end(),
-                             [&](const Packet& p) { return p.ready <= t_ + 1e-9; });
+      auto it = std::find_if(
+          queues_[m].begin(), queues_[m].end(),
+          [&](const Packet& p) { return p.ready <= t_ + 1e-9; });
       if (it == queues_[m].end()) return;
       Packet p = *it;
       queues_[m].erase(it);

@@ -70,8 +70,16 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     opts.scheduler = db->options_.scheduler;
     opts.scheduler_gate_rounds = db->options_.scheduler_gate_rounds;
     opts.stage_pools = db->options_.stage_pools;
+    opts.max_dop = db->options_.max_dop;
+    // Let the planner emit parallel shapes up to the engine's cap. Volcano
+    // mode skips this (below), so its planner never produces them.
+    db->options_.planner.max_dop = db->options_.max_dop;
     db->staged_ =
         std::make_unique<StagedEngineHandle>(db->catalog_.get(), opts);
+  } else {
+    // The volcano engine runs every node on the calling thread: parallel
+    // plan shapes would only add a partial/merge hop it cannot execute.
+    db->options_.planner.max_dop = 1;
   }
   return db;
 }

@@ -50,6 +50,15 @@ struct DatabaseOptions {
   /// Figure-5 family; see engine/runtime.h) and the T-gated(k) round bound.
   engine::SchedulerPolicy scheduler = engine::SchedulerPolicy::kFreeRun;
   int scheduler_gate_rounds = 2;
+  /// Partitioned intra-query parallelism (§4.3): maximum number of partition
+  /// packets one hash-join or aggregation may fan out to inside the staged
+  /// engine. Threaded into both the planner (which tags eligible plan nodes
+  /// with a DOP; see PlannerOptions::max_dop / parallel_min_rows) and the
+  /// engine (which clamps at instantiation). Ignored in volcano mode. The
+  /// default of 1 keeps plans and execution identical to pre-DOP builds;
+  /// pair values > 1 with stage_pools entries sized to match (e.g. "join"
+  /// and "aggr" pools of max_dop workers).
+  int max_dop = 1;
   /// Per-stage worker-pool overrides (size + optional core pin), keyed by
   /// stage name; stages without an entry get threads_per_stage workers.
   std::map<std::string, engine::StagePoolSpec> stage_pools;

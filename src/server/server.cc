@@ -188,7 +188,15 @@ RunOutcome LifecycleTask::Run() {
         set_next_stage(server_->execute_);
         return RunOutcome::kMoved;
       }
-      optimizer::Planner planner(db->catalog(), db->options().planner);
+      optimizer::PlannerOptions popts = db->options().planner;
+      // Staged mode only: the volcano engine cannot execute the
+      // partial/merge aggregate shapes a dop>1 planner emits (the facade
+      // clamps its own planner options the same way).
+      if (server_->options_.max_dop > 0 &&
+          db->options().mode == ExecutionMode::kStaged) {
+        popts.max_dop = server_->options_.max_dop;
+      }
+      optimizer::Planner planner(db->catalog(), popts);
       auto plan = planner.Plan(*stmt_);
       if (!plan.ok()) {
         result_ = plan.status();

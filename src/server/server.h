@@ -64,6 +64,12 @@ struct ServerOptions {
   /// Per-stage pool overrides for the lifecycle stages ("connect", "parse",
   /// "optimize", "execute", "disconnect"); absent = threads_per_stage.
   std::map<std::string, engine::StagePoolSpec> stage_pools;
+  /// Overrides the planner DOP (§4.3 intra-query parallelism) for statements
+  /// this server plans on its optimize stage. 0 = inherit the database's
+  /// DatabaseOptions::max_dop. Cached plan templates keep the database-wide
+  /// DOP (they are shared across entry points), and the engine's own
+  /// max_dop still caps whatever the plan asks for.
+  int max_dop = 0;
 };
 
 /// Abstract server interface shared by both architectures.

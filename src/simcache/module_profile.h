@@ -1,7 +1,7 @@
 // Module working-set profiles: the cost-model inputs of the paper's §4.2.
 //
 // Each server module (parser, optimizer, each operator stage, ...) has a
-// "common" working set — data structures and instructions shared on average by
+// "common" working set — data structures and instructions shared on average
 // all queries executing in that module (Table 1 of the paper: catalog, symbol
 // table, module code) — and each query has a private working set (its
 // "backpack": execution plan, client state, intermediate results).
@@ -22,7 +22,7 @@ struct ModuleProfile {
   ModuleId id = kNoModule;
   std::string name;
   /// Time (microseconds) to fetch the module's common data structures and code
-  /// into the cache when they are not resident — the quantity l_i in Figure 4.
+  /// into the cache when not resident — the quantity l_i in Figure 4.
   int64_t common_load_micros = 0;
   /// Time to restore a suspended query's private working set after another
   /// query has run in between (the "load query's state" boxes of Figure 1).

@@ -7,8 +7,8 @@
 // from [HA02], which is not retrievable offline — DESIGN.md §3 documents the
 // definitions used here):
 //
-//   kNonGated  — exhaustive service: the CPU stays at a module until its queue
-//                is empty, admitting work that arrives during service.
+//   kNonGated  — exhaustive service: the CPU stays at a module until its
+//                queue is empty, admitting work that arrives during service.
 //   kDGated    — departure-gated: the gate closes when the CPU arrives; only
 //                jobs present at that instant are served this visit.
 //   kTGated    — gated, but the module may re-gate up to `gate_rounds` times

@@ -102,7 +102,8 @@ Status BufferPool::Unpin(PageId id, bool dirty) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
-    return Status::InvalidArgument(StrFormat("unpin of non-resident page %d", id));
+    return Status::InvalidArgument(
+        StrFormat("unpin of non-resident page %d", id));
   }
   Page* page = frames_[it->second].get();
   if (page->pin_count() <= 0) {

@@ -94,7 +94,8 @@ StatusOr<PageId> FileDiskManager::AllocatePage() {
 Status FileDiskManager::ReadPage(PageId id, char* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (id < 0 || id >= num_pages_) {
-    return Status::InvalidArgument(StrFormat("read of unallocated page %d", id));
+    return Status::InvalidArgument(
+        StrFormat("read of unallocated page %d", id));
   }
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
       std::fread(out, 1, kPageSize, file_) != kPageSize) {

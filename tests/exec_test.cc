@@ -33,7 +33,9 @@ class ExecTest : public ::testing::Test {
     if ((*stmt)->kind == parser::Statement::Kind::kCreateTable) {
       const auto& ct = static_cast<const parser::CreateTableStmt&>(**stmt);
       std::vector<catalog::Column> cols;
-      for (const auto& def : ct.columns) cols.push_back({def.name, def.type, ""});
+      for (const auto& def : ct.columns) {
+        cols.push_back({def.name, def.type, ""});
+      }
       ASSERT_TRUE(catalog_->CreateTable(ct.table, Schema(cols)).ok());
       return;
     }

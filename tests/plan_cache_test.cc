@@ -241,7 +241,8 @@ TEST_F(PlanCacheDbTest, PreparedAutoParamsReuseExtractedLiterals) {
 
 TEST_F(PlanCacheDbTest, ParameterizedIndexScanKeepsAccessPath) {
   ASSERT_TRUE(db_->Execute("CREATE INDEX idx_a ON t (a)").ok());
-  auto prepared = db_->Prepare("SELECT COUNT(*) FROM t WHERE a >= ? AND a <= ?");
+  auto prepared =
+      db_->Prepare("SELECT COUNT(*) FROM t WHERE a >= ? AND a <= ?");
   ASSERT_TRUE(prepared.ok());
   auto result = db_->ExecutePrepared(**prepared,
                                      {Value::Int(5), Value::Int(14)});

@@ -39,7 +39,8 @@ Value RandomValue(Rng* rng) {
     case 3:
       return Value::Double(rng->UniformRange(-100, 100) / 4.0);
     default:
-      return Value::Varchar(std::string(rng->Uniform(8), 'a' + rng->Uniform(26)));
+      return Value::Varchar(
+          std::string(rng->Uniform(8), 'a' + rng->Uniform(26)));
   }
 }
 
@@ -98,8 +99,9 @@ TEST(TupleCodecProperty, RandomTuplesRoundTrip) {
           break;
         case 2:
           cols.push_back({"c" + std::to_string(i), TypeId::kBool, ""});
-          tuple.push_back(rng.Bernoulli(0.15) ? Value::Null()
-                                              : Value::Bool(rng.Bernoulli(0.5)));
+          tuple.push_back(rng.Bernoulli(0.15)
+                              ? Value::Null()
+                              : Value::Bool(rng.Bernoulli(0.5)));
           break;
         default: {
           cols.push_back({"c" + std::to_string(i), TypeId::kVarchar, ""});
@@ -127,7 +129,8 @@ TEST(TupleCodecProperty, TruncatedBytesNeverCrash) {
   Schema schema({{"a", TypeId::kInt64, ""},
                  {"b", TypeId::kVarchar, ""},
                  {"c", TypeId::kDouble, ""}});
-  Tuple tuple = {Value::Int(7), Value::Varchar("hello world"), Value::Double(1)};
+  Tuple tuple = {Value::Int(7), Value::Varchar("hello world"),
+                 Value::Double(1)};
   const std::string bytes = EncodeTuple(schema, tuple);
   for (size_t cut = 0; cut < bytes.size(); ++cut) {
     auto decoded = catalog::DecodeTuple(schema, bytes.substr(0, cut));
@@ -146,7 +149,8 @@ TEST(SlottedPageProperty, RandomOpsAgainstModel) {
   for (int op = 0; op < 3000; ++op) {
     const int action = static_cast<int>(rng.Uniform(3));
     if (action == 0) {
-      std::string rec(1 + rng.Uniform(300), 'a' + static_cast<char>(rng.Uniform(26)));
+      std::string rec(1 + rng.Uniform(300),
+                      'a' + static_cast<char>(rng.Uniform(26)));
       auto slot = sp.Insert(rec);
       if (slot.ok()) model[*slot] = rec;
     } else if (action == 1 && !model.empty()) {

@@ -41,8 +41,9 @@ class SharedScanTest : public ::testing::Test {
     disk_ = std::make_unique<storage::MemDiskManager>();
     pool_ = std::make_unique<storage::BufferPool>(disk_.get(), 1024);
     catalog_ = std::make_unique<Catalog>(pool_.get());
-    auto t = catalog_->CreateTable("t", Schema({{"a", TypeId::kInt64, ""},
-                                                {"pad", TypeId::kVarchar, ""}}));
+    auto t = catalog_->CreateTable(
+        "t", Schema({{"a", TypeId::kInt64, ""},
+                     {"pad", TypeId::kVarchar, ""}}));
     ASSERT_TRUE(t.ok());
     table_ = *t;
     const std::string pad(200, 'x');
@@ -270,7 +271,9 @@ TEST_F(SharedScanTest, ConcurrentSharedQueriesAllCorrect) {
   constexpr int kQueries = 12;
   std::vector<std::shared_ptr<StagedQuery>> inflight;
   inflight.reserve(kQueries);
-  for (int i = 0; i < kQueries; ++i) inflight.push_back(engine.Submit(plan.get()));
+  for (int i = 0; i < kQueries; ++i) {
+    inflight.push_back(engine.Submit(plan.get()));
+  }
   for (auto& query : inflight) {
     auto rows = query->Await();
     ASSERT_TRUE(rows.ok()) << rows.status().ToString();

@@ -413,8 +413,9 @@ TEST_F(BTreeTest, RangeScanReturnsSortedWindow) {
   ASSERT_EQ(out.size(), 51u);  // 100,102,...,200
   EXPECT_EQ(out.front().first, 100);
   EXPECT_EQ(out.back().first, 200);
-  EXPECT_TRUE(std::is_sorted(out.begin(), out.end(),
-                             [](auto& a, auto& b) { return a.first < b.first; }));
+  EXPECT_TRUE(std::is_sorted(
+      out.begin(), out.end(),
+      [](auto& a, auto& b) { return a.first < b.first; }));
 }
 
 TEST_F(BTreeTest, ScanAcrossLeafBoundaries) {

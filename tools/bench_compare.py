@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff fresh BENCH_*.json smoke reports against the
+checked-in baselines (bench/baselines/) and fail on regressions.
+
+Key classification (by name, documented in README "Bench baselines"):
+
+  correctness  names matching ``error|failure|stale|mismatch``.
+               Hard gate: the fresh value must be 0 and must not exceed the
+               baseline. These never flap (they count broken executions),
+               so there is no tolerance.
+
+  lower-better names matching ``_ms|wall|_micros|misses|page_reads``.
+               Perf gate: fresh <= baseline * (1 + tolerance). Wall clocks
+               and miss counts depend on the machine, so these are only
+               compared when the fresh report's ``hw_threads`` equals the
+               baseline's; otherwise they are reported as skipped (refresh
+               the baselines from the release CI leg to re-arm the gate).
+
+  higher-better names matching ``qps|hit_rate|speedup``.
+               Perf gate, inverted: fresh >= baseline * (1 - tolerance);
+               also hw_threads-keyed.
+
+  informational everything else (workload sizes, booleans, strings):
+               changes are printed but never fail the gate.
+
+Exit status: 0 = no regressions, 1 = regression(s) or missing fresh report,
+2 = usage/IO error. ``--skip-perf`` (used by the sanitizer CI legs, whose
+timings measure the sanitizer, not the engine) restricts the gate to the
+correctness class.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from pathlib import Path
+
+CORRECTNESS_RE = re.compile(r"error|failure|stale|mismatch")
+LOWER_BETTER_RE = re.compile(r"_ms\b|_ms_|wall|_micros|misses|page_reads")
+HIGHER_BETTER_RE = re.compile(r"qps|hit_rate|speedup")
+
+
+def classify(key: str) -> str:
+    if CORRECTNESS_RE.search(key):
+        return "correctness"
+    if LOWER_BETTER_RE.search(key):
+        return "lower-better"
+    if HIGHER_BETTER_RE.search(key):
+        return "higher-better"
+    return "informational"
+
+
+def load_report(path: Path) -> dict:
+    try:
+        with path.open() as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"bench_compare: cannot read {path}: {exc}")
+
+
+def is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_report(name: str, baseline: dict, fresh: dict, tolerance: float,
+                   skip_perf: bool):
+    """Returns (regressions, notes) — lists of printable strings."""
+    regressions = []
+    notes = []
+    same_hw = baseline.get("hw_threads") == fresh.get("hw_threads")
+    if not same_hw and not skip_perf:
+        notes.append(
+            f"{name}: hw_threads {baseline.get('hw_threads')} (baseline) != "
+            f"{fresh.get('hw_threads')} (fresh); perf comparisons skipped — "
+            "refresh bench/baselines from the release CI leg")
+
+    for key, base_val in baseline.items():
+        if key not in fresh:
+            regressions.append(f"{name}: key '{key}' missing from fresh report")
+            continue
+        fresh_val = fresh[key]
+        kind = classify(key)
+
+        if kind == "correctness" and is_number(base_val):
+            if is_number(fresh_val) and (fresh_val > 0 or fresh_val > base_val):
+                regressions.append(
+                    f"{name}: correctness field {key} = {fresh_val} "
+                    f"(baseline {base_val}; must be 0)")
+            continue
+
+        if skip_perf or kind == "informational" or not is_number(base_val) \
+                or not is_number(fresh_val):
+            if base_val != fresh_val:
+                notes.append(f"{name}: {key}: {base_val} -> {fresh_val}")
+            continue
+
+        if not same_hw:
+            continue  # perf classes are keyed by core count
+        if math.isclose(base_val, 0.0):
+            continue  # no meaningful ratio; shown only if it changed (above)
+        ratio = fresh_val / base_val
+        if kind == "lower-better" and ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{name}: {key} regressed {base_val:g} -> {fresh_val:g} "
+                f"({ratio:.2f}x, tolerance {1.0 + tolerance:.2f}x)")
+        elif kind == "higher-better" and ratio < 1.0 - tolerance:
+            regressions.append(
+                f"{name}: {key} regressed {base_val:g} -> {fresh_val:g} "
+                f"({ratio:.2f}x, floor {1.0 - tolerance:.2f}x)")
+    return regressions, notes
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=Path("bench/baselines"))
+    parser.add_argument("--fresh-dir", type=Path, required=True,
+                        help="directory with freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="relative perf tolerance (default 0.25 = ±25%%)")
+    parser.add_argument("--skip-perf", action="store_true",
+                        help="gate only correctness fields (sanitizer legs)")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_compare: no baselines under {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    all_regressions = []
+    all_notes = []
+    for baseline_path in baselines:
+        fresh_path = args.fresh_dir / baseline_path.name
+        name = baseline_path.stem.replace("BENCH_", "")
+        if not fresh_path.exists():
+            all_regressions.append(
+                f"{name}: fresh report {fresh_path} missing (bench removed "
+                "from BENCH_SMOKE_TARGETS without refreshing baselines?)")
+            continue
+        regressions, notes = compare_report(
+            name, load_report(baseline_path), load_report(fresh_path),
+            args.tolerance, args.skip_perf)
+        all_regressions += regressions
+        all_notes += notes
+
+    for fresh_path in sorted(args.fresh_dir.glob("BENCH_*.json")):
+        if not (args.baseline_dir / fresh_path.name).exists():
+            all_notes.append(
+                f"{fresh_path.stem.replace('BENCH_', '')}: new bench without "
+                "a baseline — check one in under bench/baselines/")
+
+    mode = "correctness-only" if args.skip_perf else \
+        f"±{args.tolerance:.0%} perf + correctness"
+    print(f"bench_compare: {len(baselines)} baseline(s), {mode}")
+    for note in all_notes:
+        print(f"  note: {note}")
+    if all_regressions:
+        print(f"{len(all_regressions)} regression(s):", file=sys.stderr)
+        for regression in all_regressions:
+            print(f"  FAIL: {regression}", file=sys.stderr)
+        return 1
+    print("  no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
