@@ -1,0 +1,236 @@
+// Ablation: the group-commit stage (fsync amortization at the commit point).
+//
+// Sweeps commit concurrency {1, 4, 16, 64} x group-commit {on, off} over a
+// WAL-backed database: every client thread runs auto-commit INSERTs into its
+// own table, so the only shared resource is the commit point itself. Reports
+// per cell:
+//   * fsyncs_per_commit  - WAL Sync() barriers divided by commits. With the
+//     stage on and enough concurrency this must drop well below 1 (one
+//     fdatasync covers a whole batch window); off it is pinned at ~1.
+//   * commit_p50/p99_us  - per-statement commit latency distribution.
+//
+// Correctness gates (CI fails on a nonzero value, see bench_compare.py):
+//   * lost_acked_commit_failures - after the sweep, a separate run arms the
+//     WAL fault injector mid-workload (the device dies with a torn write,
+//     simulating a crash), reopens the database, and counts acked commits
+//     missing after recovery. The group-commit ack contract says this is
+//     always zero.
+//   * fsync_amortization_failures - 1 if group commit failed to amortize
+//     (fsyncs_per_commit >= 0.5) at concurrency >= 16.
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "server/database.h"
+#include "storage/disk_manager.h"
+
+namespace stagedb {
+namespace {
+
+struct CellResult {
+  int64_t commits = 0;
+  double fsyncs_per_commit = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double wall_ms = 0;
+};
+
+std::string TempWal(const std::string& tag) {
+  return "/tmp/stagedb_bench_gc_" + tag + "_" + std::to_string(::getpid());
+}
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v->size()));
+  return (*v)[std::min(idx, v->size() - 1)];
+}
+
+CellResult RunCell(int threads, bool group_commit, int ops_per_thread) {
+  const std::string wal_path =
+      TempWal("c" + std::to_string(threads) + (group_commit ? "on" : "off"));
+  std::remove(wal_path.c_str());
+  server::DatabaseOptions opts;
+  opts.wal_path = wal_path;
+  opts.group_commit = group_commit;
+  opts.group_commit_max_wait_us = 1000;
+  auto db_or = server::Database::Open(opts);
+  if (!db_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto db = std::move(*db_or);
+  for (int t = 0; t < threads; ++t) {
+    auto r = db->Execute("CREATE TABLE t" + std::to_string(t) +
+                         " (k INTEGER, v INTEGER)");
+    if (!r.ok()) std::exit(1);
+  }
+
+  const int64_t syncs_before = db->wal()->syncs();
+  std::vector<std::vector<double>> latencies(threads);
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      latencies[t].reserve(ops_per_thread);
+      const std::string prefix =
+          "INSERT INTO t" + std::to_string(t) + " VALUES (";
+      for (int i = 0; i < ops_per_thread; ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        auto r = db->Execute(prefix + std::to_string(i) + ", " +
+                             std::to_string(i * 7) + ")");
+        const auto end = std::chrono::steady_clock::now();
+        if (!r.ok()) std::exit(1);
+        latencies[t].push_back(
+            std::chrono::duration<double, std::micro>(end - start).count());
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  CellResult cell;
+  cell.commits = static_cast<int64_t>(threads) * ops_per_thread;
+  cell.fsyncs_per_commit =
+      static_cast<double>(db->wal()->syncs() - syncs_before) /
+      static_cast<double>(cell.commits);
+  std::vector<double> all;
+  for (auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  cell.p50_us = Percentile(&all, 0.50);
+  cell.p99_us = Percentile(&all, 0.99);
+  cell.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  db.reset();
+  std::remove(wal_path.c_str());
+  return cell;
+}
+
+/// Runs a concurrent workload, kills the WAL device mid-run via the fault
+/// injector (torn final write, no process kill), reopens, and counts acked
+/// commits that recovery failed to resurrect. Returns the number lost.
+int64_t SimulatedCrashLostCommits(int threads, int ops_per_thread) {
+  const std::string wal_path = TempWal("crash");
+  std::remove(wal_path.c_str());
+  int64_t lost = 0;
+  {
+    server::DatabaseOptions opts;
+    opts.wal_path = wal_path;
+    opts.group_commit = true;
+    opts.group_commit_max_wait_us = 500;
+    auto db_or = server::Database::Open(opts);
+    if (!db_or.ok()) std::exit(1);
+    auto db = std::move(*db_or);
+    for (int t = 0; t < threads; ++t) {
+      auto r = db->Execute("CREATE TABLE t" + std::to_string(t) +
+                           " (k INTEGER, v INTEGER)");
+      if (!r.ok()) std::exit(1);
+    }
+    storage::WriteFaultInjector injector;
+    db->set_wal_fault_injector(&injector);
+    // Die mid-workload: roughly 3 appends per commit, aim for the middle.
+    injector.Arm(storage::WriteFaultInjector::Fault::kTornWrite,
+                 3 * threads * ops_per_thread / 2, {});
+
+    std::vector<std::vector<int64_t>> acked(threads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const std::string prefix =
+            "INSERT INTO t" + std::to_string(t) + " VALUES (";
+        for (int i = 0; i < ops_per_thread; ++i) {
+          auto r = db->Execute(prefix + std::to_string(i) + ", " +
+                               std::to_string(i) + ")");
+          if (!r.ok()) return;  // the device is dead; nothing acks anymore
+          acked[t].push_back(i);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    db.reset();  // drain fails harmlessly on the dead device
+
+    server::DatabaseOptions ro;
+    ro.wal_path = wal_path;
+    auto recovered_or = server::Database::Open(ro);
+    if (!recovered_or.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered_or.status().ToString().c_str());
+      return static_cast<int64_t>(threads) * ops_per_thread;  // all lost
+    }
+    auto recovered = std::move(*recovered_or);
+    for (int t = 0; t < threads; ++t) {
+      auto result =
+          recovered->Execute("SELECT k FROM t" + std::to_string(t));
+      if (!result.ok()) {
+        lost += static_cast<int64_t>(acked[t].size());
+        continue;
+      }
+      std::vector<int64_t> got;
+      for (const auto& row : result->rows) got.push_back(row[0].int_value());
+      std::sort(got.begin(), got.end());
+      for (int64_t k : acked[t]) {
+        if (!std::binary_search(got.begin(), got.end(), k)) ++lost;
+      }
+    }
+  }
+  std::remove(wal_path.c_str());
+  return lost;
+}
+
+}  // namespace
+}  // namespace stagedb
+
+int main(int argc, char** argv) {
+  using stagedb::bench::BenchArgs;
+  using stagedb::bench::JsonReport;
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  const int ops = args.smoke ? 50 : 200;
+
+  JsonReport report("ablation_group_commit");
+  report.Add("smoke", args.smoke);
+  report.Add("ops_per_thread", ops);
+
+  int fsync_amortization_failures = 0;
+  for (int threads : {1, 4, 16, 64}) {
+    for (bool gc : {true, false}) {
+      const auto cell = stagedb::RunCell(threads, gc, ops);
+      const std::string tag =
+          "_c" + std::to_string(threads) + (gc ? "_gc_on" : "_gc_off");
+      report.Add("fsyncs_per_commit" + tag, cell.fsyncs_per_commit);
+      report.Add("commit_p50_us" + tag, cell.p50_us);
+      report.Add("commit_p99_us" + tag, cell.p99_us);
+      if (!args.json) {
+        std::printf(
+            "conc=%-3d group_commit=%-3s commits=%lld fsyncs/commit=%.3f "
+            "p50=%.0fus p99=%.0fus wall=%.0fms\n",
+            threads, gc ? "on" : "off",
+            static_cast<long long>(cell.commits), cell.fsyncs_per_commit,
+            cell.p50_us, cell.p99_us, cell.wall_ms);
+      }
+      if (gc && threads >= 16 && cell.fsyncs_per_commit >= 0.5) {
+        ++fsync_amortization_failures;
+      }
+    }
+  }
+
+  const int64_t lost = stagedb::SimulatedCrashLostCommits(16, ops);
+  report.Add("lost_acked_commit_failures", lost);
+  report.Add("fsync_amortization_failures", fsync_amortization_failures);
+  if (!args.json) {
+    std::printf("simulated crash: %lld acked commit(s) lost\n",
+                static_cast<long long>(lost));
+  }
+  if (args.json) report.Print();
+  return (lost != 0 || fsync_amortization_failures != 0) ? 1 : 0;
+}

@@ -1,0 +1,184 @@
+#include "engine/commit_stage.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace stagedb::engine {
+
+// ------------------------------------------------------------ CommitTicket --
+
+Status CommitTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+  return status_;
+}
+
+int64_t CommitTicket::lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lsn_;
+}
+
+void CommitTicket::Complete(int64_t lsn, Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+    lsn_ = lsn;
+    status_ = std::move(status);
+  }
+  cv_.notify_all();
+}
+
+// -------------------------------------------------------- GroupCommitStage --
+
+/// The stage's single long-lived packet. It parks (kBlocked) while no commit
+/// is pending; Submit wakes it via Stage::Activate, and each Run() serves one
+/// batch window.
+class GroupCommitStage::FlushTask : public StageTask {
+ public:
+  explicit FlushTask(GroupCommitStage* owner) : owner_(owner) {}
+  RunOutcome Run() override { return owner_->RunFlush(); }
+  bool CanMakeProgress() override { return owner_->HasPending(); }
+
+ private:
+  GroupCommitStage* owner_;
+};
+
+GroupCommitStage::GroupCommitStage(StageRuntime* runtime,
+                                   storage::WriteAheadLog* wal,
+                                   Options options, StagePoolSpec pool)
+    : wal_(wal), options_(options),
+      stage_(runtime->CreateStage("commit", pool)),
+      task_(std::make_unique<FlushTask>(this)) {}
+
+GroupCommitStage::~GroupCommitStage() { Drain(); }
+
+bool GroupCommitStage::HasPending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pending_.empty();
+}
+
+std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id) {
+  std::shared_ptr<CommitTicket> ticket(new CommitTicket(txn_id));
+  ticket->arrival_micros_ = RealClock::Instance()->NowMicros();
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      ticket->Complete(0, Status::Aborted("commit stage draining"));
+      return ticket;
+    }
+    pending_.push_back(ticket);
+    first = !task_enqueued_;
+    task_enqueued_ = true;
+  }
+  // A full batch need not wait out the window.
+  window_cv_.notify_all();
+  if (first) {
+    stage_->Enqueue(task_.get());
+  } else {
+    stage_->Activate(task_.get());
+  }
+  return ticket;
+}
+
+RunOutcome GroupCommitStage::RunFlush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (pending_.empty()) return RunOutcome::kBlocked;
+  // Hold the window open until the batch fills, the oldest ticket has waited
+  // max_wait_us, or a drain forces the flush. This wait is the "group" in
+  // group commit: it trades a bounded latency add for fsync amortization.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(std::max<int64_t>(
+          0, pending_.front()->arrival_micros_ + options_.max_wait_us -
+                 RealClock::Instance()->NowMicros()));
+  while (!draining_ &&
+         static_cast<int>(pending_.size()) < options_.max_batch) {
+    if (window_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  std::vector<std::shared_ptr<CommitTicket>> batch;
+  const size_t take =
+      std::min(pending_.size(), static_cast<size_t>(options_.max_batch));
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  flushing_ = true;
+  lock.unlock();
+
+  const int64_t t0 = RealClock::Instance()->NowMicros();
+  Status flush = Status::OK();
+  std::vector<int64_t> lsns(batch.size(), 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    storage::WalRecord r;
+    r.txn_id = batch[i]->txn_id();
+    r.type = storage::WalRecord::Type::kCommit;
+    auto lsn_or = wal_->Append(std::move(r));
+    if (!lsn_or.ok()) {
+      flush = lsn_or.status();
+      break;
+    }
+    lsns[i] = *lsn_or;
+  }
+  if (flush.ok()) flush = wal_->Sync();
+  const int64_t flush_us = RealClock::Instance()->NowMicros() - t0;
+  // Counters update before the acks: a client whose Wait() returned must see
+  // its own commit in counters().
+  lock.lock();
+  commits_ += static_cast<int64_t>(batch.size());
+  ++batches_;
+  batch_size_.Record(static_cast<int64_t>(batch.size()));
+  flush_micros_.Record(flush_us);
+  lock.unlock();
+  // Ack ordering invariant: completions happen only after the Sync() barrier
+  // and in LSN order (batch order == append order).
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i]->Complete(lsns[i], flush);
+  }
+  // flushing_ clears only after the acks, so Drain() (and with it the
+  // destructor) cannot return while completions are still being delivered.
+  lock.lock();
+  flushing_ = false;
+  const bool more = !pending_.empty();
+  lock.unlock();
+  drain_cv_.notify_all();
+  return more ? RunOutcome::kYield : RunOutcome::kBlocked;
+}
+
+void GroupCommitStage::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  window_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!pending_.empty() || flushing_) {
+    lock.unlock();
+    // The flush task may be parked (it blocked before the last Submit, or a
+    // prior Run left pending work it was not re-activated for): poke it.
+    stage_->Activate(task_.get());
+    lock.lock();
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+StageRuntime::GroupCommitCounters GroupCommitStage::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageRuntime::GroupCommitCounters c;
+  c.enabled = true;
+  c.commits = commits_;
+  c.batches = batches_;
+  c.syncs = wal_->syncs();
+  c.batch_size = batch_size_;
+  c.flush_micros = flush_micros_;
+  return c;
+}
+
+}  // namespace stagedb::engine

@@ -427,6 +427,21 @@ std::string StageRuntime::StatsSnapshot::ToString() const {
                        static_cast<long long>(s.parallel_groups));
     }
   }
+  if (group_commit.enabled) {
+    const double per_commit =
+        group_commit.commits == 0
+            ? 0.0
+            : static_cast<double>(group_commit.batches) / group_commit.commits;
+    out += StrFormat(
+        "  group_commit commits=%lld batches=%lld syncs=%lld "
+        "fsyncs/commit=%.3f batch_p50=%.0f flush_p50=%.0fus flush_p95=%.0fus\n",
+        static_cast<long long>(group_commit.commits),
+        static_cast<long long>(group_commit.batches),
+        static_cast<long long>(group_commit.syncs), per_commit,
+        group_commit.batch_size.Percentile(50),
+        group_commit.flush_micros.Percentile(50),
+        group_commit.flush_micros.Percentile(95));
+  }
   if (plan_cache.hits + plan_cache.misses + plan_cache.invalidations > 0) {
     out += StrFormat(
         "  plan_cache   hits=%llu misses=%llu invalidations=%llu "

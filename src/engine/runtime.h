@@ -261,6 +261,18 @@ class StageRuntime {
     }
   };
 
+  /// Group-commit counters: how well the commit stage's batch window
+  /// amortizes fsyncs (filled from GroupCommitStage::counters(); zero /
+  /// disabled when no commit stage is attached).
+  struct GroupCommitCounters {
+    bool enabled = false;
+    int64_t commits = 0;  ///< tickets acked
+    int64_t batches = 0;  ///< flush rounds (one Sync() barrier each)
+    int64_t syncs = 0;    ///< total WAL Sync() barriers (includes non-commit)
+    Histogram batch_size;
+    Histogram flush_micros;  ///< append-all + Sync latency per batch
+  };
+
   /// Plan-cache counters mirrored into the snapshot by the Database facade
   /// (plain numbers here so the engine does not depend on the frontend
   /// module; see frontend::PlanCacheStats for the source of truth).
@@ -281,6 +293,8 @@ class StageRuntime {
     /// Front-end work-reuse counters (filled by Database::EngineStats; zero
     /// when no plan cache is attached).
     PlanCacheCounters plan_cache;
+    /// Commit-stage fsync amortization (filled by Database::EngineStats).
+    GroupCommitCounters group_commit;
     /// Multi-line human-readable report (one row per stage).
     std::string ToString() const;
   };

@@ -1026,6 +1026,7 @@ StagedEngine::StagedEngine(catalog::Catalog* catalog,
           options_.shared_scan_window_pages)) {
   if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {
     execute_stage_ = runtime_.CreateStage("execute", PoolFor("execute"));
+    MaybeCreateCommitStage();
     return;
   }
   iscan_stage_ = runtime_.CreateStage("iscan", PoolFor("iscan"));
@@ -1037,6 +1038,16 @@ StagedEngine::StagedEngine(catalog::Catalog* catalog,
   if (!options_.stage_per_table_scans) {
     fscan_shared_ = runtime_.CreateStage("fscan", PoolFor("fscan"));
   }
+  MaybeCreateCommitStage();
+}
+
+void StagedEngine::MaybeCreateCommitStage() {
+  if (options_.wal == nullptr) return;
+  GroupCommitStage::Options gc;
+  gc.max_batch = options_.group_commit_max_batch;
+  gc.max_wait_us = options_.group_commit_max_wait_us;
+  group_commit_ = std::make_unique<GroupCommitStage>(&runtime_, options_.wal,
+                                                     gc, PoolFor("commit"));
 }
 
 StagePoolSpec StagedEngine::PoolFor(const std::string& stage_name) const {
@@ -1050,7 +1061,11 @@ StagePoolSpec StagedEngine::PoolFor(const std::string& stage_name) const {
                      options_.threads_per_stage);
 }
 
-StagedEngine::~StagedEngine() { runtime_.Shutdown(); }
+StagedEngine::~StagedEngine() {
+  // Flush pending commits while the stage workers are still alive, then stop.
+  if (group_commit_ != nullptr) group_commit_->Drain();
+  runtime_.Shutdown();
+}
 
 Stage* StagedEngine::StageFor(const PhysicalPlan& node) {
   if (options_.granularity == StagedEngineOptions::Granularity::kCoarse) {

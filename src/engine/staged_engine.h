@@ -21,11 +21,13 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "engine/commit_stage.h"
 #include "engine/exchange.h"
 #include "engine/runtime.h"
 #include "engine/shared_scan.h"
 #include "exec/executor.h"
 #include "optimizer/plan.h"
+#include "storage/wal.h"
 
 namespace stagedb::engine {
 
@@ -72,6 +74,15 @@ struct StagedEngineOptions {
   /// engine; raise it together with the stage's worker-pool size (a lone
   /// worker serializes the partition packets again).
   int max_dop = 1;
+  /// When non-null, the engine creates a "commit" stage (engine/
+  /// commit_stage.h) over this log: committing clients submit tickets and
+  /// one fdatasync covers every commit in a batch window. The WAL must
+  /// outlive the engine.
+  storage::WriteAheadLog* wal = nullptr;
+  /// Flush when this many commits are pending...
+  int group_commit_max_batch = 64;
+  /// ...or when the oldest pending commit has waited this long.
+  int64_t group_commit_max_wait_us = 200;
 };
 
 /// Tracks one in-flight query: its operator packets, exchange buffers,
@@ -139,6 +150,8 @@ class StagedEngine {
   const StagedEngineOptions& options() const { return options_; }
   /// The per-table elevator cursors the fscan stages share (§5.4).
   SharedScanManager* shared_scans() { return shared_scans_.get(); }
+  /// The commit stage (null unless options.wal was set).
+  GroupCommitStage* group_commit() { return group_commit_.get(); }
 
   /// The stage responsible for a plan node (exposed for tests/monitoring).
   Stage* StageFor(const optimizer::PhysicalPlan& node);
@@ -147,11 +160,15 @@ class StagedEngine {
   /// Pool configuration for a stage: exact stage_pools entry, the "fscan"
   /// fallback for per-table scan stages, else threads_per_stage unpinned.
   StagePoolSpec PoolFor(const std::string& stage_name) const;
+  /// Creates the commit stage when options_.wal is set (ctor helper).
+  void MaybeCreateCommitStage();
 
   catalog::Catalog* catalog_;
   StagedEngineOptions options_;
   StageRuntime runtime_;
   std::unique_ptr<SharedScanManager> shared_scans_;
+  // Declared after runtime_; the dtor drains it before runtime_.Shutdown().
+  std::unique_ptr<GroupCommitStage> group_commit_;
 
   std::mutex stage_map_mu_;
   Stage* iscan_stage_ = nullptr;

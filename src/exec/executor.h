@@ -77,11 +77,29 @@ class MutationLog {
   std::vector<MutationRecord> records_;
 };
 
+/// Receives row-level mutations for write-ahead logging. The DML executors
+/// call this after each successful catalog mutation (mirroring MutationLog's
+/// placement, so the log matches live state even on partial statement
+/// failure); the Database facade implements it over the storage WAL. Kept
+/// abstract so exec does not depend on the storage log.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual Status LogInsert(catalog::TableInfo* table,
+                           const catalog::Tuple& tuple) = 0;
+  virtual Status LogDelete(catalog::TableInfo* table,
+                           const catalog::Tuple& tuple) = 0;
+  virtual Status LogUpdate(catalog::TableInfo* table,
+                           const catalog::Tuple& before,
+                           const catalog::Tuple& after) = 0;
+};
+
 /// Per-query execution context.
 struct ExecContext {
   catalog::Catalog* catalog = nullptr;
   OperatorTrace* trace = nullptr;        // optional
   MutationLog* mutation_log = nullptr;   // optional (active SQL transaction)
+  WalSink* wal = nullptr;                // optional (durable database)
 };
 
 /// Pull-based operator.

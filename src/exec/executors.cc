@@ -716,6 +716,9 @@ class InsertExec : public Executor {
       if (ctx_->mutation_log != nullptr) {
         ctx_->mutation_log->LogInsert(plan_->table, *rid, t);
       }
+      if (ctx_->wal != nullptr) {
+        STAGEDB_RETURN_IF_ERROR(ctx_->wal->LogInsert(plan_->table, t));
+      }
       ++count;
     }
     *out = {Value::Int(count)};
@@ -754,6 +757,9 @@ class DeleteExec : public Executor {
     STAGEDB_RETURN_IF_ERROR(it.status());
     for (auto& [rid, tuple] : victims) {
       STAGEDB_RETURN_IF_ERROR(ctx_->catalog->DeleteTuple(plan_->table, rid));
+      if (ctx_->wal != nullptr) {
+        STAGEDB_RETURN_IF_ERROR(ctx_->wal->LogDelete(plan_->table, tuple));
+      }
       if (ctx_->mutation_log != nullptr) {
         ctx_->mutation_log->LogDelete(plan_->table, rid, std::move(tuple));
       }
@@ -816,6 +822,12 @@ class UpdateExec : public Executor {
       auto new_rid =
           ctx_->catalog->InsertTuple(plan_->table, pending.new_tuple);
       if (!new_rid.ok()) return new_rid.status();
+      if (ctx_->wal != nullptr) {
+        // One UPDATE record carrying both images (redo finds the victim by
+        // before-image, undo restores it).
+        STAGEDB_RETURN_IF_ERROR(ctx_->wal->LogUpdate(
+            plan_->table, pending.old_tuple, pending.new_tuple));
+      }
       if (ctx_->mutation_log != nullptr) {
         ctx_->mutation_log->LogDelete(plan_->table, pending.rid,
                                       std::move(pending.old_tuple));

@@ -1,12 +1,28 @@
+#include <map>
+#include <utility>
+
 #include "exec/executor.h"
 
 namespace stagedb::exec {
 
 Status MutationLog::Rollback(catalog::Catalog* catalog) {
+  // Undoing a delete re-inserts the tuple, usually at a different rid than
+  // the one the log recorded. Earlier records of the same transaction may
+  // still reference the original rid (insert-then-delete of the same row,
+  // or an update whose delete half was undone first), so track where each
+  // undone delete actually landed and resolve through that map. Keyed per
+  // table because rids are only unique within a heap file.
+  std::map<std::pair<catalog::TableInfo*, storage::Rid>, storage::Rid> moved;
   for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     switch (it->op) {
       case MutationRecord::Op::kInsert: {
-        Status s = catalog->DeleteTuple(it->table, it->rid);
+        storage::Rid target = it->rid;
+        auto remap = moved.find({it->table, it->rid});
+        if (remap != moved.end()) {
+          target = remap->second;
+          moved.erase(remap);
+        }
+        Status s = catalog->DeleteTuple(it->table, target);
         // The row may already be gone if a later statement in the same
         // transaction deleted it; that undo already ran.
         if (!s.ok() && !s.IsNotFound()) return s;
@@ -15,6 +31,7 @@ Status MutationLog::Rollback(catalog::Catalog* catalog) {
       case MutationRecord::Op::kDelete: {
         auto rid = catalog->InsertTuple(it->table, it->tuple);
         if (!rid.ok()) return rid.status();
+        moved[{it->table, it->rid}] = *rid;
         break;
       }
     }

@@ -1,6 +1,8 @@
 #include "server/database.h"
 
+#include "catalog/tuple.h"
 #include "common/string_util.h"
+#include "engine/commit_stage.h"
 #include "engine/staged_engine.h"
 #include "parser/parser.h"
 
@@ -10,6 +12,182 @@ using catalog::Schema;
 using catalog::TypeId;
 using optimizer::PhysicalPlan;
 using optimizer::Planner;
+
+namespace {
+
+// --- WAL schema payloads -----------------------------------------------------
+// kCreateTable records carry the table's schema in `after` so recovery can
+// rebuild it without any external catalog file. Unit separator / record
+// separator framing: "name \x1f type" per column, columns joined by \x1e.
+
+constexpr char kUnitSep = '\x1f';
+constexpr char kColSep = '\x1e';
+
+std::string SerializeSchema(const std::vector<catalog::Column>& cols) {
+  std::string out;
+  for (const auto& col : cols) {
+    if (!out.empty()) out.push_back(kColSep);
+    out += col.name;
+    out.push_back(kUnitSep);
+    out += std::to_string(static_cast<int>(col.type));
+  }
+  return out;
+}
+
+StatusOr<std::vector<catalog::Column>> DeserializeSchema(
+    const std::string& payload) {
+  std::vector<catalog::Column> cols;
+  size_t pos = 0;
+  while (pos <= payload.size()) {
+    size_t end = payload.find(kColSep, pos);
+    if (end == std::string::npos) end = payload.size();
+    const std::string entry = payload.substr(pos, end - pos);
+    const size_t sep = entry.find(kUnitSep);
+    if (sep == std::string::npos) {
+      return Status::Corruption("wal: malformed schema payload");
+    }
+    catalog::Column col;
+    col.name = entry.substr(0, sep);
+    col.type = static_cast<TypeId>(std::stoi(entry.substr(sep + 1)));
+    cols.push_back(std::move(col));
+    if (end == payload.size()) break;
+    pos = end + 1;
+  }
+  return cols;
+}
+
+}  // namespace
+
+// -------------------------------------------------------- DatabaseWalSink ---
+
+/// The exec::WalSink over the database's WAL: encodes tuples with the
+/// table's schema and appends logical records under one wal txn id. Appends
+/// only — durability comes from the commit path's Sync barrier.
+class DatabaseWalSink : public exec::WalSink {
+ public:
+  DatabaseWalSink(Database* db, int64_t txn_id) : db_(db), txn_id_(txn_id) {}
+
+  Status LogInsert(catalog::TableInfo* table,
+                   const catalog::Tuple& tuple) override {
+    storage::WalRecord r;
+    r.txn_id = txn_id_;
+    r.type = storage::WalRecord::Type::kInsert;
+    r.table_id = table->id;
+    r.after = catalog::EncodeTuple(table->schema, tuple);
+    return Append(std::move(r));
+  }
+
+  Status LogDelete(catalog::TableInfo* table,
+                   const catalog::Tuple& tuple) override {
+    storage::WalRecord r;
+    r.txn_id = txn_id_;
+    r.type = storage::WalRecord::Type::kDelete;
+    r.table_id = table->id;
+    r.before = catalog::EncodeTuple(table->schema, tuple);
+    return Append(std::move(r));
+  }
+
+  Status LogUpdate(catalog::TableInfo* table, const catalog::Tuple& before,
+                   const catalog::Tuple& after) override {
+    storage::WalRecord r;
+    r.txn_id = txn_id_;
+    r.type = storage::WalRecord::Type::kUpdate;
+    r.table_id = table->id;
+    r.before = catalog::EncodeTuple(table->schema, before);
+    r.after = catalog::EncodeTuple(table->schema, after);
+    return Append(std::move(r));
+  }
+
+ private:
+  Status Append(storage::WalRecord r) {
+    auto lsn_or = db_->wal_->Append(std::move(r));
+    return lsn_or.ok() ? Status::OK() : lsn_or.status();
+  }
+
+  Database* db_;
+  const int64_t txn_id_;
+};
+
+// -------------------------------------------------- CatalogRecoveryApplier ---
+
+/// Routes recovery through the catalog (not raw heap files) so indexes and
+/// statistics are rebuilt alongside the rows, and DDL records recreate
+/// tables with the same sequentially-assigned ids they had before the crash.
+class CatalogRecoveryApplier : public storage::RecoveryApplier {
+ public:
+  explicit CatalogRecoveryApplier(Database* db) : db_(db) {}
+
+  Status ApplyDdl(const storage::WalRecord& r) override {
+    switch (r.type) {
+      case storage::WalRecord::Type::kCreateTable: {
+        auto cols = DeserializeSchema(r.after);
+        if (!cols.ok()) return cols.status();
+        auto table =
+            db_->catalog_->CreateTable(r.before, Schema(std::move(*cols)));
+        if (!table.ok()) return table.status();
+        db_->txn_mgr_->RegisterTable((*table)->id, (*table)->heap.get());
+        return Status::OK();
+      }
+      case storage::WalRecord::Type::kCreateIndex: {
+        const size_t sep = r.after.find(kUnitSep);
+        if (sep == std::string::npos) {
+          return Status::Corruption("wal: malformed index payload");
+        }
+        auto index = db_->catalog_->CreateIndex(
+            r.before, r.after.substr(0, sep), r.after.substr(sep + 1));
+        return index.ok() ? Status::OK() : index.status();
+      }
+      case storage::WalRecord::Type::kDropTable:
+        return db_->catalog_->DropTable(r.before);
+      default:
+        return Status::Internal("recover: non-DDL record in ApplyDdl");
+    }
+  }
+
+  Status ApplyInsert(int32_t table_id, const std::string& row) override {
+    auto table = db_->catalog_->GetTableById(table_id);
+    if (!table.ok()) return table.status();
+    auto tuple = catalog::DecodeTuple((*table)->schema, row);
+    if (!tuple.ok()) return tuple.status();
+    auto rid = db_->catalog_->InsertTuple(*table, *tuple);
+    return rid.ok() ? Status::OK() : rid.status();
+  }
+
+  Status ApplyDelete(int32_t table_id, const std::string& before) override {
+    auto table = db_->catalog_->GetTableById(table_id);
+    if (!table.ok()) return table.status();
+    auto rid_or = FindByImage(*table, before);
+    if (!rid_or.ok()) return rid_or.status();
+    return db_->catalog_->DeleteTuple(*table, *rid_or);
+  }
+
+  Status ApplyUpdate(int32_t table_id, const std::string& before,
+                     const std::string& after) override {
+    auto table = db_->catalog_->GetTableById(table_id);
+    if (!table.ok()) return table.status();
+    auto rid_or = FindByImage(*table, before);
+    if (!rid_or.ok()) return rid_or.status();
+    STAGEDB_RETURN_IF_ERROR(db_->catalog_->DeleteTuple(*table, *rid_or));
+    auto tuple = catalog::DecodeTuple((*table)->schema, after);
+    if (!tuple.ok()) return tuple.status();
+    auto rid = db_->catalog_->InsertTuple(*table, *tuple);
+    return rid.ok() ? Status::OK() : rid.status();
+  }
+
+ private:
+  /// Logical identity across re-assigned rids: find the row by image.
+  StatusOr<storage::Rid> FindByImage(catalog::TableInfo* table,
+                                     const std::string& image) {
+    auto scan = table->heap->Scan();
+    while (scan.Next()) {
+      if (scan.record() == image) return scan.rid();
+    }
+    STAGEDB_RETURN_IF_ERROR(scan.status());
+    return Status::NotFound("recover: row image not found");
+  }
+
+  Database* db_;
+};
 
 /// Owns the staged engine (kept out of database.h to avoid the heavy
 /// include in the public API).
@@ -29,6 +207,14 @@ std::string QueryResult::ToString() const {
 
 StatusOr<QueryResult> PendingQuery::Await() {
   auto rows = query_->Await();
+  if (wal_finalize_) {
+    // Run the durable-commit epilogue exactly once: the statement does not
+    // ack until its commit record is synced (or its wal txn is aborted).
+    auto finalize = std::move(wal_finalize_);
+    wal_finalize_ = nullptr;
+    const Status commit = finalize(rows.ok());
+    if (rows.ok() && !commit.ok()) return commit;
+  }
   if (!rows.ok()) return rows.status();
   QueryResult result;
   result.schema = schema_;
@@ -45,7 +231,12 @@ void PendingQuery::NotifyOnDone(std::function<void()> callback) {
 
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
-Database::~Database() = default;
+Database::~Database() {
+  // The staged engine drains its own commit stage. The volcano-mode commit
+  // runtime is ours: drain while its workers are alive, then stop them.
+  if (own_group_commit_ != nullptr) own_group_commit_->Drain();
+  if (commit_runtime_ != nullptr) commit_runtime_->Shutdown();
+}
 
 StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   std::unique_ptr<Database> db(new Database(std::move(options)));
@@ -54,13 +245,29 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   db->pool_ = std::make_unique<storage::BufferPool>(
       db->disk_.get(), db->options_.buffer_pool_pages);
   db->catalog_ = std::make_unique<catalog::Catalog>(db->pool_.get());
-  db->wal_ = std::make_unique<storage::WriteAheadLog>();
+  if (db->durable()) {
+    auto wal_or = storage::WriteAheadLog::Open(db->options_.wal_path);
+    if (!wal_or.ok()) return wal_or.status();
+    db->wal_ = std::move(*wal_or);
+  } else {
+    db->wal_ = std::make_unique<storage::WriteAheadLog>();
+  }
   db->txn_mgr_ =
       std::make_unique<storage::TransactionManager>(db->wal_.get());
+  if (db->durable()) {
+    // Replay the log before the engines exist: committed transactions are
+    // redone through the catalog (rebuilding tables, indexes, statistics),
+    // losers are skipped, and the torn tail was already truncated by
+    // WriteAheadLog::Open.
+    CatalogRecoveryApplier applier(db.get());
+    STAGEDB_RETURN_IF_ERROR(
+        db->txn_mgr_->Recover(&applier, &db->recovery_stats_));
+  }
   if (db->options_.plan_cache) {
     db->plan_cache_ = std::make_unique<frontend::PlanCache>(
         db->options_.plan_cache_capacity, db->options_.plan_cache_shards);
   }
+  const bool group_commit = db->durable() && db->options_.group_commit;
   if (db->options_.mode == ExecutionMode::kStaged) {
     engine::StagedEngineOptions opts;
     opts.exchange_capacity_pages = db->options_.exchange_buffer_pages;
@@ -71,17 +278,76 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     opts.scheduler_gate_rounds = db->options_.scheduler_gate_rounds;
     opts.stage_pools = db->options_.stage_pools;
     opts.max_dop = db->options_.max_dop;
+    if (group_commit) {
+      // The commit stage rides the engine's own runtime: "commit" appears
+      // beside fscan/join in the stage table and obeys the same policy.
+      opts.wal = db->wal_.get();
+      opts.group_commit_max_batch = db->options_.group_commit_max_batch;
+      opts.group_commit_max_wait_us = db->options_.group_commit_max_wait_us;
+    }
     // Let the planner emit parallel shapes up to the engine's cap. Volcano
     // mode skips this (below), so its planner never produces them.
     db->options_.planner.max_dop = db->options_.max_dop;
     db->staged_ =
         std::make_unique<StagedEngineHandle>(db->catalog_.get(), opts);
+    db->group_commit_ = db->staged_->engine.group_commit();
   } else {
     // The volcano engine runs every node on the calling thread: parallel
     // plan shapes would only add a partial/merge hop it cannot execute.
     db->options_.planner.max_dop = 1;
+    if (group_commit) {
+      db->commit_runtime_ = std::make_unique<engine::StageRuntime>(
+          engine::SchedulerPolicy::kFreeRun);
+      engine::GroupCommitStage::Options gc;
+      gc.max_batch = db->options_.group_commit_max_batch;
+      gc.max_wait_us = db->options_.group_commit_max_wait_us;
+      db->own_group_commit_ = std::make_unique<engine::GroupCommitStage>(
+          db->commit_runtime_.get(), db->wal_.get(), gc,
+          engine::StagePoolSpec{1, -1});
+      db->group_commit_ = db->own_group_commit_.get();
+    }
   }
   return db;
+}
+
+void Database::set_wal_fault_injector(storage::WriteFaultInjector* injector) {
+  wal_->set_fault_injector(injector);
+}
+
+StatusOr<int64_t> Database::BeginWalTxn() {
+  const int64_t txn_id = txn_mgr_->AllocateTxnId();
+  storage::WalRecord r;
+  r.txn_id = txn_id;
+  r.type = storage::WalRecord::Type::kBegin;
+  auto lsn_or = wal_->Append(std::move(r));
+  if (!lsn_or.ok()) return lsn_or.status();
+  return txn_id;
+}
+
+Status Database::CommitWalTxn(int64_t txn_id) {
+  if (group_commit_ != nullptr) {
+    return group_commit_->Submit(txn_id)->Wait();
+  }
+  storage::WalRecord r;
+  r.txn_id = txn_id;
+  r.type = storage::WalRecord::Type::kCommit;
+  auto lsn_or = wal_->Append(std::move(r));
+  if (!lsn_or.ok()) return lsn_or.status();
+  return wal_->Sync();
+}
+
+void Database::AbortWalTxn(int64_t txn_id) {
+  storage::WalRecord r;
+  r.txn_id = txn_id;
+  r.type = storage::WalRecord::Type::kAbort;
+  (void)wal_->Append(std::move(r));
+}
+
+Status Database::AppendDdl(storage::WalRecord record) {
+  auto lsn_or = wal_->Append(std::move(record));
+  if (!lsn_or.ok()) return lsn_or.status();
+  // DDL is auto-committed: durable before the statement acks.
+  return wal_->Sync();
 }
 
 engine::StageRuntime::StatsSnapshot Database::EngineStats() const {
@@ -94,6 +360,17 @@ engine::StageRuntime::StatsSnapshot Database::EngineStats() const {
     snap.plan_cache.invalidations = cache.invalidations;
     snap.plan_cache.evictions = cache.evictions;
     snap.plan_cache.entries = cache.entries;
+  }
+  if (group_commit_ != nullptr) {
+    snap.group_commit = group_commit_->counters();
+    if (options_.mode != ExecutionMode::kStaged &&
+        commit_runtime_ != nullptr) {
+      // Volcano mode has no engine snapshot; surface the commit stage's own
+      // runtime rows so `commit` is observable there too.
+      for (auto& stage : commit_runtime_->Stats().stages) {
+        snap.stages.push_back(std::move(stage));
+      }
+    }
   }
   return snap;
 }
@@ -218,9 +495,18 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       for (const auto& def : ct.columns) {
         cols.push_back({def.name, def.type, ""});
       }
+      const std::string schema_payload = SerializeSchema(cols);
       auto table = catalog_->CreateTable(ct.table, Schema(std::move(cols)));
       if (!table.ok()) return table.status();
       txn_mgr_->RegisterTable((*table)->id, (*table)->heap.get());
+      if (durable()) {
+        storage::WalRecord r;
+        r.type = storage::WalRecord::Type::kCreateTable;
+        r.table_id = (*table)->id;
+        r.before = ct.table;
+        r.after = schema_payload;
+        STAGEDB_RETURN_IF_ERROR(AppendDdl(std::move(r)));
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
@@ -229,6 +515,15 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       const auto& ci = static_cast<const parser::CreateIndexStmt&>(stmt);
       auto index = catalog_->CreateIndex(ci.index, ci.table, ci.column);
       if (!index.ok()) return index.status();
+      if (durable()) {
+        storage::WalRecord r;
+        r.type = storage::WalRecord::Type::kCreateIndex;
+        r.before = ci.index;
+        r.after = ci.table;
+        r.after.push_back(kUnitSep);
+        r.after += ci.column;
+        STAGEDB_RETURN_IF_ERROR(AppendDdl(std::move(r)));
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
@@ -236,6 +531,12 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
     case Kind::kDropTable: {
       const auto& dt = static_cast<const parser::DropTableStmt&>(stmt);
       STAGEDB_RETURN_IF_ERROR(catalog_->DropTable(dt.table));
+      if (durable()) {
+        storage::WalRecord r;
+        r.type = storage::WalRecord::Type::kDropTable;
+        r.before = dt.table;
+        STAGEDB_RETURN_IF_ERROR(AppendDdl(std::move(r)));
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
@@ -245,17 +546,32 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       if (active_txn_ != nullptr) {
         return Status::InvalidArgument("transaction already in progress");
       }
+      if (durable()) {
+        auto txn_or = BeginWalTxn();
+        if (!txn_or.ok()) return txn_or.status();
+        active_wal_txn_ = *txn_or;
+      }
       active_txn_ = std::make_unique<exec::MutationLog>();
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
     }
     case Kind::kCommit: {
-      std::lock_guard<std::mutex> lock(txn_mu_);
-      if (active_txn_ == nullptr) {
-        return Status::InvalidArgument("no transaction in progress");
+      int64_t wal_txn = 0;
+      {
+        std::lock_guard<std::mutex> lock(txn_mu_);
+        if (active_txn_ == nullptr) {
+          return Status::InvalidArgument("no transaction in progress");
+        }
+        active_txn_.reset();
+        wal_txn = active_wal_txn_;
+        active_wal_txn_ = 0;
       }
-      active_txn_.reset();
+      if (wal_txn != 0) {
+        // COMMIT does not ack until the log is durable (group-commit ticket
+        // or inline fsync).
+        STAGEDB_RETURN_IF_ERROR(CommitWalTxn(wal_txn));
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
@@ -267,6 +583,10 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       }
       STAGEDB_RETURN_IF_ERROR(active_txn_->Rollback(catalog_.get()));
       active_txn_.reset();
+      if (active_wal_txn_ != 0) {
+        AbortWalTxn(active_wal_txn_);
+        active_wal_txn_ = 0;
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
@@ -285,6 +605,14 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
   return ExecutePlanned(plan.get());
 }
 
+namespace {
+bool IsDmlPlan(const PhysicalPlan* plan) {
+  return plan->kind == optimizer::PlanKind::kInsert ||
+         plan->kind == optimizer::PlanKind::kDelete ||
+         plan->kind == optimizer::PlanKind::kUpdate;
+}
+}  // namespace
+
 StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
   // A template must be instantiated first: the engines ignore parameterized
   // index bounds and unevaluated VALUES rows, so executing one would return
@@ -299,21 +627,42 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
 
   exec::ExecContext ctx;
   ctx.catalog = catalog_.get();
+  // Durable DML runs under a wal transaction: a statement inside an explicit
+  // BEGIN logs under that txn id (committed at COMMIT time); a standalone
+  // statement auto-commits — BEGIN record, row records from the executors,
+  // then a durable COMMIT before the statement acks.
+  std::unique_ptr<DatabaseWalSink> sink;
+  int64_t wal_txn = 0;
+  bool auto_commit = false;
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     ctx.mutation_log = active_txn_.get();
+    if (durable() && IsDmlPlan(plan)) {
+      if (active_txn_ != nullptr && active_wal_txn_ != 0) {
+        wal_txn = active_wal_txn_;
+      } else {
+        auto txn_or = BeginWalTxn();
+        if (!txn_or.ok()) return txn_or.status();
+        wal_txn = *txn_or;
+        auto_commit = true;
+      }
+      sink = std::make_unique<DatabaseWalSink>(this, wal_txn);
+      ctx.wal = sink.get();
+    }
   }
 
   stats_.GetCounter("stage.execute.packets")->Add(1);
-  if (options_.mode == ExecutionMode::kStaged) {
-    auto rows = staged_->engine.Execute(plan, &ctx);
-    if (!rows.ok()) return rows.status();
-    result.rows = std::move(*rows);
-  } else {
-    auto rows = exec::ExecutePlan(plan, &ctx);
-    if (!rows.ok()) return rows.status();
-    result.rows = std::move(*rows);
+  auto rows = options_.mode == ExecutionMode::kStaged
+                  ? staged_->engine.Execute(plan, &ctx)
+                  : exec::ExecutePlan(plan, &ctx);
+  if (!rows.ok()) {
+    if (auto_commit) AbortWalTxn(wal_txn);
+    return rows.status();
   }
+  if (auto_commit) {
+    STAGEDB_RETURN_IF_ERROR(CommitWalTxn(wal_txn));
+  }
+  result.rows = std::move(*rows);
   return result;
 }
 
@@ -334,6 +683,30 @@ StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
   {
     std::lock_guard<std::mutex> lock(txn_mu_);
     pending->ctx_.mutation_log = active_txn_.get();
+    if (durable() && IsDmlPlan(plan)) {
+      int64_t wal_txn = 0;
+      bool auto_commit = false;
+      if (active_txn_ != nullptr && active_wal_txn_ != 0) {
+        wal_txn = active_wal_txn_;
+      } else {
+        auto txn_or = BeginWalTxn();
+        if (!txn_or.ok()) return txn_or.status();
+        wal_txn = *txn_or;
+        auto_commit = true;
+      }
+      auto sink = std::make_unique<DatabaseWalSink>(this, wal_txn);
+      pending->ctx_.wal = sink.get();
+      pending->wal_sink_ = std::move(sink);
+      if (auto_commit) {
+        pending->wal_finalize_ = [this, wal_txn](bool ok) -> Status {
+          if (!ok) {
+            AbortWalTxn(wal_txn);
+            return Status::OK();
+          }
+          return CommitWalTxn(wal_txn);
+        };
+      }
+    }
   }
   stats_.GetCounter("stage.execute.packets")->Add(1);
   pending->query_ = staged_->engine.Submit(plan, &pending->ctx_);

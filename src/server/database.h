@@ -23,6 +23,7 @@
 #include "storage/wal.h"
 
 namespace stagedb::engine {
+class GroupCommitStage;
 class StagedQuery;
 }  // namespace stagedb::engine
 
@@ -68,6 +69,18 @@ struct DatabaseOptions {
   bool plan_cache = true;
   size_t plan_cache_capacity = 256;
   size_t plan_cache_shards = 8;
+  /// Durability. When non-empty, the database keeps a CRC-framed write-ahead
+  /// log at this path: DDL and committed DML survive a crash, and Open
+  /// replays the log (committed transactions redone, losers skipped, torn
+  /// tail truncated) before serving queries. Empty = in-memory database, the
+  /// seed behaviour.
+  std::string wal_path;
+  /// Batch commits through the group-commit stage (one fdatasync per batch
+  /// window) instead of one fdatasync per commit. Only meaningful with
+  /// wal_path set.
+  bool group_commit = true;
+  int group_commit_max_batch = 64;
+  int64_t group_commit_max_wait_us = 200;
 };
 
 /// Result of one statement.
@@ -99,6 +112,12 @@ class PendingQuery {
   std::string plan_text_;
   exec::ExecContext ctx_;
   std::shared_ptr<engine::StagedQuery> query_;
+  /// Durable-commit epilogue (set for DML on a WAL-backed database): runs
+  /// exactly once in Await with whether execution succeeded, and completes
+  /// the commit (group-commit ticket wait) or aborts. Owns nothing beyond
+  /// the capture; wal_sink_ keeps the context's sink alive until then.
+  std::function<Status(bool)> wal_finalize_;
+  std::unique_ptr<exec::WalSink> wal_sink_;
 };
 
 /// A prepared statement: the normalized form of one SQL statement, reusable
@@ -201,11 +220,38 @@ class Database {
 
   /// Per-stage scheduling/latency snapshot of the staged engine's runtime
   /// (queue depths, visits, packets per visit, wait/service histograms —
-  /// §5.2 monitoring at stage granularity). Empty in volcano mode.
+  /// §5.2 monitoring at stage granularity). Empty in volcano mode (except
+  /// the group-commit counters, which a durable volcano database fills from
+  /// its private commit runtime).
   engine::StageRuntime::StatsSnapshot EngineStats() const;
 
+  /// True when this database is backed by a WAL (options().wal_path set).
+  bool durable() const { return !options_.wal_path.empty(); }
+  /// The write-ahead log (memory-only when wal_path is empty).
+  storage::WriteAheadLog* wal() { return wal_.get(); }
+  /// Counters from the last startup recovery pass (all zero when wal_path
+  /// is unset or the log was empty).
+  const storage::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+  /// Fault-injection passthrough to the WAL's log device (crash tests).
+  void set_wal_fault_injector(storage::WriteFaultInjector* injector);
+
  private:
+  friend class DatabaseWalSink;
+  friend class CatalogRecoveryApplier;
   explicit Database(DatabaseOptions options);
+
+  /// Appends BEGIN for a fresh wal transaction and returns its id.
+  StatusOr<int64_t> BeginWalTxn();
+  /// Durably commits `txn_id`: a group-commit ticket when the commit stage
+  /// exists, else an inline COMMIT append + Sync.
+  Status CommitWalTxn(int64_t txn_id);
+  /// Appends ABORT (absence of COMMIT already makes the txn a loser; the
+  /// record is for log legibility). Best-effort.
+  void AbortWalTxn(int64_t txn_id);
+  /// Appends + syncs a DDL record (auto-committed at append time).
+  Status AppendDdl(storage::WalRecord record);
 
   DatabaseOptions options_;
   std::unique_ptr<storage::MemDiskManager> disk_;
@@ -215,13 +261,24 @@ class Database {
   std::unique_ptr<storage::TransactionManager> txn_mgr_;
   std::unique_ptr<frontend::PlanCache> plan_cache_;
   StatsRegistry stats_;
+  storage::RecoveryStats recovery_stats_;
 
   // Explicit SQL transaction state (single implicit session).
   std::mutex txn_mu_;
   std::unique_ptr<exec::MutationLog> active_txn_;
+  int64_t active_wal_txn_ = 0;  // wal txn id of the open BEGIN (0 = none)
 
   // Staged engine instance (created lazily in staged mode).
   std::unique_ptr<class StagedEngineHandle> staged_;
+
+  // Volcano-mode commit path: a private free-run runtime hosting just the
+  // commit stage (in staged mode the stage rides the engine's runtime).
+  // Declaration order matters: own_group_commit_ is destroyed before
+  // commit_runtime_, while the runtime's workers are still alive to serve
+  // the drain.
+  std::unique_ptr<engine::StageRuntime> commit_runtime_;
+  std::unique_ptr<engine::GroupCommitStage> own_group_commit_;
+  engine::GroupCommitStage* group_commit_ = nullptr;  // whichever exists
 };
 
 }  // namespace stagedb::server

@@ -1,10 +1,177 @@
 #include "storage/disk_manager.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "common/string_util.h"
 
 namespace stagedb::storage {
+
+// ---------------------------------------------------- WriteFaultInjector ---
+
+void WriteFaultInjector::Arm(Fault fault, int64_t after_writes,
+                             std::function<void()> on_fault) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = fault;
+  fire_at_ = writes_seen_.load(std::memory_order_relaxed) + after_writes;
+  on_fault_ = std::move(on_fault);
+  fired_.store(false, std::memory_order_release);
+}
+
+void WriteFaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_ = Fault::kNone;
+  fire_at_ = -1;
+  on_fault_ = nullptr;
+}
+
+std::string WriteFaultInjector::FilterWrite(std::string_view bytes,
+                                            bool* fault_applied) {
+  *fault_applied = false;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t n = writes_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (fault_ == Fault::kNone || fired_.load(std::memory_order_relaxed) ||
+      n < fire_at_) {
+    return std::string(bytes);
+  }
+  *fault_applied = true;
+  fired_.store(true, std::memory_order_release);
+  switch (fault_) {
+    case Fault::kDropWrite:
+      return std::string();
+    case Fault::kShortWrite:
+      // Keep a strict prefix: at least 1 byte short, at least 1 byte kept
+      // when possible, so the tail frame is visibly incomplete.
+      return std::string(bytes.substr(0, bytes.size() / 2));
+    case Fault::kTornWrite: {
+      // Full length lands, but the back half is garbage — the record header
+      // may parse, so only the CRC catches this.
+      std::string out(bytes);
+      for (size_t i = out.size() / 2; i < out.size(); ++i) {
+        out[i] = static_cast<char>(out[i] ^ 0x5a);
+      }
+      return out;
+    }
+    case Fault::kNone:
+      break;
+  }
+  return std::string(bytes);
+}
+
+void WriteFaultInjector::RunCallback() {
+  std::function<void()> cb;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb = on_fault_;
+  }
+  if (cb) cb();
+}
+
+// -------------------------------------------------------------- LogDevice ---
+
+LogDevice::~LogDevice() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IOError(
+        StrFormat("log: cannot open %s: %s", path.c_str(), strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat("log: fstat %s failed", path.c_str()));
+  }
+  return std::unique_ptr<LogDevice>(
+      new LogDevice(fd, static_cast<uint64_t>(st.st_size), path));
+}
+
+Status LogDevice::Append(std::string_view bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return Status::IOError("log: device failed (injected fault)");
+  std::string to_write;
+  bool faulted = false;
+  if (injector_ != nullptr) {
+    to_write = injector_->FilterWrite(bytes, &faulted);
+    bytes = to_write;
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::pwrite(fd_, bytes.data() + off, bytes.size() - off,
+                               static_cast<off_t>(size_ + off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("log: pwrite failed: %s", strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  size_ += bytes.size();
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  if (faulted) {
+    failed_ = true;
+    // Make the damaged tail visible to a post-mortem reader even if the
+    // callback kills us some other way than SIGKILL.
+    ::fdatasync(fd_);
+    injector_->RunCallback();
+    return Status::IOError("log: injected write fault");
+  }
+  return Status::OK();
+}
+
+Status LogDevice::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) return Status::IOError("log: device failed (injected fault)");
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(
+        StrFormat("log: fdatasync failed: %s", strerror(errno)));
+  }
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LogDevice::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+    return Status::IOError(
+        StrFormat("log: ftruncate failed: %s", strerror(errno)));
+  }
+  size_ = size;
+  return Status::OK();
+}
+
+Status LogDevice::ReadAll(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->clear();
+  out->resize(size_);
+  size_t off = 0;
+  while (off < size_) {
+    const ssize_t n = ::pread(fd_, out->data() + off, size_ - off,
+                              static_cast<off_t>(off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("log: pread failed: %s", strerror(errno)));
+    }
+    if (n == 0) {  // shorter than expected; trust the file
+      out->resize(off);
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+uint64_t LogDevice::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
 
 // ---------------------------------------------------------------- MemDisk ---
 

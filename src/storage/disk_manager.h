@@ -9,9 +9,11 @@
 
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/clock.h"
@@ -19,6 +21,105 @@
 #include "storage/page.h"
 
 namespace stagedb::storage {
+
+/// Write-fault injection for crash testing. Armed on a LogDevice, it fires on
+/// the Nth append after arming and damages that write the way a real crash
+/// inside the flush window would: dropping it entirely, cutting it short, or
+/// tearing its middle bytes (CRC framing detects the tear at recovery). After
+/// the fault is applied the `on_fault` callback runs — the crash harness
+/// installs `raise(SIGKILL)` there so the process dies with the damaged tail
+/// on disk — and, if the callback returns, every later write fails with
+/// IOError (the device is "dead").
+class WriteFaultInjector {
+ public:
+  enum class Fault {
+    kNone,
+    kDropWrite,   ///< the write never reaches the file
+    kShortWrite,  ///< only a prefix of the write reaches the file
+    kTornWrite,   ///< full length, but bytes in the middle are garbage
+  };
+
+  /// Arms the injector: the fault fires on the `after_writes`-th write
+  /// (0 = the next one). `on_fault` runs after the damaged write lands;
+  /// empty = just fail subsequent writes.
+  void Arm(Fault fault, int64_t after_writes,
+           std::function<void()> on_fault = {});
+  void Disarm();
+
+  /// True once the armed fault has fired.
+  bool fired() const { return fired_.load(std::memory_order_acquire); }
+  int64_t writes_seen() const {
+    return writes_seen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class LogDevice;
+  /// Called by the device with the bytes about to be appended. Returns the
+  /// bytes that should actually land (possibly shortened or torn), or
+  /// nothing-to-write for a dropped fault. Sets *fault_applied when this
+  /// write is the faulted one.
+  std::string FilterWrite(std::string_view bytes, bool* fault_applied);
+  void RunCallback();
+
+  mutable std::mutex mu_;
+  Fault fault_ = Fault::kNone;
+  int64_t fire_at_ = -1;
+  std::function<void()> on_fault_;
+  std::atomic<int64_t> writes_seen_{0};
+  std::atomic<bool> fired_{false};
+};
+
+/// An append-only durable byte log: the storage substrate of the write-ahead
+/// log. Separated from the page-granularity DiskManager because the log's
+/// access pattern is the opposite of a page store's — sequential appends and
+/// explicit `Sync()` barriers (fdatasync), the most expensive syscall the
+/// engine issues and the one the group-commit stage exists to amortize.
+class LogDevice {
+ public:
+  ~LogDevice();
+
+  /// Opens (or creates) the log file at `path`.
+  static StatusOr<std::unique_ptr<LogDevice>> Open(const std::string& path);
+
+  /// Appends `bytes` at the end of the log (buffered in the page cache; not
+  /// durable until Sync). Routed through the fault injector when one is set.
+  Status Append(std::string_view bytes);
+
+  /// Durability barrier: fdatasync. Every Append that returned before this
+  /// call is on stable storage when Sync returns OK.
+  Status Sync();
+
+  /// Truncates the log to `size` bytes (recovery drops a torn tail).
+  Status Truncate(uint64_t size);
+
+  /// Reads the whole log (0..size) into `out`.
+  Status ReadAll(std::string* out) const;
+
+  uint64_t size() const;
+  const std::string& path() const { return path_; }
+
+  int64_t appends() const { return appends_.load(std::memory_order_relaxed); }
+  int64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+
+  /// Installs a fault injector (not owned; may be nullptr to clear).
+  void set_fault_injector(WriteFaultInjector* injector) {
+    std::lock_guard<std::mutex> lock(mu_);
+    injector_ = injector;
+  }
+
+ private:
+  LogDevice(int fd, uint64_t size, std::string path)
+      : fd_(fd), size_(size), path_(std::move(path)) {}
+
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t size_ = 0;  // append offset
+  bool failed_ = false;  // set after an injected fault; appends then fail
+  std::string path_;
+  WriteFaultInjector* injector_ = nullptr;
+  std::atomic<int64_t> appends_{0};
+  std::atomic<int64_t> syncs_{0};
+};
 
 /// Abstract page store.
 class DiskManager {

@@ -106,19 +106,45 @@ Status TransactionManager::Commit(Transaction* txn) {
   return Status::OK();
 }
 
+namespace {
+
+// Resolves the row holding `image`, trying `hint` first. The logged rid can
+// go stale within a transaction: a later update may have relocated the row
+// (HeapFile::Update re-inserts when the new image does not fit in place), and
+// undo of that later update restores the image at a fresh rid. Falling back
+// to an image scan keeps undo correct across relocation.
+StatusOr<Rid> FindRowByImage(HeapFile* file, const Rid& hint,
+                             const std::string& image) {
+  std::string row;
+  if (file->Get(hint, &row).ok() && row == image) return hint;
+  auto scan = file->Scan();
+  while (scan.Next()) {
+    if (scan.record() == image) return scan.rid();
+  }
+  STAGEDB_RETURN_IF_ERROR(scan.status());
+  return Status::NotFound("undo: row image not found");
+}
+
+}  // namespace
+
 Status TransactionManager::Undo(const WalRecord& record) {
   HeapFile* file = tables_.at(record.table_id);
   switch (record.type) {
-    case WalRecord::Type::kInsert:
-      return file->Delete(record.rid);
+    case WalRecord::Type::kInsert: {
+      auto rid_or = FindRowByImage(file, record.rid, record.after);
+      if (!rid_or.ok()) return rid_or.status();
+      return file->Delete(*rid_or);
+    }
     case WalRecord::Type::kDelete: {
       // Re-insert the before image. The Rid may change; logical undo.
       auto rid_or = file->Insert(record.before);
       return rid_or.ok() ? Status::OK() : rid_or.status();
     }
     case WalRecord::Type::kUpdate: {
-      auto rid_or = file->Update(record.rid, record.before);
-      return rid_or.ok() ? Status::OK() : rid_or.status();
+      auto rid_or = FindRowByImage(file, record.rid, record.after);
+      if (!rid_or.ok()) return rid_or.status();
+      auto new_rid_or = file->Update(*rid_or, record.before);
+      return new_rid_or.ok() ? Status::OK() : new_rid_or.status();
     }
     default:
       return Status::Internal("undo of non-data record");
@@ -234,41 +260,94 @@ StatusOr<Rid> TransactionManager::Update(Transaction* txn, int32_t table_id,
   return *new_rid_or;
 }
 
-Status TransactionManager::Recover() {
+TxnId TransactionManager::AllocateTxnId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_txn_++;
+}
+
+Status TransactionManager::Recover(RecoveryApplier* applier,
+                                   RecoveryStats* stats) {
+  {
+    // Idempotence guard: the Database ctor and explicit callers may both try
+    // to recover; only the first pass replays.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (recovery_done_) return Status::OK();
+    recovery_done_ = true;
+  }
   std::set<TxnId> committed;
   for (TxnId id : wal_->CommittedTxns()) committed.insert(id);
-  return wal_->Replay([&](const WalRecord& r) -> Status {
-    if (committed.count(r.txn_id) == 0) return Status::OK();
-    std::unordered_map<int32_t, HeapFile*>::iterator it;
+  std::set<TxnId> begun;
+  TxnId max_txn = 0;
+  RecoveryStats local;
+  Status replay = wal_->Replay([&](const WalRecord& r) -> Status {
+    if (r.txn_id > max_txn) max_txn = r.txn_id;
     switch (r.type) {
-      case WalRecord::Type::kInsert: {
-        it = tables_.find(r.table_id);
-        if (it == tables_.end()) return Status::NotFound("recover: table");
-        auto rid_or = it->second->Insert(r.after);
+      case WalRecord::Type::kBegin:
+        begun.insert(r.txn_id);
+        return Status::OK();
+      case WalRecord::Type::kCommit:
+      case WalRecord::Type::kAbort:
+        return Status::OK();
+      case WalRecord::Type::kCreateTable:
+      case WalRecord::Type::kCreateIndex:
+      case WalRecord::Type::kDropTable:
+        // DDL is auto-committed at append time; always replayed so the
+        // schema exists before the row records that reference it.
+        ++local.ddl_records;
+        ++local.applied_records;
+        return applier != nullptr ? applier->ApplyDdl(r) : Status::OK();
+      case WalRecord::Type::kInsert:
+      case WalRecord::Type::kDelete:
+      case WalRecord::Type::kUpdate:
+        break;
+    }
+    if (committed.count(r.txn_id) == 0) return Status::OK();  // loser
+    ++local.applied_records;
+    if (applier != nullptr) {
+      switch (r.type) {
+        case WalRecord::Type::kInsert:
+          return applier->ApplyInsert(r.table_id, r.after);
+        case WalRecord::Type::kDelete:
+          return applier->ApplyDelete(r.table_id, r.before);
+        default:
+          return applier->ApplyUpdate(r.table_id, r.before, r.after);
+      }
+    }
+    auto it = tables_.find(r.table_id);
+    if (it == tables_.end()) return Status::NotFound("recover: table");
+    HeapFile* file = it->second;
+    if (r.type == WalRecord::Type::kInsert) {
+      auto rid_or = file->Insert(r.after);
+      return rid_or.ok() ? Status::OK() : rid_or.status();
+    }
+    // Logical redo over re-assigned rids: find the row by before-image.
+    auto scan = file->Scan();
+    while (scan.Next()) {
+      if (scan.record() == r.before) {
+        if (r.type == WalRecord::Type::kDelete) {
+          return file->Delete(scan.rid());
+        }
+        auto rid_or = file->Update(scan.rid(), r.after);
         return rid_or.ok() ? Status::OK() : rid_or.status();
       }
-      case WalRecord::Type::kDelete:
-      case WalRecord::Type::kUpdate: {
-        // Logical redo over re-assigned rids: find the row by before-image.
-        it = tables_.find(r.table_id);
-        if (it == tables_.end()) return Status::NotFound("recover: table");
-        HeapFile* file = it->second;
-        auto scan = file->Scan();
-        while (scan.Next()) {
-          if (scan.record() == r.before) {
-            if (r.type == WalRecord::Type::kDelete) {
-              return file->Delete(scan.rid());
-            }
-            auto rid_or = file->Update(scan.rid(), r.after);
-            return rid_or.ok() ? Status::OK() : rid_or.status();
-          }
-        }
-        return scan.status();
-      }
-      default:
-        return Status::OK();
     }
+    return scan.status();
   });
+  STAGEDB_RETURN_IF_ERROR(replay);
+  for (TxnId id : begun) {
+    if (committed.count(id)) {
+      ++local.committed_txns;
+    } else {
+      ++local.loser_txns;
+    }
+  }
+  {
+    // New transactions must not reuse ids that appear in the log.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_txn + 1 > next_txn_) next_txn_ = max_txn + 1;
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
 }
 
 int64_t TransactionManager::active_transactions() const {

@@ -66,6 +66,30 @@ class LockManager {
   std::map<int32_t, TableLock> locks_;
 };
 
+/// Receives replayed operations during recovery. The default path applies
+/// them to the registered HeapFiles directly; Database supplies an applier
+/// that routes through the catalog so indexes and statistics stay consistent
+/// (and DDL records can rebuild the schema before row replay).
+class RecoveryApplier {
+ public:
+  virtual ~RecoveryApplier() = default;
+  /// Called for kCreateTable/kCreateIndex/kDropTable records, in lsn order.
+  virtual Status ApplyDdl(const WalRecord& record) = 0;
+  virtual Status ApplyInsert(int32_t table_id, const std::string& row) = 0;
+  /// `before` identifies the victim row by image (rids are re-assigned).
+  virtual Status ApplyDelete(int32_t table_id, const std::string& before) = 0;
+  virtual Status ApplyUpdate(int32_t table_id, const std::string& before,
+                             const std::string& after) = 0;
+};
+
+/// Counters describing one recovery pass (for logs/tests).
+struct RecoveryStats {
+  int64_t committed_txns = 0;  // txns whose effects were replayed
+  int64_t loser_txns = 0;      // txns begun but never committed (skipped)
+  int64_t applied_records = 0;
+  int64_t ddl_records = 0;
+};
+
 /// Coordinates transactions over a set of registered heap files.
 ///
 /// All row mutations go through this manager so that before/after images reach
@@ -92,10 +116,22 @@ class TransactionManager {
 
   LockManager* lock_manager() { return &locks_; }
 
+  /// Hands out a fresh transaction id without creating a Transaction handle
+  /// (the SQL layer logs BEGIN/COMMIT frames itself via the group-commit
+  /// stage but still needs ids disjoint from recovery's).
+  TxnId AllocateTxnId();
+
   /// Logical redo: replays committed transactions' operations into the
   /// registered (empty) tables. Insert Rids are re-assigned; per-row identity
-  /// is the row image, which is sufficient for logical recovery.
-  Status Recover();
+  /// is the row image, which is sufficient for logical recovery. Losers
+  /// (begun, never committed) are simply not replayed.
+  ///
+  /// Idempotent: a second call is a no-op returning OK, so "recover twice"
+  /// equals "recover once" even if startup paths overlap.
+  Status Recover() { return Recover(nullptr, nullptr); }
+  /// As above, routing through `applier` when non-null and filling `stats`
+  /// when non-null.
+  Status Recover(RecoveryApplier* applier, RecoveryStats* stats);
 
   int64_t active_transactions() const;
 
@@ -106,6 +142,7 @@ class TransactionManager {
   LockManager locks_;
   mutable std::mutex mu_;
   TxnId next_txn_ = 1;
+  bool recovery_done_ = false;
   std::map<TxnId, std::unique_ptr<Transaction>> txns_;
   std::map<TxnId, std::vector<WalRecord>> txn_log_;  // per-txn undo chain
   std::unordered_map<int32_t, HeapFile*> tables_;

@@ -1,6 +1,7 @@
 #include "storage/wal.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace stagedb::storage {
@@ -19,27 +20,147 @@ const char* WalRecordTypeName(WalRecord::Type type) {
       return "DELETE";
     case WalRecord::Type::kUpdate:
       return "UPDATE";
+    case WalRecord::Type::kCreateTable:
+      return "CREATE_TABLE";
+    case WalRecord::Type::kCreateIndex:
+      return "CREATE_INDEX";
+    case WalRecord::Type::kDropTable:
+      return "DROP_TABLE";
   }
   return "?";
 }
 
+namespace {
+
+// CRC-32 (IEEE, reflected) lookup table, built on first use.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+// Little-endian scalar append/read. The framing is explicit about layout so
+// a log written by one build is readable by another (no struct dumping).
+template <typename T>
+void PutScalar(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const std::string& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+void PutBlob(std::string* out, const std::string& s) {
+  PutScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetBlob(const std::string& in, size_t* pos, std::string* s) {
+  uint32_t len = 0;
+  if (!GetScalar(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+std::string EncodePayload(const WalRecord& r) {
+  std::string p;
+  PutScalar<int64_t>(&p, r.lsn);
+  PutScalar<int64_t>(&p, r.txn_id);
+  PutScalar<uint8_t>(&p, static_cast<uint8_t>(r.type));
+  PutScalar<int32_t>(&p, r.table_id);
+  PutScalar<int32_t>(&p, r.rid.page_id);
+  PutScalar<uint16_t>(&p, r.rid.slot);
+  PutBlob(&p, r.before);
+  PutBlob(&p, r.after);
+  return p;
+}
+
+bool DecodePayload(const std::string& payload, WalRecord* r) {
+  size_t pos = 0;
+  uint8_t type = 0;
+  if (!GetScalar(payload, &pos, &r->lsn) ||
+      !GetScalar(payload, &pos, &r->txn_id) ||
+      !GetScalar(payload, &pos, &type) ||
+      !GetScalar(payload, &pos, &r->table_id) ||
+      !GetScalar(payload, &pos, &r->rid.page_id) ||
+      !GetScalar(payload, &pos, &r->rid.slot) ||
+      !GetBlob(payload, &pos, &r->before) ||
+      !GetBlob(payload, &pos, &r->after)) {
+    return false;
+  }
+  if (type > static_cast<uint8_t>(WalRecord::Type::kDropTable)) return false;
+  r->type = static_cast<WalRecord::Type>(type);
+  return pos == payload.size();
+}
+
+}  // namespace
+
+uint32_t WalCrc32(const void* data, size_t len) {
+  const uint32_t* table = Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::string EncodeWalFrame(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  std::string frame;
+  PutScalar<uint32_t>(&frame, static_cast<uint32_t>(payload.size()));
+  PutScalar<uint32_t>(&frame, WalCrc32(payload.data(), payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
 StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
     const std::string& path) {
+  auto device_or = LogDevice::Open(path);
+  if (!device_or.ok()) return device_or.status();
   auto wal = std::make_unique<WriteAheadLog>();
-  wal->path_ = path;
-  STAGEDB_RETURN_IF_ERROR(wal->LoadFromFile());
+  wal->device_ = std::move(*device_or);
+  STAGEDB_RETURN_IF_ERROR(wal->LoadFromDevice());
   return wal;
 }
 
 StatusOr<int64_t> WriteAheadLog::Append(WalRecord record) {
   std::lock_guard<std::mutex> lock(mu_);
   record.lsn = next_lsn_++;
-  if (!path_.empty()) {
-    STAGEDB_RETURN_IF_ERROR(AppendToFile(record));
+  if (device_ != nullptr) {
+    STAGEDB_RETURN_IF_ERROR(device_->Append(EncodeWalFrame(record)));
   }
   const int64_t lsn = record.lsn;
   records_.push_back(std::move(record));
   return lsn;
+}
+
+Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_ != nullptr) {
+    STAGEDB_RETURN_IF_ERROR(device_->Sync());
+  } else {
+    ++mem_syncs_;
+  }
+  durable_lsn_ = next_lsn_ - 1;
+  return Status::OK();
 }
 
 Status WriteAheadLog::Replay(
@@ -70,55 +191,61 @@ int64_t WriteAheadLog::next_lsn() const {
   return next_lsn_;
 }
 
-namespace {
-// Binary framing helpers for the file mirror.
-bool WriteBlob(std::FILE* f, const std::string& s) {
-  const uint32_t len = static_cast<uint32_t>(s.size());
-  return std::fwrite(&len, sizeof(len), 1, f) == 1 &&
-         (len == 0 || std::fwrite(s.data(), 1, len, f) == len);
-}
-bool ReadBlob(std::FILE* f, std::string* s) {
-  uint32_t len = 0;
-  if (std::fread(&len, sizeof(len), 1, f) != 1) return false;
-  s->resize(len);
-  return len == 0 || std::fread(s->data(), 1, len, f) == len;
-}
-}  // namespace
-
-Status WriteAheadLog::AppendToFile(const WalRecord& r) {
-  std::FILE* f = std::fopen(path_.c_str(), "ab");
-  if (f == nullptr) return Status::IOError("wal: cannot open " + path_);
-  bool ok = std::fwrite(&r.lsn, sizeof(r.lsn), 1, f) == 1 &&
-            std::fwrite(&r.txn_id, sizeof(r.txn_id), 1, f) == 1 &&
-            std::fwrite(&r.type, sizeof(r.type), 1, f) == 1 &&
-            std::fwrite(&r.table_id, sizeof(r.table_id), 1, f) == 1 &&
-            std::fwrite(&r.rid, sizeof(r.rid), 1, f) == 1 &&
-            WriteBlob(f, r.before) && WriteBlob(f, r.after);
-  std::fflush(f);
-  std::fclose(f);
-  if (!ok) return Status::IOError("wal: append failed");
-  return Status::OK();
+int64_t WriteAheadLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
 }
 
-Status WriteAheadLog::LoadFromFile() {
-  std::FILE* f = std::fopen(path_.c_str(), "rb");
-  if (f == nullptr) return Status::OK();  // no log yet
-  while (true) {
+int64_t WriteAheadLog::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_ != nullptr) return device_->syncs();
+  return mem_syncs_;
+}
+
+int64_t WriteAheadLog::truncated_tail_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return truncated_tail_bytes_;
+}
+
+void WriteAheadLog::set_fault_injector(WriteFaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device_ != nullptr) device_->set_fault_injector(injector);
+}
+
+Status WriteAheadLog::LoadFromDevice() {
+  std::string bytes;
+  STAGEDB_RETURN_IF_ERROR(device_->ReadAll(&bytes));
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    // Frame header: [u32 len][u32 crc].
+    if (pos + 8 > bytes.size()) break;  // short header → torn tail
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (pos + 8 + len > bytes.size()) break;  // short payload → torn tail
+    const char* payload = bytes.data() + pos + 8;
+    if (WalCrc32(payload, len) != crc) break;  // torn/corrupt payload
     WalRecord r;
-    if (std::fread(&r.lsn, sizeof(r.lsn), 1, f) != 1) break;
-    bool ok = std::fread(&r.txn_id, sizeof(r.txn_id), 1, f) == 1 &&
-              std::fread(&r.type, sizeof(r.type), 1, f) == 1 &&
-              std::fread(&r.table_id, sizeof(r.table_id), 1, f) == 1 &&
-              std::fread(&r.rid, sizeof(r.rid), 1, f) == 1 &&
-              ReadBlob(f, &r.before) && ReadBlob(f, &r.after);
-    if (!ok) {
-      std::fclose(f);
-      return Status::Corruption("wal: truncated record");
-    }
+    if (!DecodePayload(std::string(payload, len), &r)) break;
     next_lsn_ = r.lsn + 1;
     records_.push_back(std::move(r));
+    pos += 8 + len;
   }
-  std::fclose(f);
+  if (pos < bytes.size()) {
+    // A crash mid-append leaves a short or CRC-failing final frame. That is
+    // expected, not corruption of the recovered prefix: drop the tail so new
+    // appends start at a clean boundary.
+    truncated_tail_bytes_ = static_cast<int64_t>(bytes.size() - pos);
+    std::fprintf(stderr,
+                 "[wal] %s: truncating %lld torn tail byte(s) after %zu "
+                 "whole record(s)\n",
+                 device_->path().c_str(),
+                 static_cast<long long>(truncated_tail_bytes_),
+                 records_.size());
+    STAGEDB_RETURN_IF_ERROR(device_->Truncate(pos));
+  }
+  // Everything that survived Open is on stable storage by definition.
+  durable_lsn_ = next_lsn_ - 1;
   return Status::OK();
 }
 
