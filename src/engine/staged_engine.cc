@@ -130,11 +130,16 @@ class OperatorInstance : public StageTask {
   enum class Sink { kOk, kFull, kClosed };
 
   struct InputCursor {
-    TupleBatch batch;
+    RowBatch batch;
     size_t pos = 0;
   };
 
-  size_t page_size() const { return engine_->options().tuples_per_page; }
+  /// Morsel size at this node's output edge: the optimizer's per-node hint
+  /// when stamped, else the engine-wide §4.4(c) page size.
+  size_t page_size() const {
+    return plan_->batch_hint > 0 ? static_cast<size_t>(plan_->batch_hint)
+                                 : engine_->options().tuples_per_page;
+  }
   int quantum_tuples() const {
     return static_cast<int>(page_size()) *
            engine_->options().work_quantum_pages;
@@ -156,6 +161,29 @@ class OperatorInstance : public StageTask {
     }
   }
 
+  /// Batch-at-a-time fetch: takes the next whole morsel from input `idx`
+  /// (zero-copy when the cursor holds an untouched batch — the common case
+  /// for operators that never interleave with NextInput on the same input).
+  /// kTuple means "got a non-empty batch".
+  Fetch NextBatch(size_t idx, RowBatch* out) {
+    InputCursor& cur = cursors_[idx];
+    if (cur.pos < cur.batch.tuples.size()) {
+      if (cur.pos == 0) {
+        *out = std::move(cur.batch);
+      } else {
+        out->tuples.assign(
+            std::make_move_iterator(cur.batch.tuples.begin() + cur.pos),
+            std::make_move_iterator(cur.batch.tuples.end()));
+      }
+      cur.batch.clear();
+      cur.pos = 0;
+      return Fetch::kTuple;
+    }
+    bool eof = false;
+    if (inputs_[idx]->TryPop(out, &eof)) return Fetch::kTuple;
+    return eof ? Fetch::kEof : Fetch::kWait;
+  }
+
   Sink EmitTuple(Tuple t) {
     if (outputs_.empty()) {
       query_->AppendResult(std::move(t));
@@ -172,6 +200,47 @@ class OperatorInstance : public StageTask {
     }
     out_batches_[idx].tuples.push_back(std::move(t));
     if (out_batches_[idx].size() >= page_size()) return FlushPartition(idx);
+    return Sink::kOk;
+  }
+
+  /// Batch-at-a-time emit. Always consumes *batch: tuples either reach an
+  /// exchange buffer, the query result, or the per-partition staging batches
+  /// (which EnsureOutputWritable re-flushes after a kFull park), so a caller
+  /// never tracks a remainder. Single-consumer edges hand a full morsel to
+  /// the buffer zero-copy — no per-tuple staging at all.
+  Sink EmitBatch(RowBatch* batch) {
+    if (batch->empty()) return Sink::kOk;
+    if (outputs_.empty()) {
+      for (Tuple& t : batch->tuples) query_->AppendResult(std::move(t));
+      batch->clear();
+      return Sink::kOk;
+    }
+    if (out_exchange_ != nullptr) {
+      Status s = out_exchange_->ScatterBatch(batch, &rr_cursor_,
+                                             &out_batches_, &route_scratch_);
+      if (!s.ok()) {
+        query_->Fail(std::move(s));
+        return Sink::kClosed;
+      }
+      return FlushFullPages();
+    }
+    RowBatch& staged = out_batches_[0];
+    if (staged.empty() && batch->size() >= page_size()) {
+      switch (outputs_[0]->TryPush(batch)) {
+        case ExchangeBuffer::PushResult::kOk:
+          return Sink::kOk;
+        case ExchangeBuffer::PushResult::kFull:
+          // Park with the morsel staged; the resume path retries the push.
+          staged.Append(batch);
+          blocked_output_ = 0;
+          return Sink::kFull;
+        case ExchangeBuffer::PushResult::kClosed:
+          return Sink::kClosed;
+      }
+      return Sink::kOk;
+    }
+    staged.Append(batch);
+    if (staged.size() >= page_size()) return FlushPartition(0);
     return Sink::kOk;
   }
 
@@ -199,22 +268,31 @@ class OperatorInstance : public StageTask {
     return Sink::kOk;
   }
 
+  /// Pushes every staging batch that has reached a full page (partial pages
+  /// keep accumulating). kFull parks on the first partition that pushes
+  /// back; the rest retry on the next invocation.
+  Sink FlushFullPages() {
+    for (size_t i = 0; i < out_batches_.size(); ++i) {
+      if (out_batches_[i].size() < page_size()) continue;
+      const Sink s = FlushPartition(i);
+      if (s != Sink::kOk) return s;
+    }
+    return Sink::kOk;
+  }
+
   /// If previously filled pages are still pending, retry them. Returns false
   /// (with *outcome set) when the packet must park or finish.
   bool EnsureOutputWritable(RunOutcome* outcome) {
-    for (size_t i = 0; i < out_batches_.size(); ++i) {
-      if (out_batches_[i].size() < page_size()) continue;
-      switch (FlushPartition(i)) {
-        case Sink::kOk:
-          break;
-        case Sink::kFull:
-          block_ = BlockReason::kOutput;
-          *outcome = RunOutcome::kBlocked;
-          return false;
-        case Sink::kClosed:
-          *outcome = FinishEarly();
-          return false;
-      }
+    switch (FlushFullPages()) {
+      case Sink::kOk:
+        return true;
+      case Sink::kFull:
+        block_ = BlockReason::kOutput;
+        *outcome = RunOutcome::kBlocked;
+        return false;
+      case Sink::kClosed:
+        *outcome = FinishEarly();
+        return false;
     }
     return true;
   }
@@ -234,6 +312,26 @@ class OperatorInstance : public StageTask {
         return false;
     }
     return true;
+  }
+
+  /// Emission phase shared by sort and aggregate: slices staged_rows_ into
+  /// page-sized morsels from emit_pos_ and emits them batch-at-a-time.
+  RunOutcome EmitStagedRows(int budget) {
+    RunOutcome oc;
+    RowBatch morsel;
+    while (budget > 0) {
+      if (emit_pos_ >= staged_rows_.size()) return Finish();
+      const size_t n = std::min({page_size(), static_cast<size_t>(budget),
+                                 staged_rows_.size() - emit_pos_});
+      morsel.clear();
+      morsel.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        morsel.push_back(std::move(staged_rows_[emit_pos_++]));
+      }
+      budget -= static_cast<int>(n);
+      if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
+    }
+    return RunOutcome::kYield;
   }
 
   /// Normal completion: flush the final partial pages and mark EOF on every
@@ -288,7 +386,8 @@ class OperatorInstance : public StageTask {
   const PhysicalPlan* plan_;
 
   InputCursor cursors_[2];
-  std::vector<TupleBatch> out_batches_;  // one staging page per output
+  std::vector<RowBatch> out_batches_;  // one staging batch per output
+  std::vector<uint32_t> route_scratch_;  // ScatterBatch per-tuple targets
   size_t blocked_output_ = 0;            // partition that returned kFull
   uint64_t rr_cursor_ = 0;               // keyless round-robin partitioning
   BlockReason block_ = BlockReason::kNone;
@@ -386,21 +485,33 @@ RunOutcome OperatorInstance::RunSeqScan() {
         plan_->table->heap->Scan());
   }
   int budget = quantum_tuples();
-  while (budget-- > 0) {
-    if (!scan_iter_->Next()) {
-      if (!scan_iter_->status().ok()) {
-        query_->Fail(scan_iter_->status());
+  RowBatch morsel;
+  while (budget > 0) {
+    // Fill one page-sized morsel and hand it downstream whole (fscan emits
+    // morsels, not tuples).
+    morsel.clear();
+    const size_t target = std::min(page_size(), static_cast<size_t>(budget));
+    morsel.reserve(target);
+    while (morsel.size() < target) {
+      if (!scan_iter_->Next()) {
+        if (!scan_iter_->status().ok()) {
+          query_->Fail(scan_iter_->status());
+          return FinishEarly();
+        }
+        // End of table: flush the final partial morsel, then finish.
+        if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
+        return Finish();
+      }
+      auto tuple = catalog::DecodeTuple(plan_->table->schema,
+                                        scan_iter_->record());
+      if (!tuple.ok()) {
+        query_->Fail(tuple.status());
         return FinishEarly();
       }
-      return Finish();
+      morsel.push_back(std::move(*tuple));
     }
-    auto tuple = catalog::DecodeTuple(plan_->table->schema,
-                                      scan_iter_->record());
-    if (!tuple.ok()) {
-      query_->Fail(tuple.status());
-      return FinishEarly();
-    }
-    if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+    budget -= static_cast<int>(morsel.size());
+    if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
   }
   return RunOutcome::kYield;
 }
@@ -418,17 +529,27 @@ RunOutcome OperatorInstance::RunSharedSeqScan() {
     shared_attached_ = true;
   }
   int budget = quantum_tuples();
+  RowBatch morsel;
   while (budget > 0) {
     if (shared_page_ != nullptr && shared_page_pos_ < shared_page_->size()) {
-      auto tuple = catalog::DecodeTuple(plan_->table->schema,
-                                        (*shared_page_)[shared_page_pos_]);
-      ++shared_page_pos_;
-      --budget;
-      if (!tuple.ok()) {
-        query_->Fail(tuple.status());
-        return FinishEarly();
+      // Decode a morsel's worth of the delivered page and emit it whole.
+      morsel.clear();
+      const size_t target =
+          std::min(page_size(), static_cast<size_t>(budget));
+      morsel.reserve(target);
+      while (morsel.size() < target &&
+             shared_page_pos_ < shared_page_->size()) {
+        auto tuple = catalog::DecodeTuple(plan_->table->schema,
+                                          (*shared_page_)[shared_page_pos_]);
+        ++shared_page_pos_;
+        if (!tuple.ok()) {
+          query_->Fail(tuple.status());
+          return FinishEarly();
+        }
+        morsel.push_back(std::move(*tuple));
       }
-      if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
+      budget -= static_cast<int>(morsel.size());
+      if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
       continue;
     }
     shared_page_pos_ = 0;
@@ -456,22 +577,30 @@ RunOutcome OperatorInstance::RunIndexScan() {
     index_loaded_ = true;
   }
   int budget = quantum_tuples();
-  while (budget-- > 0) {
+  RowBatch morsel;
+  while (budget > 0) {
+    morsel.clear();
+    const size_t target = std::min(page_size(), static_cast<size_t>(budget));
+    morsel.reserve(target);
+    while (morsel.size() < target && index_pos_ < index_matches_.size()) {
+      const storage::Rid rid = index_matches_[index_pos_++].second;
+      std::string record;
+      Status s = plan_->table->heap->Get(rid, &record);
+      if (s.IsNotFound()) continue;
+      if (!s.ok()) {
+        query_->Fail(s);
+        return FinishEarly();
+      }
+      auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
+      if (!tuple.ok()) {
+        query_->Fail(tuple.status());
+        return FinishEarly();
+      }
+      morsel.push_back(std::move(*tuple));
+    }
+    budget -= static_cast<int>(std::max<size_t>(1, morsel.size()));
+    if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
     if (index_pos_ >= index_matches_.size()) return Finish();
-    const storage::Rid rid = index_matches_[index_pos_++].second;
-    std::string record;
-    Status s = plan_->table->heap->Get(rid, &record);
-    if (s.IsNotFound()) continue;
-    if (!s.ok()) {
-      query_->Fail(s);
-      return FinishEarly();
-    }
-    auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
-    if (!tuple.ok()) {
-      query_->Fail(tuple.status());
-      return FinishEarly();
-    }
-    if (!HandleSink(EmitTuple(std::move(*tuple)), &oc)) return oc;
   }
   return RunOutcome::kYield;
 }
@@ -480,9 +609,9 @@ RunOutcome OperatorInstance::RunQual() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
   int budget = quantum_tuples();
-  Tuple t;
-  while (budget-- > 0) {
-    switch (NextInput(0, &t)) {
+  RowBatch in;
+  while (budget > 0) {
+    switch (NextBatch(0, &in)) {
       case Fetch::kWait:
         block_ = BlockReason::kInput0;
         return RunOutcome::kBlocked;
@@ -491,38 +620,54 @@ RunOutcome OperatorInstance::RunQual() {
       case Fetch::kTuple:
         break;
     }
+    budget -= static_cast<int>(in.size());
     switch (plan_->kind) {
       case PlanKind::kFilter: {
-        auto pass = EvalPredicate(*plan_->predicate, t);
-        if (!pass.ok()) {
-          query_->Fail(pass.status());
-          return FinishEarly();
+        // Compact the batch in place: survivors slide left, the batch moves
+        // on whole (no per-tuple re-staging downstream).
+        size_t w = 0;
+        for (size_t i = 0; i < in.tuples.size(); ++i) {
+          auto pass = EvalPredicate(*plan_->predicate, in.tuples[i]);
+          if (!pass.ok()) {
+            query_->Fail(pass.status());
+            return FinishEarly();
+          }
+          if (!*pass) continue;
+          if (w != i) in.tuples[w] = std::move(in.tuples[i]);
+          ++w;
         }
-        if (!*pass) continue;
-        if (!HandleSink(EmitTuple(std::move(t)), &oc)) return oc;
+        in.tuples.resize(w);
+        if (!HandleSink(EmitBatch(&in), &oc)) return oc;
         break;
       }
       case PlanKind::kProject: {
-        Tuple out;
-        out.reserve(plan_->exprs.size());
-        for (const auto& expr : plan_->exprs) {
-          auto v = optimizer::Eval(*expr, t);
-          if (!v.ok()) {
-            query_->Fail(v.status());
-            return FinishEarly();
+        for (Tuple& t : in.tuples) {
+          Tuple out;
+          out.reserve(plan_->exprs.size());
+          for (const auto& expr : plan_->exprs) {
+            auto v = optimizer::Eval(*expr, t);
+            if (!v.ok()) {
+              query_->Fail(v.status());
+              return FinishEarly();
+            }
+            out.push_back(std::move(*v));
           }
-          out.push_back(std::move(*v));
+          t = std::move(out);
         }
-        if (!HandleSink(EmitTuple(std::move(out)), &oc)) return oc;
+        if (!HandleSink(EmitBatch(&in), &oc)) return oc;
         break;
       }
       case PlanKind::kLimit: {
-        if (limit_produced_ >= plan_->limit) {
+        const int64_t want = plan_->limit - limit_produced_;
+        if (want <= 0) {
           // Satisfied: cancel upstream and finish.
           return FinishEarly();
         }
-        ++limit_produced_;
-        if (!HandleSink(EmitTuple(std::move(t)), &oc)) return oc;
+        if (static_cast<int64_t>(in.size()) > want) {
+          in.tuples.resize(static_cast<size_t>(want));
+        }
+        limit_produced_ += static_cast<int64_t>(in.size());
+        if (!HandleSink(EmitBatch(&in), &oc)) return oc;
         if (limit_produced_ >= plan_->limit) {
           for (ExchangeBuffer* input : inputs_) input->Close();
           return Finish();
@@ -541,10 +686,10 @@ RunOutcome OperatorInstance::RunNestedLoopJoin() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
   int budget = quantum_tuples();
-  Tuple t;
-  if (phase_ == 0) {  // materialize the inner (right) input
-    while (budget-- > 0) {
-      switch (NextInput(1, &t)) {
+  if (phase_ == 0) {  // materialize the inner (right) input, a batch at a time
+    RowBatch in;
+    while (budget > 0) {
+      switch (NextBatch(1, &in)) {
         case Fetch::kWait:
           block_ = BlockReason::kInput1;
           return RunOutcome::kBlocked;
@@ -553,7 +698,11 @@ RunOutcome OperatorInstance::RunNestedLoopJoin() {
           budget = quantum_tuples();
           goto probe;
         case Fetch::kTuple:
-          materialized_[1].push_back(std::move(t));
+          budget -= static_cast<int>(in.size());
+          materialized_[1].insert(
+              materialized_[1].end(),
+              std::make_move_iterator(in.tuples.begin()),
+              std::make_move_iterator(in.tuples.end()));
           break;
       }
     }
@@ -598,10 +747,10 @@ RunOutcome OperatorInstance::RunHashJoin() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
   int budget = quantum_tuples();
-  Tuple t;
-  if (phase_ == 0) {  // build on the right input
-    while (budget-- > 0) {
-      switch (NextInput(1, &t)) {
+  if (phase_ == 0) {  // build on the right input, folding whole batches
+    RowBatch in;
+    while (budget > 0) {
+      switch (NextBatch(1, &in)) {
         case Fetch::kWait:
           block_ = BlockReason::kInput1;
           return RunOutcome::kBlocked;
@@ -610,12 +759,15 @@ RunOutcome OperatorInstance::RunHashJoin() {
           budget = quantum_tuples();
           goto probe;
         case Fetch::kTuple: {
-          auto key = RowKeyFromColumns(t, plan_->right_keys);
-          if (!key.ok()) {
-            query_->Fail(key.status());
-            return FinishEarly();
+          budget -= static_cast<int>(in.size());
+          for (Tuple& t : in.tuples) {
+            auto key = RowKeyFromColumns(t, plan_->right_keys);
+            if (!key.ok()) {
+              query_->Fail(key.status());
+              return FinishEarly();
+            }
+            if (!key->HasNull()) hash_table_[*key].push_back(std::move(t));
           }
-          if (!key->HasNull()) hash_table_[*key].push_back(std::move(t));
           break;
         }
       }
@@ -664,20 +816,23 @@ probe:
 RunOutcome OperatorInstance::RunMergeJoin() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
-  Tuple t;
-  if (phase_ == 0) {  // drain both inputs
+  if (phase_ == 0) {  // drain both inputs, a batch at a time per side
     bool done0 = false, done1 = false;
     int budget = quantum_tuples();
+    RowBatch in;
     while (budget > 0) {
       bool progressed = false;
       for (int side = 0; side < 2; ++side) {
         bool& done = side == 0 ? done0 : done1;
         if (done) continue;
-        switch (NextInput(side, &t)) {
+        switch (NextBatch(side, &in)) {
           case Fetch::kTuple:
-            materialized_[side].push_back(std::move(t));
+            budget -= static_cast<int>(in.size());
+            materialized_[side].insert(
+                materialized_[side].end(),
+                std::make_move_iterator(in.tuples.begin()),
+                std::make_move_iterator(in.tuples.end()));
             progressed = true;
-            --budget;
             break;
           case Fetch::kEof:
             done = true;
@@ -797,11 +952,11 @@ RunOutcome OperatorInstance::RunMergeJoin() {
 RunOutcome OperatorInstance::RunSort() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
-  Tuple t;
   if (phase_ == 0) {
     int budget = quantum_tuples();
-    while (budget-- > 0) {
-      switch (NextInput(0, &t)) {
+    RowBatch in;
+    while (budget > 0) {
+      switch (NextBatch(0, &in)) {
         case Fetch::kWait:
           block_ = BlockReason::kInput0;
           return RunOutcome::kBlocked;
@@ -810,7 +965,10 @@ RunOutcome OperatorInstance::RunSort() {
           budget = 0;
           break;
         case Fetch::kTuple:
-          staged_rows_.push_back(std::move(t));
+          budget -= static_cast<int>(in.size());
+          staged_rows_.insert(staged_rows_.end(),
+                              std::make_move_iterator(in.tuples.begin()),
+                              std::make_move_iterator(in.tuples.end()));
           break;
       }
     }
@@ -847,14 +1005,7 @@ RunOutcome OperatorInstance::RunSort() {
     emit_pos_ = 0;
     phase_ = 2;
   }
-  int budget = quantum_tuples();
-  while (budget-- > 0) {
-    if (emit_pos_ >= staged_rows_.size()) return Finish();
-    if (!HandleSink(EmitTuple(std::move(staged_rows_[emit_pos_++])), &oc)) {
-      return oc;
-    }
-  }
-  return RunOutcome::kYield;
+  return EmitStagedRows(quantum_tuples());
 }
 
 Status OperatorInstance::AccumulateInputRow(const Tuple& t) {
@@ -906,11 +1057,11 @@ RunOutcome OperatorInstance::RunAggregate() {
   using optimizer::AggMode;
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
-  Tuple t;
   if (phase_ == 0) {
     int budget = quantum_tuples();
-    while (budget-- > 0) {
-      switch (NextInput(0, &t)) {
+    RowBatch in;
+    while (budget > 0) {
+      switch (NextBatch(0, &in)) {
         case Fetch::kWait:
           block_ = BlockReason::kInput0;
           return RunOutcome::kBlocked;
@@ -919,12 +1070,15 @@ RunOutcome OperatorInstance::RunAggregate() {
           budget = 0;
           break;
         case Fetch::kTuple: {
-          const Status s = plan_->agg_mode == AggMode::kMerge
-                               ? AccumulateMergeRow(t)
-                               : AccumulateInputRow(t);
-          if (!s.ok()) {
-            query_->Fail(s);
-            return FinishEarly();
+          budget -= static_cast<int>(in.size());
+          for (const Tuple& t : in.tuples) {
+            const Status s = plan_->agg_mode == AggMode::kMerge
+                                 ? AccumulateMergeRow(t)
+                                 : AccumulateInputRow(t);
+            if (!s.ok()) {
+              query_->Fail(s);
+              return FinishEarly();
+            }
           }
           break;
         }
@@ -962,23 +1116,23 @@ RunOutcome OperatorInstance::RunAggregate() {
     emit_pos_ = 0;
     phase_ = 2;
   }
-  int budget = quantum_tuples();
-  while (budget-- > 0) {
-    if (emit_pos_ >= staged_rows_.size()) return Finish();
-    if (!HandleSink(EmitTuple(std::move(staged_rows_[emit_pos_++])), &oc)) {
-      return oc;
-    }
-  }
-  return RunOutcome::kYield;
+  return EmitStagedRows(quantum_tuples());
 }
 
 RunOutcome OperatorInstance::RunValues() {
   RunOutcome oc;
   if (!EnsureOutputWritable(&oc)) return oc;
   int budget = quantum_tuples();
-  while (budget-- > 0) {
+  RowBatch morsel;
+  while (budget > 0) {
     if (values_pos_ >= plan_->rows.size()) return Finish();
-    if (!HandleSink(EmitTuple(plan_->rows[values_pos_++]), &oc)) return oc;
+    morsel.clear();
+    const size_t target = std::min(page_size(), static_cast<size_t>(budget));
+    while (morsel.size() < target && values_pos_ < plan_->rows.size()) {
+      morsel.push_back(plan_->rows[values_pos_++]);
+    }
+    budget -= static_cast<int>(morsel.size());
+    if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
   }
   return RunOutcome::kYield;
 }
@@ -1168,14 +1322,26 @@ std::shared_ptr<StagedQuery> StagedEngine::Submit(const PhysicalPlan* plan,
         Stage* child_stage = engine->StageFor(*child);
 
         // One bounded buffer per consumer partition (a single-consumer edge
-        // is the classic one-buffer edge).
+        // is the classic one-buffer edge). An edge with exactly one producer
+        // packet gets the lock-free SPSC ring (each buffer here has exactly
+        // one consumer by construction); fan-in edges — M producer
+        // partitions merging into one consumer — keep the mutex buffer,
+        // which handles any endpoint shape.
+        const bool spsc_edge =
+            engine->options().spsc_exchange && producers.size() == 1;
+        // max(1, ...): a zero-capacity buffer rejects every push, which
+        // would park the producer forever.
+        const size_t capacity =
+            std::max<size_t>(1, engine->options().exchange_capacity_pages);
         std::vector<ExchangeBuffer*> parts;
         parts.reserve(group.size());
         for (OperatorInstance* consumer : group) {
-          // max(1, ...): a zero-capacity buffer rejects every push, which
-          // would park the producer forever.
-          auto buffer = std::make_unique<ExchangeBuffer>(
-              std::max<size_t>(1, engine->options().exchange_capacity_pages));
+          std::unique_ptr<ExchangeBuffer> buffer;
+          if (spsc_edge) {
+            buffer = std::make_unique<SpscRingBuffer>(capacity);
+          } else {
+            buffer = std::make_unique<ExchangeBuffer>(capacity);
+          }
           ExchangeBuffer* b = buffer.get();
           query->buffers.push_back(std::move(buffer));
           b->BindConsumer(stage, consumer);

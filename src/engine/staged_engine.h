@@ -47,9 +47,19 @@ struct StagedEngineOptions {
   std::map<std::string, StagePoolSpec> stage_pools;
   /// Exchange buffer capacity in pages (back-pressure depth).
   size_t exchange_capacity_pages = 4;
-  /// Tuples per exchanged page (§4.4c: "the page size for exchanging
-  /// intermediate results among the execution engine stages").
+  /// Tuples per exchanged batch (§4.4c: "the page size for exchanging
+  /// intermediate results among the execution engine stages"). This is the
+  /// morsel size of the batch ABI; a plan node's batch_hint (optimizer
+  /// batch-size hint) overrides it per node.
   size_t tuples_per_page = 64;
+  /// Lock-free SPSC ring fast path: exchange edges with exactly one
+  /// producer and one consumer packet (the DOP=1 shape, and every scatter
+  /// edge of a 1->N fan-out) use a SpscRingBuffer instead of the mutex
+  /// ExchangeBuffer. MxN fan-in edges always fall back to the mutex buffer
+  /// (the ring is strictly single-producer/single-consumer). When false,
+  /// every edge uses the mutex buffer — wiring identical to the pre-ring
+  /// engine.
+  bool spsc_exchange = true;
   /// Pages an operator processes per packet invocation before yielding.
   int work_quantum_pages = 4;
   /// Fine = operator stages as in Figure 3; coarse = one execute stage

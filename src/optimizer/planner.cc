@@ -179,19 +179,31 @@ StatusOr<std::unique_ptr<PhysicalPlan>> Planner::Plan(
     const parser::Statement& stmt,
     const std::vector<catalog::TypeId>* param_types) {
   param_types_ = param_types;
+  StatusOr<std::unique_ptr<PhysicalPlan>> plan =
+      Status::NotSupported("statement kind is handled outside the planner");
   switch (stmt.kind) {
     case parser::Statement::Kind::kSelect:
-      return PlanSelect(static_cast<const parser::SelectStmt&>(stmt));
+      plan = PlanSelect(static_cast<const parser::SelectStmt&>(stmt));
+      break;
     case parser::Statement::Kind::kInsert:
-      return PlanInsert(static_cast<const parser::InsertStmt&>(stmt));
+      plan = PlanInsert(static_cast<const parser::InsertStmt&>(stmt));
+      break;
     case parser::Statement::Kind::kDelete:
-      return PlanDelete(static_cast<const parser::DeleteStmt&>(stmt));
+      plan = PlanDelete(static_cast<const parser::DeleteStmt&>(stmt));
+      break;
     case parser::Statement::Kind::kUpdate:
-      return PlanUpdate(static_cast<const parser::UpdateStmt&>(stmt));
+      plan = PlanUpdate(static_cast<const parser::UpdateStmt&>(stmt));
+      break;
     default:
-      return Status::NotSupported(
-          "statement kind is handled outside the planner");
+      break;
   }
+  if (plan.ok() && options_.batch_rows > 0) StampBatchHints(plan->get());
+  return plan;
+}
+
+void Planner::StampBatchHints(PhysicalPlan* node) const {
+  node->batch_hint = options_.batch_rows;
+  for (auto& child : node->children) StampBatchHints(child.get());
 }
 
 // --------------------------------------------------------- base relations --

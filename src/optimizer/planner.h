@@ -35,6 +35,13 @@ struct PlannerOptions {
   /// input rows (clamped to [1, max_dop]), so small inputs never pay the
   /// fan-out/fan-in overhead (docs/DESIGN.md §7).
   double parallel_min_rows = 512.0;
+  /// Batch-size hint stamped onto every plan node (PhysicalPlan::batch_hint):
+  /// tuples per exchanged morsel in the staged engine's batch ABI. 0 (the
+  /// default) stamps nothing — the engine-wide tuples_per_page applies and
+  /// plans are byte-identical to pre-hint plans. The ablation_parallel_dop
+  /// bench sweeps this to expose the batch-size / responsiveness trade-off
+  /// (§4.4c).
+  int batch_rows = 0;
 };
 
 /// Stateless per-statement planner over a catalog.
@@ -92,6 +99,10 @@ class Planner {
   void Parallelize(std::unique_ptr<PhysicalPlan>* node_ptr) const;
   /// The DOP for a node with `input_rows` estimated input rows.
   int ChooseDop(double input_rows) const;
+  /// Stamps options_.batch_rows onto every node of the tree (batch_rows > 0
+  /// only); runs on every statement kind so prepared/cached templates carry
+  /// the hint too.
+  void StampBatchHints(PhysicalPlan* node) const;
 
   catalog::Catalog* catalog_;
   PlannerOptions options_;

@@ -272,6 +272,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
     engine::StagedEngineOptions opts;
     opts.exchange_capacity_pages = db->options_.exchange_buffer_pages;
     opts.tuples_per_page = db->options_.tuples_per_page;
+    opts.spsc_exchange = db->options_.spsc_exchange;
     opts.threads_per_stage = db->options_.threads_per_stage;
     opts.shared_scans = db->options_.shared_scans;
     opts.scheduler = db->options_.scheduler;

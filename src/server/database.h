@@ -44,6 +44,10 @@ struct DatabaseOptions {
   /// Staged engine knobs (ignored in volcano mode).
   size_t exchange_buffer_pages = 4;
   size_t tuples_per_page = 64;
+  /// Lock-free SPSC ring on single-producer exchange edges (see
+  /// StagedEngineOptions::spsc_exchange). False = every edge uses the mutex
+  /// buffer, the pre-ring wiring.
+  bool spsc_exchange = true;
   int threads_per_stage = 1;
   /// Cooperative shared scans at the fscan stages (§5.4 run-time sharing).
   bool shared_scans = true;

@@ -36,9 +36,9 @@ import re
 import sys
 from pathlib import Path
 
-CORRECTNESS_RE = re.compile(r"error|failure|stale|mismatch")
+CORRECTNESS_RE = re.compile(r"error|failure|stale|mismatch|divergence")
 LOWER_BETTER_RE = re.compile(r"_ms\b|_ms_|wall|_micros|misses|page_reads")
-HIGHER_BETTER_RE = re.compile(r"qps|hit_rate|speedup")
+HIGHER_BETTER_RE = re.compile(r"qps|hit_rate|speedup|items_per_sec")
 
 
 def classify(key: str) -> str:
