@@ -1,0 +1,556 @@
+// Networked load sweep + chaos harness for the staged TCP front-end.
+//
+// Open-loop (arrivals do not wait for completions) Poisson load over several
+// connections, swept from light load past saturation, against either a
+// forked in-process server (default) or an externally started one
+// (--connect host:port, the CI net leg). Reports goodput and latency
+// percentiles per offered load, plus hard-fail correctness counters:
+//
+//   shed_errors   — responses with unexpected error codes (a shed must be a
+//                   prompt ResourceExhausted/Aborted ERROR, nothing else)
+//   stale_results — responses arriving with no outstanding request
+//   hang_failures — accepted requests with no response within the timeout
+//   crash_failures        — server process died (fork mode) or the final
+//                           health check failed (external mode)
+//   overload_goodput_failures — goodput at 2x saturation fell below 80% of
+//                               peak (overload must shed, not collapse)
+//
+// Chaos modes (always on): slow-loris connections, mid-query disconnects,
+// and a burst storm with connect/close churn — the server must stay
+// responsive through all of them.
+//
+// Flags: --json --smoke --seconds N --connect host:port (BenchArgs would
+// reject the extra flags, so parsing is local).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "net/client.h"
+#include "net/net_server.h"
+#include "server/database.h"
+
+using stagedb::Histogram;
+using stagedb::Status;
+using stagedb::StatusCode;
+using stagedb::catalog::Value;
+using stagedb::net::Client;
+
+namespace {
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr int64_t kResponseTimeoutMs = 10'000;
+
+struct Args {
+  bool json = false;
+  bool smoke = false;
+  double seconds = 0;  // per sweep point; 0 = mode default
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool external = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      args.json = true;
+    } else if (arg == "--smoke") {
+      args.smoke = true;
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      args.seconds = std::atof(argv[++i]);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      std::string hp = argv[++i];
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect wants host:port, got %s\n",
+                     hp.c_str());
+        std::exit(2);
+      }
+      args.host = hp.substr(0, colon);
+      args.port = std::atoi(hp.c_str() + colon + 1);
+      args.external = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --json --smoke --seconds N "
+                   "--connect host:port)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Forked server child: its own Database + NetServer, reporting the chosen
+/// port over a pipe, draining on SIGTERM. fork() happens before this process
+/// spawns any thread, so the child starts clean.
+class ForkedServer {
+ public:
+  bool Start() {
+    int pipefd[2];
+    if (pipe(pipefd) != 0) return false;
+    pid_ = fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      close(pipefd[0]);
+      ChildMain(pipefd[1]);  // never returns
+    }
+    close(pipefd[1]);
+    int port = 0;
+    ssize_t n = read(pipefd[0], &port, sizeof(port));
+    close(pipefd[0]);
+    if (n != sizeof(port) || port <= 0) return false;
+    port_ = port;
+    return true;
+  }
+
+  int port() const { return port_; }
+
+  bool Crashed() {
+    if (pid_ <= 0) return false;
+    int status = 0;
+    return waitpid(pid_, &status, WNOHANG) == pid_;
+  }
+
+  /// SIGTERM, bounded wait; any abnormal exit counts as a crash.
+  bool StopClean() {
+    if (pid_ <= 0) return true;
+    kill(pid_, SIGTERM);
+    for (int i = 0; i < 100; ++i) {
+      int status = 0;
+      pid_t r = waitpid(pid_, &status, WNOHANG);
+      if (r == pid_) {
+        pid_ = -1;
+        return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      }
+      usleep(100 * 1000);
+    }
+    kill(pid_, SIGKILL);
+    waitpid(pid_, nullptr, 0);
+    pid_ = -1;
+    return false;  // had to be killed: drain hung
+  }
+
+ private:
+  [[noreturn]] static void ChildMain(int port_pipe) {
+    sigset_t sigs;
+    sigemptyset(&sigs);
+    sigaddset(&sigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+    signal(SIGPIPE, SIG_IGN);
+
+    stagedb::server::DatabaseOptions db_options;
+    db_options.mode = stagedb::server::ExecutionMode::kStaged;
+    auto db = stagedb::server::Database::Open(db_options);
+    if (!db.ok()) _exit(3);
+    stagedb::net::NetServerOptions options;
+    options.port = 0;
+    options.io_workers = 2;
+    options.idle_timeout_ms = 30'000;
+    auto srv = stagedb::net::NetServer::Start(db->get(), options);
+    if (!srv.ok()) _exit(3);
+    int port = (*srv)->port();
+    if (write(port_pipe, &port, sizeof(port)) != sizeof(port)) _exit(3);
+    close(port_pipe);
+    int sig = 0;
+    sigwait(&sigs, &sig);
+    (*srv)->Stop(2000);
+    _exit(0);
+  }
+
+  pid_t pid_ = -1;
+  int port_ = 0;
+};
+
+struct Counters {
+  std::atomic<int64_t> sent{0};
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> shed{0};         // prompt ResourceExhausted/Aborted
+  std::atomic<int64_t> shed_errors{0};  // unexpected error codes
+  std::atomic<int64_t> stale{0};
+  std::atomic<int64_t> hangs{0};
+};
+
+struct SweepPoint {
+  double offered_qps = 0;
+  double goodput_qps = 0;
+  double p50_micros = 0;
+  double p99_micros = 0;
+  double p999_micros = 0;
+};
+
+bool IsShedCode(StatusCode code) {
+  return code == StatusCode::kResourceExhausted || code == StatusCode::kAborted;
+}
+
+/// One open-loop connection: a sender pacing Poisson arrivals and a receiver
+/// matching FIFO responses back to send timestamps.
+void RunConnection(const Args& args, double rate_qps, double seconds,
+                   uint32_t seed, Counters* counters, Histogram* latencies,
+                   std::mutex* hist_mu) {
+  auto client = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+  if (!client.ok()) {
+    counters->hangs.fetch_add(1);
+    return;
+  }
+  Client* c = client->get();
+  auto prep = c->Prepare("SELECT COUNT(*) FROM nt WHERE val < ?");
+
+  std::mutex mu;
+  std::deque<int64_t> outstanding;  // send micros, FIFO
+  std::atomic<bool> sender_done{false};
+
+  std::thread receiver([&] {
+    Histogram local;
+    while (true) {
+      bool empty;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        empty = outstanding.empty();
+      }
+      if (empty) {
+        if (sender_done.load()) break;
+        usleep(200);
+        continue;
+      }
+      auto resp = c->ReadResponse(kResponseTimeoutMs);
+      int64_t sent_at;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (outstanding.empty()) {
+          counters->stale.fetch_add(1);
+          continue;
+        }
+        sent_at = outstanding.front();
+        outstanding.pop_front();
+      }
+      if (resp.ok()) {
+        counters->ok.fetch_add(1);
+        local.Record(static_cast<double>(NowMicros() - sent_at));
+      } else if (IsShedCode(resp.status().code())) {
+        counters->shed.fetch_add(1);
+        // A shed must be prompt — a queue-then-reject after seconds would
+        // show up as tail latency on errors; treat >1s sheds as failures.
+        if (NowMicros() - sent_at > 1'000'000)
+          counters->shed_errors.fetch_add(1);
+      } else if (resp.status().code() == StatusCode::kTimedOut) {
+        counters->hangs.fetch_add(1);
+      } else {
+        counters->shed_errors.fetch_add(1);
+      }
+    }
+    std::lock_guard<std::mutex> lock(*hist_mu);
+    latencies->Merge(local);
+  });
+
+  std::mt19937 rng(seed);
+  std::exponential_distribution<double> interarrival(rate_qps);
+  int64_t next_micros = NowMicros();
+  const int64_t end_micros = NowMicros() + static_cast<int64_t>(seconds * 1e6);
+  int64_t i = 0;
+  while (NowMicros() < end_micros) {
+    next_micros += static_cast<int64_t>(interarrival(rng) * 1e6);
+    int64_t now = NowMicros();
+    if (next_micros > now) usleep(static_cast<useconds_t>(next_micros - now));
+    // Alternate ad-hoc QUERY with the prepared EXECUTE fast path.
+    Status st;
+    int64_t sent_at = NowMicros();
+    if (prep.ok() && (i & 1)) {
+      st = c->SendExecute(prep->stmt_id, {Value::Int(500)});
+    } else {
+      st = c->SendQuery("SELECT COUNT(*) FROM nt WHERE val < 500");
+    }
+    ++i;
+    if (!st.ok()) break;  // connection torn down (e.g. server shed it)
+    counters->sent.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    outstanding.push_back(sent_at);
+  }
+  sender_done.store(true);
+  receiver.join();
+}
+
+SweepPoint RunOpenLoop(const Args& args, double offered_qps, double seconds,
+                       int conns, Counters* counters) {
+  Histogram latencies;
+  std::mutex hist_mu;
+  int64_t ok_before = counters->ok.load();
+  std::vector<std::thread> threads;
+  for (int i = 0; i < conns; ++i) {
+    threads.emplace_back(RunConnection, std::cref(args), offered_qps / conns,
+                         seconds, 1000 + 17 * i, counters, &latencies,
+                         &hist_mu);
+  }
+  const int64_t start = NowMicros();
+  for (auto& t : threads) t.join();
+  const double wall_secs = (NowMicros() - start) / 1e6;
+  SweepPoint point;
+  point.offered_qps = offered_qps;
+  point.goodput_qps = (counters->ok.load() - ok_before) / wall_secs;
+  point.p50_micros = latencies.Percentile(50);
+  point.p99_micros = latencies.Percentile(99);
+  point.p999_micros = latencies.Percentile(99.9);
+  return point;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos modes
+// ---------------------------------------------------------------------------
+
+bool ControlQueryOk(const Args& args) {
+  auto control = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+  if (!control.ok()) return false;
+  auto result = (*control)->Query("SELECT COUNT(*) FROM nt");
+  return result.ok();
+}
+
+/// Half-open connections trickling partial frames, plus writers that never
+/// read: the server must keep answering everyone else.
+int64_t ChaosSlowLoris(const Args& args) {
+  std::vector<std::unique_ptr<Client>> lorises;
+  for (int i = 0; i < 4; ++i) {
+    auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+    if (!c.ok()) continue;
+    // 3 bytes of a frame header promising a large frame that never comes.
+    (*c)->SendRaw(std::string("\xff\x00\x00", 3));
+    lorises.push_back(std::move(*c));
+  }
+  std::vector<std::unique_ptr<Client>> mutes;
+  for (int i = 0; i < 2; ++i) {
+    auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+    if (!c.ok()) continue;
+    for (int q = 0; q < 8; ++q)
+      (*c)->SendQuery("SELECT COUNT(*) FROM nt");  // never reads the results
+    mutes.push_back(std::move(*c));
+  }
+  return ControlQueryOk(args) ? 0 : 1;
+}
+
+/// Clients vanishing mid-query: results completing after the disconnect must
+/// be dropped, never delivered anywhere, and never wedge the server.
+int64_t ChaosMidQueryDisconnect(const Args& args) {
+  for (int i = 0; i < 8; ++i) {
+    auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+    if (!c.ok()) return 1;
+    (*c)->SendQuery("SELECT grp, COUNT(*) FROM nt GROUP BY grp");
+    (*c)->CloseNow();
+  }
+  return ControlQueryOk(args) ? 0 : 1;
+}
+
+/// A thundering herd of pipelined connections plus connect/close churn.
+/// Every request must resolve within the timeout — completed or promptly
+/// shed, nothing lost.
+void ChaosBurstStorm(const Args& args, Counters* counters) {
+  constexpr int kConns = 32;
+  constexpr int kQueriesPerConn = 20;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kConns; ++t) {
+    threads.emplace_back([&args, counters] {
+      auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+      if (!c.ok()) return;  // accept-level shed is fine under a storm
+      int sent = 0;
+      for (int q = 0; q < kQueriesPerConn; ++q) {
+        if ((*c)->SendQuery("SELECT COUNT(*) FROM nt WHERE val < 250").ok())
+          ++sent;
+      }
+      for (int q = 0; q < sent; ++q) {
+        auto resp = (*c)->ReadResponse(kResponseTimeoutMs);
+        if (resp.ok()) {
+          counters->ok.fetch_add(1);
+        } else if (IsShedCode(resp.status().code())) {
+          counters->shed.fetch_add(1);
+        } else if (resp.status().code() == StatusCode::kTimedOut) {
+          counters->hangs.fetch_add(1);
+        } else if (resp.status().code() == StatusCode::kIOError) {
+          // Server closed a connection it shed at accept; remaining
+          // responses of this socket are gone with it, not hung.
+          counters->shed.fetch_add(sent - q);
+          break;
+        } else {
+          counters->shed_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Connect/close churn while the storm runs.
+  for (int i = 0; i < 16; ++i) {
+    auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+    if (c.ok()) (*c)->CloseNow();
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  signal(SIGPIPE, SIG_IGN);
+
+  ForkedServer forked;
+  if (!args.external) {
+    if (!forked.Start()) {
+      std::fprintf(stderr, "failed to fork server\n");
+      return 1;
+    }
+    args.port = forked.port();
+  }
+
+  int64_t crash_failures = 0;
+  Counters counters;
+
+  // Seed the table over the wire.
+  {
+    auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+    if (!c.ok()) {
+      std::fprintf(stderr, "cannot connect to %s:%d: %s\n", args.host.c_str(),
+                   args.port, c.status().ToString().c_str());
+      return 1;
+    }
+    const int rows = args.smoke ? 128 : 1024;
+    if (!(*c)->Query("CREATE TABLE nt (id INTEGER, grp INTEGER, val INTEGER)")
+             .ok()) {
+      std::fprintf(stderr, "seed failed (table exists? use a fresh server)\n");
+      return 1;
+    }
+    for (int base = 0; base < rows; base += 32) {
+      std::string sql = "INSERT INTO nt VALUES ";
+      for (int r = base; r < base + 32 && r < rows; ++r) {
+        if (r != base) sql += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "(%d, %d, %d)", r, r % 7,
+                      (r * 37) % 1000);
+        sql += buf;
+      }
+      if (!(*c)->Query(sql).ok()) {
+        std::fprintf(stderr, "seed insert failed\n");
+        return 1;
+      }
+    }
+  }
+
+  // Closed-loop calibration: an estimate of saturation throughput.
+  const double calib_secs = args.smoke ? 0.4 : 1.5;
+  double peak_closed_qps;
+  {
+    constexpr int kCalibConns = 4;
+    std::atomic<int64_t> done{0};
+    std::vector<std::thread> threads;
+    std::atomic<bool> stop{false};
+    for (int i = 0; i < kCalibConns; ++i) {
+      threads.emplace_back([&] {
+        auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
+        if (!c.ok()) return;
+        while (!stop.load()) {
+          if ((*c)->Query("SELECT COUNT(*) FROM nt WHERE val < 500").ok())
+            done.fetch_add(1);
+        }
+      });
+    }
+    const int64_t start = NowMicros();
+    usleep(static_cast<useconds_t>(calib_secs * 1e6));
+    stop.store(true);
+    for (auto& t : threads) t.join();
+    peak_closed_qps = done.load() / ((NowMicros() - start) / 1e6);
+    if (peak_closed_qps < 1) peak_closed_qps = 1;
+  }
+
+  // Open-loop sweep past saturation.
+  const double point_secs = args.seconds > 0 ? args.seconds
+                            : args.smoke    ? 0.8
+                                            : 3.0;
+  const int conns = 8;
+  const std::vector<double> fractions = {0.25, 0.5, 1.0, 2.0};
+  std::vector<SweepPoint> points;
+  for (double f : fractions) {
+    points.push_back(RunOpenLoop(args, f * peak_closed_qps, point_secs, conns,
+                                 &counters));
+    if (!args.external && forked.Crashed()) ++crash_failures;
+  }
+
+  // Chaos.
+  counters.hangs.fetch_add(ChaosSlowLoris(args));
+  counters.hangs.fetch_add(ChaosMidQueryDisconnect(args));
+  ChaosBurstStorm(args, &counters);
+  if (!ControlQueryOk(args)) ++crash_failures;
+  if (!args.external && forked.Crashed()) ++crash_failures;
+
+  // Shutdown: fork mode ends with the SIGTERM drain path.
+  if (!args.external && !forked.StopClean()) ++crash_failures;
+
+  double goodput_peak = 0;
+  for (const auto& p : points) goodput_peak = std::max(goodput_peak,
+                                                       p.goodput_qps);
+  const SweepPoint& at_1x = points[2];
+  const SweepPoint& at_2x = points[3];
+  const int64_t overload_goodput_failures =
+      at_2x.goodput_qps < 0.8 * goodput_peak ? 1 : 0;
+
+  stagedb::bench::JsonReport report("net_load_sweep");
+  report.Add("conns", conns);
+  report.Add("point_seconds", point_secs);
+  report.Add("calibrated_peak_qps", peak_closed_qps);
+  report.Add("goodput_peak_qps", goodput_peak);
+  report.Add("goodput_2x_qps", at_2x.goodput_qps);
+  report.Add("p50_micros_1x", at_1x.p50_micros);
+  report.Add("p99_micros_1x", at_1x.p99_micros);
+  report.Add("p999_micros_1x", at_1x.p999_micros);
+  report.Add("p99_micros_2x", at_2x.p99_micros);
+  report.Add("sent_total", counters.sent.load());
+  report.Add("ok_total", counters.ok.load());
+  report.Add("shed_count", counters.shed.load());
+  report.Add("shed_errors", counters.shed_errors.load());
+  report.Add("stale_results", counters.stale.load());
+  report.Add("hang_failures", counters.hangs.load());
+  report.Add("crash_failures", crash_failures);
+  report.Add("overload_goodput_failures", overload_goodput_failures);
+
+  if (args.json) {
+    report.Print();
+  } else {
+    std::printf("net_load_sweep: calibrated peak %.0f qps\n", peak_closed_qps);
+    std::printf("%10s %10s %10s %10s %10s\n", "offered", "goodput", "p50us",
+                "p99us", "p999us");
+    for (const auto& p : points) {
+      std::printf("%10.0f %10.0f %10.0f %10.0f %10.0f\n", p.offered_qps,
+                  p.goodput_qps, p.p50_micros, p.p99_micros, p.p999_micros);
+    }
+    std::printf(
+        "sent=%lld ok=%lld shed=%lld shed_errors=%lld stale=%lld "
+        "hangs=%lld crashes=%lld overload_failures=%lld\n",
+        static_cast<long long>(counters.sent.load()),
+        static_cast<long long>(counters.ok.load()),
+        static_cast<long long>(counters.shed.load()),
+        static_cast<long long>(counters.shed_errors.load()),
+        static_cast<long long>(counters.stale.load()),
+        static_cast<long long>(counters.hangs.load()),
+        static_cast<long long>(crash_failures),
+        static_cast<long long>(overload_goodput_failures));
+  }
+
+  const bool failed = counters.shed_errors.load() > 0 ||
+                      counters.stale.load() > 0 || counters.hangs.load() > 0 ||
+                      crash_failures > 0 || overload_goodput_failures > 0;
+  return failed ? 1 : 0;
+}

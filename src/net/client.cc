@@ -1,0 +1,170 @@
+#include "net/client.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stagedb::net {
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  int port,
+                                                  int64_t timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IOError("socket() failed");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(StrFormat("bad host %s", host.c_str()));
+  }
+  // Bounded connect: non-blocking connect + poll, then back to blocking.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINPROGRESS) {
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc <= 0) {
+      ::close(fd);
+      return Status::TimedOut(
+          StrFormat("connect to %s:%d timed out", host.c_str(), port));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::IOError(StrFormat("connect to %s:%d failed: %s",
+                                       host.c_str(), port,
+                                       std::strerror(err)));
+    }
+  } else if (rc != 0) {
+    ::close(fd);
+    return Status::IOError(StrFormat("connect to %s:%d failed: %s",
+                                     host.c_str(), port,
+                                     std::strerror(errno)));
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, timeout_ms));
+}
+
+Client::Client(int fd, int64_t timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
+
+Client::~Client() { CloseNow(); }
+
+void Client::CloseNow() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::IOError("client closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("write failed: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendFrame(FrameType type, const std::string& payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+Status Client::SendQuery(const std::string& sql) {
+  return SendFrame(FrameType::kQuery, sql);
+}
+
+Status Client::SendExecute(uint64_t stmt_id,
+                           const std::vector<catalog::Value>& params) {
+  return SendFrame(FrameType::kExecute, EncodeExecutePayload(stmt_id, params));
+}
+
+StatusOr<WireResult> Client::ReadResponse(int64_t timeout_ms) {
+  if (fd_ < 0) return Status::IOError("client closed");
+  if (timeout_ms < 0) timeout_ms = timeout_ms_;
+  while (true) {
+    if (auto frame = reader_.Next()) {
+      switch (frame->type) {
+        case FrameType::kResult:
+          return DecodeResultPayload(frame->payload);
+        case FrameType::kError:
+          return DecodeErrorPayload(frame->payload);
+        default:
+          return Status::Corruption("unexpected frame type from server");
+      }
+    }
+    if (!reader_.error().ok()) return reader_.error();
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) return Status::TimedOut("no response within timeout");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("poll failed");
+    }
+    char buf[16384];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("read failed: %s", std::strerror(errno)));
+    }
+    reader_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<server::QueryResult> Client::RoundTrip(FrameType type,
+                                                const std::string& payload) {
+  Status st = SendFrame(type, payload);
+  if (!st.ok()) return st;
+  auto resp = ReadResponse();
+  if (!resp.ok()) return resp.status();
+  if (resp->prepared)
+    return Status::Corruption("expected rows, got a prepared handle");
+  return std::move(resp->result);
+}
+
+StatusOr<server::QueryResult> Client::Query(const std::string& sql) {
+  return RoundTrip(FrameType::kQuery, sql);
+}
+
+StatusOr<Client::Prepared> Client::Prepare(const std::string& sql) {
+  Status st = SendFrame(FrameType::kPrepare, sql);
+  if (!st.ok()) return st;
+  auto resp = ReadResponse();
+  if (!resp.ok()) return resp.status();
+  if (!resp->prepared)
+    return Status::Corruption("expected a prepared handle, got rows");
+  return Prepared{resp->stmt_id, resp->num_params};
+}
+
+StatusOr<server::QueryResult> Client::Execute(
+    uint64_t stmt_id, const std::vector<catalog::Value>& params) {
+  return RoundTrip(FrameType::kExecute,
+                   EncodeExecutePayload(stmt_id, params));
+}
+
+}  // namespace stagedb::net

@@ -1,0 +1,67 @@
+// Tiny blocking client for the wire protocol — enough for tests, the load
+// driver, and an interactive shell. One socket, one thread at a time;
+// pipelining is explicit (SendQuery/SendExecute then ReadResponse, FIFO).
+#ifndef STAGEDB_NET_CLIENT_H_
+#define STAGEDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace stagedb::net {
+
+class Client {
+ public:
+  /// Connects with a bounded connect+response timeout (milliseconds).
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   int port,
+                                                   int64_t timeout_ms = 5000);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // -- one-shot request/response --
+  StatusOr<server::QueryResult> Query(const std::string& sql);
+  struct Prepared {
+    uint64_t stmt_id = 0;
+    uint32_t num_params = 0;
+  };
+  StatusOr<Prepared> Prepare(const std::string& sql);
+  StatusOr<server::QueryResult> Execute(
+      uint64_t stmt_id, const std::vector<catalog::Value>& params = {});
+
+  // -- pipelined use: send N, then read N (responses arrive in order) --
+  Status SendQuery(const std::string& sql);
+  Status SendExecute(uint64_t stmt_id,
+                     const std::vector<catalog::Value>& params = {});
+  /// Next response frame: a result, or the error the server sent. Network
+  /// failures surface as kIOError / kTimedOut, protocol ones as kCorruption.
+  StatusOr<WireResult> ReadResponse(int64_t timeout_ms = -1);
+
+  // -- chaos primitives for the fault-injection tests --
+  /// Writes raw bytes (e.g. a torn frame prefix) straight to the socket.
+  Status SendRaw(const std::string& bytes);
+  /// Abandons the connection without reading pending responses.
+  void CloseNow();
+  int fd() const { return fd_; }
+
+ private:
+  Client(int fd, int64_t timeout_ms);
+  Status SendFrame(FrameType type, const std::string& payload);
+  StatusOr<server::QueryResult> RoundTrip(FrameType type,
+                                          const std::string& payload);
+
+  int fd_ = -1;
+  int64_t timeout_ms_;
+  FrameReader reader_;
+};
+
+}  // namespace stagedb::net
+
+#endif  // STAGEDB_NET_CLIENT_H_

@@ -1,0 +1,362 @@
+#include "net/wire.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace stagedb::net {
+namespace {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  char buf[2];
+  std::memcpy(buf, &v, 2);
+  out->append(buf, 2);
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+void PutDouble(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+/// Cursor over a payload; every Read checks bounds and reports kCorruption
+/// so a malicious or truncated frame can never read past the buffer.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  StatusOr<uint8_t> ReadU8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  StatusOr<uint16_t> ReadU16() {
+    if (pos_ + 2 > data_.size()) return Truncated();
+    uint16_t v;
+    std::memcpy(&v, data_.data() + pos_, 2);
+    pos_ += 2;
+    return v;
+  }
+  StatusOr<uint32_t> ReadU32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    uint32_t v;
+    std::memcpy(&v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  StatusOr<uint64_t> ReadU64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    uint64_t v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  StatusOr<double> ReadDouble() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    double v;
+    std::memcpy(&v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+  StatusOr<std::string> ReadBytes(size_t n) {
+    if (pos_ + n > data_.size() || pos_ + n < pos_) return Truncated();
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::string_view Rest() const { return data_.substr(pos_); }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Truncated() const { return Status::Corruption("truncated payload"); }
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void PutValue(std::string* out, const catalog::Value& v) {
+  PutU8(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case catalog::TypeId::kNull:
+      break;
+    case catalog::TypeId::kBool:
+      PutU8(out, v.bool_value() ? 1 : 0);
+      break;
+    case catalog::TypeId::kInt64:
+      PutU64(out, static_cast<uint64_t>(v.int_value()));
+      break;
+    case catalog::TypeId::kDouble:
+      PutDouble(out, v.double_value());
+      break;
+    case catalog::TypeId::kVarchar:
+      PutU32(out, static_cast<uint32_t>(v.varchar_value().size()));
+      out->append(v.varchar_value());
+      break;
+  }
+}
+
+StatusOr<catalog::Value> ReadValue(Reader* r) {
+  auto tag = r->ReadU8();
+  if (!tag.ok()) return tag.status();
+  switch (static_cast<catalog::TypeId>(*tag)) {
+    case catalog::TypeId::kNull:
+      return catalog::Value::Null();
+    case catalog::TypeId::kBool: {
+      auto b = r->ReadU8();
+      if (!b.ok()) return b.status();
+      return catalog::Value::Bool(*b != 0);
+    }
+    case catalog::TypeId::kInt64: {
+      auto i = r->ReadU64();
+      if (!i.ok()) return i.status();
+      return catalog::Value::Int(static_cast<int64_t>(*i));
+    }
+    case catalog::TypeId::kDouble: {
+      auto d = r->ReadDouble();
+      if (!d.ok()) return d.status();
+      return catalog::Value::Double(*d);
+    }
+    case catalog::TypeId::kVarchar: {
+      auto len = r->ReadU32();
+      if (!len.ok()) return len.status();
+      auto bytes = r->ReadBytes(*len);
+      if (!bytes.ok()) return bytes.status();
+      return catalog::Value::Varchar(*std::move(bytes));
+    }
+  }
+  return Status::Corruption(
+      StrFormat("unknown value type tag %d", static_cast<int>(*tag)));
+}
+
+constexpr uint8_t kRowsKind = 0;
+constexpr uint8_t kPreparedKind = 1;
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(1 + payload.size()));
+  PutU8(&out, static_cast<uint8_t>(type));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::Feed(const char* data, size_t n) {
+  if (!error_.ok()) return;
+  // Compact lazily: once everything buffered has been consumed, or the dead
+  // prefix dominates, drop it so the buffer doesn't grow without bound on
+  // long-lived connections.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameReader::Next() {
+  if (!error_.ok()) return std::nullopt;
+  if (buf_.size() - pos_ < 4) return std::nullopt;
+  uint32_t len;
+  std::memcpy(&len, buf_.data() + pos_, 4);
+  if (len < 1) {
+    error_ = Status::Corruption("frame length below minimum (missing type)");
+    return std::nullopt;
+  }
+  if (len > max_frame_bytes_) {
+    error_ = Status::Corruption(
+        StrFormat("frame of %u bytes exceeds limit of %zu", len,
+                  max_frame_bytes_));
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<size_t>(len)) return std::nullopt;
+  uint8_t type = static_cast<uint8_t>(buf_[pos_ + 4]);
+  if (type < static_cast<uint8_t>(FrameType::kQuery) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    error_ = Status::Corruption(
+        StrFormat("unknown frame type %d", static_cast<int>(type)));
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.assign(buf_, pos_ + kFrameHeaderBytes, len - 1);
+  pos_ += 4 + len;
+  return frame;
+}
+
+std::string EncodeRowsPayload(const server::QueryResult& result) {
+  std::string out;
+  PutU8(&out, kRowsKind);
+  PutU32(&out, static_cast<uint32_t>(result.plan_text.size()));
+  out.append(result.plan_text);
+  PutU32(&out, static_cast<uint32_t>(result.schema.num_columns()));
+  for (const auto& col : result.schema.columns()) {
+    PutU8(&out, static_cast<uint8_t>(col.type));
+    std::string name = col.QualifiedName();
+    PutU16(&out, static_cast<uint16_t>(name.size()));
+    out.append(name);
+  }
+  PutU32(&out, static_cast<uint32_t>(result.rows.size()));
+  for (const auto& row : result.rows) {
+    for (const auto& value : row) PutValue(&out, value);
+  }
+  return out;
+}
+
+std::string EncodePreparedPayload(uint64_t stmt_id, uint32_t num_params) {
+  std::string out;
+  PutU8(&out, kPreparedKind);
+  PutU64(&out, stmt_id);
+  PutU32(&out, num_params);
+  return out;
+}
+
+StatusOr<WireResult> DecodeResultPayload(std::string_view payload) {
+  Reader r(payload);
+  auto kind = r.ReadU8();
+  if (!kind.ok()) return kind.status();
+  WireResult wr;
+  if (*kind == kPreparedKind) {
+    wr.prepared = true;
+    auto id = r.ReadU64();
+    if (!id.ok()) return id.status();
+    auto np = r.ReadU32();
+    if (!np.ok()) return np.status();
+    wr.stmt_id = *id;
+    wr.num_params = *np;
+    return wr;
+  }
+  if (*kind != kRowsKind) {
+    return Status::Corruption(
+        StrFormat("unknown result kind %d", static_cast<int>(*kind)));
+  }
+  auto plan_len = r.ReadU32();
+  if (!plan_len.ok()) return plan_len.status();
+  auto plan = r.ReadBytes(*plan_len);
+  if (!plan.ok()) return plan.status();
+  wr.result.plan_text = *std::move(plan);
+  auto ncols = r.ReadU32();
+  if (!ncols.ok()) return ncols.status();
+  std::vector<catalog::Column> columns;
+  columns.reserve(*ncols);
+  for (uint32_t i = 0; i < *ncols; ++i) {
+    auto type = r.ReadU8();
+    if (!type.ok()) return type.status();
+    auto name_len = r.ReadU16();
+    if (!name_len.ok()) return name_len.status();
+    auto name = r.ReadBytes(*name_len);
+    if (!name.ok()) return name.status();
+    catalog::Column col;
+    col.name = *std::move(name);
+    col.type = static_cast<catalog::TypeId>(*type);
+    columns.push_back(std::move(col));
+  }
+  wr.result.schema = catalog::Schema(std::move(columns));
+  auto nrows = r.ReadU32();
+  if (!nrows.ok()) return nrows.status();
+  wr.result.rows.reserve(*nrows);
+  for (uint32_t i = 0; i < *nrows; ++i) {
+    catalog::Tuple row;
+    row.reserve(wr.result.schema.num_columns());
+    for (size_t c = 0; c < wr.result.schema.num_columns(); ++c) {
+      auto v = ReadValue(&r);
+      if (!v.ok()) return v.status();
+      row.push_back(*std::move(v));
+    }
+    wr.result.rows.push_back(std::move(row));
+  }
+  return wr;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(status.code()));
+  out.append(status.message());
+  return out;
+}
+
+Status DecodeErrorPayload(std::string_view payload) {
+  if (payload.empty()) return Status::Corruption("empty error payload");
+  auto code = static_cast<StatusCode>(static_cast<uint8_t>(payload[0]));
+  if (code == StatusCode::kOk ||
+      static_cast<uint8_t>(code) > static_cast<uint8_t>(StatusCode::kInternal))
+    return Status::Corruption("bad status code in error payload");
+  return Status(code, std::string(payload.substr(1)));
+}
+
+std::string EncodeExecutePayload(uint64_t stmt_id,
+                                 const std::vector<catalog::Value>& params) {
+  std::string out;
+  PutU64(&out, stmt_id);
+  PutU32(&out, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) PutValue(&out, p);
+  return out;
+}
+
+StatusOr<ExecuteRequest> DecodeExecutePayload(std::string_view payload) {
+  Reader r(payload);
+  ExecuteRequest req;
+  auto id = r.ReadU64();
+  if (!id.ok()) return id.status();
+  req.stmt_id = *id;
+  auto nparams = r.ReadU32();
+  if (!nparams.ok()) return nparams.status();
+  req.params.reserve(*nparams);
+  for (uint32_t i = 0; i < *nparams; ++i) {
+    auto v = ReadValue(&r);
+    if (!v.ok()) return v.status();
+    req.params.push_back(*std::move(v));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in EXECUTE");
+  return req;
+}
+
+void OutputBuffer::Append(std::string bytes) {
+  if (bytes.empty()) return;
+  bytes_ += bytes.size();
+  chunks_.push_back(std::move(bytes));
+}
+
+OutputBuffer::FlushResult OutputBuffer::Flush(int fd, size_t* written) {
+  *written = 0;
+  while (!chunks_.empty()) {
+    const std::string& chunk = chunks_.front();
+    ssize_t n = ::write(fd, chunk.data() + offset_, chunk.size() - offset_);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return FlushResult::kWouldBlock;
+      if (errno == EINTR) continue;
+      return FlushResult::kError;
+    }
+    *written += static_cast<size_t>(n);
+    bytes_ -= static_cast<size_t>(n);
+    offset_ += static_cast<size_t>(n);
+    if (offset_ == chunk.size()) {
+      chunks_.pop_front();
+      offset_ = 0;
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+}  // namespace stagedb::net

@@ -1,0 +1,139 @@
+// The length-prefixed wire protocol of the network front-end.
+//
+// Every message is one frame:
+//
+//   [u32 len][u8 type][payload]
+//
+// where `len` (little-endian, like every integer on the wire) counts the
+// type byte plus the payload, so an empty-payload frame has len = 1. Frame
+// types:
+//
+//   QUERY    (client)  payload = SQL text
+//   PREPARE  (client)  payload = SQL text to prepare
+//   EXECUTE  (client)  payload = [u64 stmt_id][u32 nparams]{value}...
+//   RESULT   (server)  payload = [u8 kind] then
+//                        kind 0 (rows):     [u32 plan_len][plan_text]
+//                                           [u32 ncols]{[u8 type]
+//                                                       [u16 name_len][name]}
+//                                           [u32 nrows]{row: {value}...}
+//                        kind 1 (prepared): [u64 stmt_id][u32 num_params]
+//   ERROR    (server)  payload = [u8 StatusCode][message]
+//
+// A value is [u8 TypeId][data]: NULL carries nothing, BOOLEAN one byte,
+// INTEGER an i64, DOUBLE an IEEE-754 double, VARCHAR [u32 len][bytes].
+//
+// Responses are delivered in request order per connection (the server holds
+// out-of-order completions until earlier requests finish), so frames need no
+// correlation id. Frames above the reader's limit are a protocol error: the
+// server answers ERROR and closes the connection.
+#ifndef STAGEDB_NET_WIRE_H_
+#define STAGEDB_NET_WIRE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/status.h"
+#include "server/database.h"
+
+namespace stagedb::net {
+
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kPrepare = 2,
+  kExecute = 3,
+  kResult = 4,
+  kError = 5,
+};
+
+/// Frame header: u32 length + u8 type.
+constexpr size_t kFrameHeaderBytes = 5;
+/// Default ceiling on len (type byte + payload). Larger frames poison the
+/// reader — the oversized-frame rejection path.
+constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+
+struct Frame {
+  FrameType type;
+  std::string payload;
+};
+
+/// One encoded frame (header + payload), ready for the socket.
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental frame decoder: feed whatever the socket delivers (torn reads,
+/// single bytes, many frames at once) and pull complete frames out. A
+/// protocol violation (oversized frame, unknown type) poisons the reader:
+/// Next() returns nullopt and error() reports why.
+class FrameReader {
+ public:
+  explicit FrameReader(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void Feed(const char* data, size_t n);
+  std::optional<Frame> Next();
+
+  const Status& error() const { return error_; }
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  Status error_;
+};
+
+/// Decoded RESULT frame: either a row set or a prepared-statement handle.
+struct WireResult {
+  bool prepared = false;
+  server::QueryResult result;  // rows kind
+  uint64_t stmt_id = 0;        // prepared kind
+  uint32_t num_params = 0;     // prepared kind
+};
+
+std::string EncodeRowsPayload(const server::QueryResult& result);
+std::string EncodePreparedPayload(uint64_t stmt_id, uint32_t num_params);
+StatusOr<WireResult> DecodeResultPayload(std::string_view payload);
+
+/// ERROR payload round trip: the carried Status (code + message).
+std::string EncodeErrorPayload(const Status& status);
+Status DecodeErrorPayload(std::string_view payload);
+
+struct ExecuteRequest {
+  uint64_t stmt_id = 0;
+  std::vector<catalog::Value> params;
+};
+
+std::string EncodeExecutePayload(uint64_t stmt_id,
+                                 const std::vector<catalog::Value>& params);
+StatusOr<ExecuteRequest> DecodeExecutePayload(std::string_view payload);
+
+/// Buffered writer for a non-blocking socket with partial-write resume: the
+/// write stage appends encoded frames and flushes as much as the socket
+/// accepts; a short write leaves the cursor mid-chunk and the next Flush
+/// (after EPOLLOUT) picks up exactly there. Not thread-safe — callers hold
+/// the connection's output lock.
+class OutputBuffer {
+ public:
+  void Append(std::string bytes);
+
+  enum class FlushResult { kDrained, kWouldBlock, kError };
+  /// Writes until the buffer drains or the socket would block. Returns the
+  /// bytes written this call via `written` (may be non-zero even on kError).
+  FlushResult Flush(int fd, size_t* written);
+
+  size_t bytes_queued() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+ private:
+  std::deque<std::string> chunks_;
+  size_t offset_ = 0;  // into chunks_.front()
+  size_t bytes_ = 0;
+};
+
+}  // namespace stagedb::net
+
+#endif  // STAGEDB_NET_WIRE_H_

@@ -465,6 +465,32 @@ StatusOr<QueryResult> Database::ExecutePrepared(
   return ExecutePlanned(plan->get());
 }
 
+StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPrepared(
+    const PreparedStatement& stmt, const std::vector<catalog::Value>& params) {
+  if (options_.mode != ExecutionMode::kStaged) {
+    return Status::InvalidArgument(
+        "SubmitPrepared requires staged execution mode");
+  }
+  stats_.GetCounter("db.statements")->Add(1);
+  const std::vector<catalog::Value>& effective =
+      (params.empty() && stmt.norm_.auto_params) ? stmt.norm_.params : params;
+  if (effective.size() != stmt.num_params()) {
+    return Status::InvalidArgument(
+        StrFormat("statement takes %zu parameter(s), got %zu",
+                  stmt.num_params(), effective.size()));
+  }
+  auto entry = GetOrPlanCached(stmt.norm_);
+  if (!entry.ok()) return entry.status();
+  auto plan = frontend::InstantiatePlan(*(*entry)->plan, effective);
+  if (!plan.ok()) return plan.status();
+  auto pending = SubmitPlanned(plan->get());
+  if (!pending.ok()) return pending.status();
+  // The engine executes against the plan's nodes; the instantiated plan must
+  // live as long as the in-flight query.
+  (*pending)->owned_plan_ = std::move(*plan);
+  return pending;
+}
+
 StatusOr<QueryResult> Database::Execute(const std::string& sql) {
   stats_.GetCounter("db.statements")->Add(1);
   // --- front-end work reuse: serve repeated/parameterized statements from

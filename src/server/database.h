@@ -122,6 +122,9 @@ class PendingQuery {
   /// the capture; wal_sink_ keeps the context's sink alive until then.
   std::function<Status(bool)> wal_finalize_;
   std::unique_ptr<exec::WalSink> wal_sink_;
+  /// Set by SubmitPrepared: the engine executes against the plan's nodes, so
+  /// an instantiated-on-the-fly plan must live as long as the query.
+  std::unique_ptr<optimizer::PhysicalPlan> owned_plan_;
 };
 
 /// A prepared statement: the normalized form of one SQL statement, reusable
@@ -175,6 +178,15 @@ class Database {
   /// current catalog epoch, so DDL between executions can never yield a
   /// stale-plan execution.
   StatusOr<QueryResult> ExecutePrepared(
+      const PreparedStatement& stmt,
+      const std::vector<catalog::Value>& params = {});
+
+  /// Asynchronous counterpart of ExecutePrepared for the staged engine: the
+  /// same normalize/replan/instantiate protocol, but the instantiated plan
+  /// is submitted without blocking (the network front-end's EXECUTE fast
+  /// path — Figure 3's precompiled bypass straight into the execute stage).
+  /// Only available in kStaged mode; volcano callers use ExecutePrepared.
+  StatusOr<std::shared_ptr<PendingQuery>> SubmitPrepared(
       const PreparedStatement& stmt,
       const std::vector<catalog::Value>& params = {});
 

@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <atomic>
+#include <chrono>
 
 #include "common/string_util.h"
 #include "frontend/normalizer.h"
@@ -24,6 +25,7 @@ StatusOr<QueryResult> Request::Await() {
 }
 
 void Request::Complete(StatusOr<QueryResult> result) {
+  std::function<void()> callback;
   {
     std::lock_guard<std::mutex> lock(mu_);
     done_ = true;
@@ -32,8 +34,22 @@ void Request::Complete(StatusOr<QueryResult> result) {
     } else {
       status_ = result.status();
     }
+    callback = std::move(callback_);
+    callback_ = nullptr;
   }
   cv_.notify_all();
+  if (callback) callback();
+}
+
+void Request::NotifyOnDone(std::function<void()> callback) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!done_) {
+      callback_ = std::move(callback);
+      return;
+    }
+  }
+  callback();
 }
 
 // ---------------------------------------------------------- LifecycleTask ---
@@ -79,6 +95,19 @@ class LifecycleTask : public StageTask {
 
 RunOutcome LifecycleTask::Run() {
   Database* db = server_->db_;
+  // Bounded-drain tail: once the shutdown deadline has expired, packets that
+  // have not reached execution complete with a shutdown error in one visit
+  // instead of doing their stage work; a packet whose query is already
+  // in-flight in the engine (pending_ set) is allowed to collect its result.
+  if (server_->shed_queued_.load(std::memory_order_acquire) &&
+      pending_ == nullptr && phase_ != Phase::kDisconnect) {
+    result_ = Status::Aborted("server shutting down");
+    failed_ = true;
+    server_->rejected_on_drain_.fetch_add(1, std::memory_order_relaxed);
+    phase_ = Phase::kDisconnect;
+    set_next_stage(server_->disconnect_);
+    return RunOutcome::kMoved;
+  }
   switch (phase_) {
     case Phase::kConnect: {
       // Client/session bookkeeping; precompiled queries could route straight
@@ -306,13 +335,56 @@ std::shared_ptr<Request> StagedServer::Submit(std::string sql) {
     // Admission control: block while the server is at capacity ("new queries
     // queue up in the first stage").
     std::unique_lock<std::mutex> lock(admission_mu_);
-    admission_cv_.wait(
-        lock, [&] { return inflight_ < options_.admission_capacity; });
+    admission_cv_.wait(lock, [&] {
+      return draining_ || inflight_ < options_.admission_capacity;
+    });
+    if (draining_) {
+      lock.unlock();
+      request->Complete(Status::Aborted("server shutting down"));
+      return request;
+    }
     ++inflight_;
   }
   auto* task = new LifecycleTask(this, request);
   connect_->Enqueue(task);
   return request;
+}
+
+std::shared_ptr<Request> StagedServer::TrySubmit(std::string sql) {
+  auto request = std::make_shared<Request>(std::move(sql));
+  {
+    std::unique_lock<std::mutex> lock(admission_mu_);
+    if (draining_) {
+      lock.unlock();
+      request->Complete(Status::Aborted("server shutting down"));
+      return request;
+    }
+    if (inflight_ >= options_.admission_capacity) return nullptr;
+    ++inflight_;
+  }
+  auto* task = new LifecycleTask(this, request);
+  connect_->Enqueue(task);
+  return request;
+}
+
+size_t StagedServer::Shutdown(int64_t deadline_ms) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  draining_ = true;
+  // Wake Submit callers blocked on admission so they observe the drain.
+  admission_cv_.notify_all();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
+  admission_cv_.wait_until(lock, deadline, [&] { return inflight_ == 0; });
+  if (inflight_ != 0) {
+    // Deadline expired: reject everything that has not reached execution.
+    // Every remaining packet now completes in one cheap stage visit (or
+    // finishes an already-running query), so this wait is bounded by queue
+    // length, not per-query cost.
+    shed_queued_.store(true, std::memory_order_release);
+    admission_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+  return static_cast<size_t>(
+      rejected_on_drain_.load(std::memory_order_relaxed));
 }
 
 std::string StagedServer::StatsReport() const {
@@ -347,7 +419,12 @@ std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
   // Count the admission before the enqueue so no snapshot can observe a
   // request as started before it was submitted; roll back on a closed queue.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    if (draining_) {
+      lock.unlock();  // Complete may run a NotifyOnDone callback
+      request->Complete(Status::Aborted("server shutting down"));
+      return request;
+    }
     ++counts_.submitted;
   }
   if (!queue_.Enqueue(request)) {
@@ -373,8 +450,47 @@ void ThreadedServer::WorkerLoop() {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++counts_.served;
     }
+    drain_cv_.notify_all();
     (*request)->Complete(std::move(result));
   }
+}
+
+size_t ThreadedServer::Shutdown(int64_t deadline_ms) {
+  {
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    draining_ = true;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    drain_cv_.wait_until(lock, deadline, [&] {
+      return counts_.queued() == 0 && counts_.in_flight() == 0;
+    });
+  }
+  // Deadline expired (or drain finished): reject whatever is still queued
+  // with a shutdown error. Workers race this drain loop on the same queue,
+  // which is fine — each request is either served or rejected, exactly once.
+  size_t rejected = 0;
+  while (auto request = queue_.TryDequeue()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++counts_.rejected;
+    }
+    ++rejected;
+    (*request)->Complete(Status::Aborted("server shutting down"));
+  }
+  {
+    // In-flight requests complete normally ("complete in-flight, reject
+    // queued"); with the queue empty this wait is bounded by the running
+    // statements, not the backlog.
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    drain_cv_.wait(lock, [&] {
+      return counts_.queued() == 0 && counts_.in_flight() == 0;
+    });
+  }
+  queue_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  return rejected;
 }
 
 ThreadedServer::ThreadedStats ThreadedServer::Stats() const {

@@ -14,7 +14,9 @@
 #ifndef STAGEDB_SERVER_SERVER_H_
 #define STAGEDB_SERVER_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +39,13 @@ class Request {
   /// Blocks until the request completes.
   StatusOr<QueryResult> Await();
 
+  /// Fires `callback` exactly once when the request completes (immediately,
+  /// on the calling thread, if it already has). Used by the network
+  /// front-end to deliver responses without blocking a stage worker in
+  /// Await; the callback runs on whichever thread calls Complete and must
+  /// not block.
+  void NotifyOnDone(std::function<void()> callback);
+
   const std::string& sql() const { return sql_; }
 
   // -- internal --
@@ -49,6 +58,7 @@ class Request {
   bool done_ = false;
   Status status_;
   QueryResult result_;
+  std::function<void()> callback_;
 };
 
 struct ServerOptions {
@@ -78,6 +88,14 @@ class Server {
   virtual ~Server() = default;
   /// Enqueues a SQL request; blocks when admission control pushes back.
   virtual std::shared_ptr<Request> Submit(std::string sql) = 0;
+  /// Bounded graceful drain: stop admitting (subsequent Submits complete
+  /// immediately with kAborted), give in-flight requests `deadline_ms` to
+  /// finish, then reject whatever is still queued with a shutdown error
+  /// while letting requests that already reached execution complete.
+  /// Returns the number of requests rejected. Idempotent; the destructor
+  /// afterwards tears down without waiting. This is the SIGTERM path the
+  /// network listener reuses.
+  virtual size_t Shutdown(int64_t deadline_ms) = 0;
   /// Per-stage (or per-pool) utilization report.
   virtual std::string StatsReport() const = 0;
 };
@@ -89,6 +107,13 @@ class StagedServer : public Server {
   ~StagedServer() override;
 
   std::shared_ptr<Request> Submit(std::string sql) override;
+  /// Non-blocking Submit: returns nullptr when admission control is at
+  /// capacity, so the caller can shed the request instead of parking a
+  /// thread (the network front-end's reject-with-ERROR policy). A draining
+  /// server returns a request already completed with kAborted — never
+  /// nullptr — so callers can tell "shed now" from "shutting down".
+  std::shared_ptr<Request> TrySubmit(std::string sql);
+  size_t Shutdown(int64_t deadline_ms) override;
   std::string StatsReport() const override;
   const engine::StageRuntime& runtime() const { return runtime_; }
 
@@ -106,6 +131,14 @@ class StagedServer : public Server {
   std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   size_t inflight_ = 0;
+  /// Set by Shutdown under admission_mu_: no new packets are admitted.
+  bool draining_ = false;
+  /// Set when the drain deadline expires: LifecycleTask::Run completes any
+  /// packet that has not reached execution with a shutdown error instead of
+  /// doing its stage work, so the tail of the drain is bounded by queue
+  /// length, not query cost.
+  std::atomic<bool> shed_queued_{false};
+  std::atomic<int64_t> rejected_on_drain_{0};
 };
 
 /// The traditional thread-pool server (§3.1 baseline).
@@ -123,11 +156,15 @@ class ThreadedServer : public Server {
     int64_t submitted = 0;  ///< admitted into the queue
     int64_t started = 0;    ///< dequeued by a worker
     int64_t served = 0;     ///< completed (result published)
-    int64_t queued() const { return submitted - started; }
+    /// Admitted but rejected by the bounded shutdown drain (counted in
+    /// submitted, never started).
+    int64_t rejected = 0;
+    int64_t queued() const { return submitted - started - rejected; }
     int64_t in_flight() const { return started - served; }
   };
 
   std::shared_ptr<Request> Submit(std::string sql) override;
+  size_t Shutdown(int64_t deadline_ms) override;
   std::string StatsReport() const override;
   ThreadedStats Stats() const;
 
@@ -143,6 +180,10 @@ class ThreadedServer : public Server {
   /// unsynchronized queue-size read).
   mutable std::mutex stats_mu_;
   ThreadedStats counts_;
+  bool draining_ = false;  // guarded by stats_mu_
+  /// Signalled on every completion so Shutdown can wait out the drain with a
+  /// deadline instead of spinning.
+  std::condition_variable drain_cv_;
 };
 
 }  // namespace stagedb::server

@@ -1,6 +1,7 @@
 // Tests for the staged and threaded servers: lifecycle staging, admission
 // control, concurrency, and staged-vs-threaded result equivalence.
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -220,6 +221,105 @@ TEST_F(ServerTest, ThreadedStatsSnapshotsAreConsistentUnderLoad) {
   EXPECT_EQ(stats.served, kClients * kPerClient);
   EXPECT_EQ(stats.queued(), 0);
   EXPECT_EQ(stats.in_flight(), 0);
+}
+
+TEST_F(ServerTest, NotifyOnDoneFiresOnceEvenIfRegisteredLate) {
+  StagedServer server(db_.get());
+  std::atomic<int> fired{0};
+  auto request = server.Submit("SELECT COUNT(*) FROM t");
+  request->NotifyOnDone([&] { fired.fetch_add(1); });
+  ASSERT_TRUE(request->Await().ok());
+  // Registering after completion must fire immediately, not never.
+  std::atomic<int> late{0};
+  request->NotifyOnDone([&] { late.fetch_add(1); });
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(late.load(), 1);
+}
+
+TEST_F(ServerTest, TrySubmitShedsAtCapacityInsteadOfBlocking) {
+  DatabaseOptions dbo;
+  dbo.disk_latency_micros = 20'000;  // make each query slow enough to pile up
+  auto slow_db = Database::Open(dbo);
+  ASSERT_TRUE(slow_db.ok());
+  ASSERT_TRUE((*slow_db)->Execute("CREATE TABLE s (x INTEGER)").ok());
+  ASSERT_TRUE((*slow_db)->Execute("INSERT INTO s VALUES (1)").ok());
+  ServerOptions opts;
+  opts.admission_capacity = 2;
+  StagedServer server(slow_db->get(), opts);
+  std::vector<std::shared_ptr<Request>> admitted;
+  bool shed = false;
+  for (int i = 0; i < 64; ++i) {
+    auto request = server.TrySubmit("SELECT COUNT(*) FROM s");
+    if (request == nullptr) {
+      shed = true;
+      break;
+    }
+    admitted.push_back(std::move(request));
+  }
+  EXPECT_TRUE(shed) << "64 slow queries against capacity 2 never shed";
+  for (auto& r : admitted) EXPECT_TRUE(r->Await().ok());
+}
+
+TEST_F(ServerTest, StagedShutdownIsBoundedAndRejectsQueued) {
+  DatabaseOptions dbo;
+  dbo.disk_latency_micros = 30'000;
+  auto slow_db = Database::Open(dbo);
+  ASSERT_TRUE(slow_db.ok());
+  ASSERT_TRUE((*slow_db)->Execute("CREATE TABLE s (x INTEGER)").ok());
+  ASSERT_TRUE((*slow_db)->Execute("INSERT INTO s VALUES (1)").ok());
+  StagedServer server(slow_db->get());
+  std::vector<std::shared_ptr<Request>> requests;
+  for (int i = 0; i < 32; ++i) {
+    requests.push_back(server.Submit("SELECT COUNT(*) FROM s"));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  size_t rejected = server.Shutdown(/*deadline_ms=*/100);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  EXPECT_LT(elapsed_ms, 10'000) << "Shutdown must be bounded by its deadline";
+  // Every request resolves: finished ok before the deadline, or kAborted.
+  size_t aborted = 0;
+  for (auto& r : requests) {
+    auto result = r->Await();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kAborted)
+          << result.status().ToString();
+      ++aborted;
+    }
+  }
+  EXPECT_EQ(aborted, rejected);
+  // Submissions after the drain abort immediately instead of hanging.
+  auto late = server.Submit("SELECT COUNT(*) FROM s");
+  ASSERT_NE(late, nullptr);
+  EXPECT_EQ(late->Await().status().code(), StatusCode::kAborted);
+  // Idempotent: a second drain has nothing left to reject.
+  EXPECT_EQ(server.Shutdown(100), 0u);
+}
+
+TEST_F(ServerTest, ThreadedShutdownIsBoundedAndRejectsQueued) {
+  DatabaseOptions dbo;
+  dbo.disk_latency_micros = 30'000;
+  auto slow_db = Database::Open(dbo);
+  ASSERT_TRUE(slow_db.ok());
+  ASSERT_TRUE((*slow_db)->Execute("CREATE TABLE s (x INTEGER)").ok());
+  ASSERT_TRUE((*slow_db)->Execute("INSERT INTO s VALUES (1)").ok());
+  ServerOptions opts;
+  opts.worker_threads = 2;
+  ThreadedServer server(slow_db->get(), opts);
+  std::vector<std::shared_ptr<Request>> requests;
+  for (int i = 0; i < 32; ++i) {
+    requests.push_back(server.Submit("SELECT COUNT(*) FROM s"));
+  }
+  size_t rejected = server.Shutdown(/*deadline_ms=*/100);
+  size_t aborted = 0;
+  for (auto& r : requests) {
+    if (!r->Await().ok()) ++aborted;
+  }
+  EXPECT_EQ(aborted, rejected);
+  EXPECT_GE(server.Stats().rejected, static_cast<int64_t>(rejected));
+  EXPECT_EQ(server.Submit("SELECT 1")->Await().status().code(),
+            StatusCode::kAborted);
 }
 
 }  // namespace

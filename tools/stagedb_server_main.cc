@@ -1,0 +1,121 @@
+// Standalone networked server: a Database behind the staged TCP front-end.
+//
+//   stagedb_server --port 5433 --mode staged
+//
+// Prints "stagedb_server listening on <host>:<port>" once ready (CI waits
+// for that line), then serves until SIGTERM/SIGINT, which triggers the
+// bounded graceful drain (NetServer::Stop) before exiting 0. SIGUSR1 dumps
+// the per-stage stats report to stderr without stopping.
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/net_server.h"
+#include "server/database.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--mode staged|volcano]\n"
+      "          [--io-workers N] [--max-conns N] [--max-inflight N]\n"
+      "          [--idle-timeout-ms N] [--drain-deadline-ms N]\n",
+      argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using stagedb::net::NetServer;
+  using stagedb::net::NetServerOptions;
+  using stagedb::server::Database;
+  using stagedb::server::DatabaseOptions;
+  using stagedb::server::ExecutionMode;
+
+  NetServerOptions options;
+  options.port = 5433;
+  options.idle_timeout_ms = 30'000;
+  DatabaseOptions db_options;
+  db_options.mode = ExecutionMode::kStaged;
+  int64_t drain_deadline_ms = 2000;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) Usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--mode") {
+      std::string mode = next();
+      if (mode == "staged") {
+        db_options.mode = ExecutionMode::kStaged;
+      } else if (mode == "volcano") {
+        db_options.mode = ExecutionMode::kVolcano;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (arg == "--io-workers") {
+      options.io_workers = std::atoi(next());
+    } else if (arg == "--max-conns") {
+      options.max_connections = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--max-inflight") {
+      options.max_inflight_queries = std::strtoul(next(), nullptr, 10);
+    } else if (arg == "--idle-timeout-ms") {
+      options.idle_timeout_ms = std::atoll(next());
+    } else if (arg == "--drain-deadline-ms") {
+      drain_deadline_ms = std::atoll(next());
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // Block the control signals before any thread spawns so sigwait below is
+  // the only consumer (worker threads inherit the mask).
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGUSR1);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  auto db = Database::Open(db_options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "failed to open database: %s\n",
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  auto srv = NetServer::Start(db->get(), options);
+  if (!srv.ok()) {
+    std::fprintf(stderr, "failed to start server: %s\n",
+                 srv.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("stagedb_server listening on %s:%d\n", (*srv)->host().c_str(),
+              (*srv)->port());
+  std::fflush(stdout);
+
+  while (true) {
+    int sig = 0;
+    if (sigwait(&sigs, &sig) != 0) continue;
+    if (sig == SIGUSR1) {
+      std::fprintf(stderr, "%s", (*srv)->StatsReport().c_str());
+      continue;
+    }
+    break;  // SIGTERM / SIGINT
+  }
+  std::fprintf(stderr, "draining (deadline %lld ms)...\n",
+               static_cast<long long>(drain_deadline_ms));
+  (*srv)->Stop(drain_deadline_ms);
+  std::fprintf(stderr, "%s", (*srv)->StatsReport().c_str());
+  return 0;
+}
