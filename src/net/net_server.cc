@@ -175,6 +175,15 @@ class PollTask : public engine::StageTask {
       }
     }
     for (const auto& conn : idle) {
+      // A quiet socket is not an idle connection while a request is still
+      // outstanding (admission-queued, executing, or holding the in-order
+      // slot FIFO): the client is legitimately waiting on us, not the other
+      // way round. Slots drain to the output buffer on completion, so an
+      // empty FIFO means nothing is owed to this client.
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (!conn->slots.empty()) continue;
+      }
       server_->closed_idle_.fetch_add(1, std::memory_order_relaxed);
       server_->CloseConn(conn);
     }
@@ -230,6 +239,12 @@ class ReadTask : public engine::StageTask {
     if (conn_->closed.load(std::memory_order_acquire) ||
         conn_->closing.load(std::memory_order_acquire))
       return engine::RunOutcome::kDone;
+    // Bounded work per Run (the StageTask contract): a client blasting
+    // pipelined frames keeps its socket readable indefinitely, and an
+    // unbounded drain would pin this stage worker while every other
+    // connection starves. Past the budget, yield to the back of the queue.
+    constexpr size_t kReadBudgetBytes = 256 * 1024;
+    size_t consumed = 0;
     char buf[16384];
     while (true) {
       ssize_t n = ::read(conn_->fd, buf, sizeof(buf));
@@ -243,6 +258,8 @@ class ReadTask : public engine::StageTask {
         }
         if (!conn_->reader.error().ok())
           return ProtocolError(conn_->reader.error());
+        consumed += static_cast<size_t>(n);
+        if (consumed >= kReadBudgetBytes) return engine::RunOutcome::kYield;
         continue;
       }
       if (n == 0) {  // peer closed
@@ -507,13 +524,23 @@ void NetServer::ArmEpollOut(Connection* conn, bool want) {
 
 void NetServer::HandleAccepted(int fd) {
   accepted_.fetch_add(1, std::memory_order_relaxed);
-  size_t active;
+  std::shared_ptr<Connection> conn;
   {
+    // Capacity and shutdown are checked under the same lock as the insert:
+    // Stop() sets shutdown_ before CloseAllConns() takes conns_mu_, so a
+    // racing accept either lands in the map before the teardown snapshot
+    // (and is closed by it) or observes shutdown_ here and sheds. Without
+    // this, a connection admitted in the gap would park its tasks forever
+    // and Stop() would never see live_tasks_ reach zero.
     std::lock_guard<std::mutex> lock(conns_mu_);
-    active = conns_.size();
+    if (conns_.size() < options_.max_connections &&
+        !shutdown_.load(std::memory_order_acquire)) {
+      uint64_t id = next_conn_id_++;
+      conn = std::make_shared<Connection>(this, fd, id);
+      conns_[id] = conn;
+    }
   }
-  if (active >= options_.max_connections ||
-      shutdown_.load(std::memory_order_acquire)) {
+  if (conn == nullptr) {
     // Load-shed the connection itself: tell the client why, then close.
     // Best-effort single write — the socket buffer of a fresh connection
     // takes a frame this small.
@@ -528,27 +555,29 @@ void NetServer::HandleAccepted(int fd) {
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
-  std::shared_ptr<Connection> conn;
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    uint64_t id = next_conn_id_++;
-    conn = std::make_shared<Connection>(this, fd, id);
-    conns_[id] = conn;
-  }
   auto* read_task = new ReadTask(this, conn);
   auto* write_task = new WriteTask(this, conn);
-  {
-    std::lock_guard<std::mutex> lock(conn->task_mu);
-    conn->read_task = read_task;
-    conn->write_task = write_task;
-  }
   {
     std::lock_guard<std::mutex> lock(tasks_mu_);
     live_tasks_ += 2;
   }
-  read_stage_->Enqueue(read_task);
-  write_stage_->Enqueue(write_task);
+  {
+    // Publish the pointers and perform the first enqueue under one task_mu
+    // hold. Published-but-not-yet-queued tasks are reachable through
+    // ActivateRead/Write (a racing CloseConn, a completion), and an
+    // activation in that window performs the task's first enqueue itself —
+    // the task can then run, retire, and be freed before the Enqueue below
+    // touches it. Activations take task_mu, so they serialize behind this
+    // block and no-op on the already-queued task. Lock order (task_mu, then
+    // the runtime mutex inside Enqueue) matches every activation path, and
+    // OnRetired takes task_mu without the runtime mutex, so there is no
+    // inversion.
+    std::lock_guard<std::mutex> lock(conn->task_mu);
+    conn->read_task = read_task;
+    conn->write_task = write_task;
+    read_stage_->Enqueue(read_task);
+    write_stage_->Enqueue(write_task);
+  }
 
   struct epoll_event ev;
   std::memset(&ev, 0, sizeof(ev));
@@ -810,9 +839,23 @@ void NetServer::FinishQuery(const std::shared_ptr<Connection>& conn,
                             uint64_t slot_id,
                             StatusOr<server::QueryResult> result) {
   if (result.ok()) {
-    CompleteSlot(conn, slot_id,
-                 EncodeFrame(FrameType::kResult, EncodeRowsPayload(*result)),
-                 false);
+    std::string payload = EncodeRowsPayload(*result);
+    // A RESULT frame above max_frame_bytes would poison the peer's
+    // FrameReader (it rejects oversized frames unread), leaving the session
+    // unusable over a legitimate query. Answer with an ERROR the client can
+    // parse instead of a RESULT it never could.
+    if (payload.size() + 1 > options_.max_frame_bytes) {
+      oversized_results_.fetch_add(1, std::memory_order_relaxed);
+      CompleteSlot(conn, slot_id,
+                   ErrorFrame(Status::InvalidArgument(StrFormat(
+                       "result of %zu bytes exceeds the %zu-byte frame "
+                       "limit; narrow the query or raise max_frame_bytes",
+                       payload.size() + 1, options_.max_frame_bytes))),
+                   true);
+    } else {
+      CompleteSlot(conn, slot_id, EncodeFrame(FrameType::kResult, payload),
+                   false);
+    }
   } else {
     if (result.status().code() == StatusCode::kResourceExhausted ||
         result.status().code() == StatusCode::kAborted)
@@ -977,6 +1020,7 @@ NetServer::Stats NetServer::GetStats() const {
   s.ok_responses = ok_responses_.load(std::memory_order_relaxed);
   s.error_responses = error_responses_.load(std::memory_order_relaxed);
   s.shed_queries = shed_queries_.load(std::memory_order_relaxed);
+  s.oversized_results = oversized_results_.load(std::memory_order_relaxed);
   s.late_results_dropped =
       late_results_dropped_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
@@ -989,7 +1033,8 @@ std::string NetServer::StatsReport() const {
   std::string out = StrFormat(
       "net: accepted=%lld active=%lld shed_conns=%lld overflow=%lld "
       "idle=%lld proto_errors=%lld queries=%lld prepares=%lld ok=%lld "
-      "errors=%lld shed_queries=%lld late_dropped=%lld in=%lldB out=%lldB\n",
+      "errors=%lld shed_queries=%lld oversized=%lld late_dropped=%lld "
+      "in=%lldB out=%lldB\n",
       static_cast<long long>(s.accepted), static_cast<long long>(s.active),
       static_cast<long long>(s.shed_connections),
       static_cast<long long>(s.closed_overflow),
@@ -999,6 +1044,7 @@ std::string NetServer::StatsReport() const {
       static_cast<long long>(s.ok_responses),
       static_cast<long long>(s.error_responses),
       static_cast<long long>(s.shed_queries),
+      static_cast<long long>(s.oversized_results),
       static_cast<long long>(s.late_results_dropped),
       static_cast<long long>(s.bytes_in),
       static_cast<long long>(s.bytes_out));

@@ -73,6 +73,8 @@ struct NetServerOptions {
   size_t max_output_buffer_bytes = 4u << 20;
   /// Connections idle (no bytes in either direction) longer than this are
   /// closed; 0 disables. The slow-loris guard for half-open trickle readers.
+  /// A connection with a request outstanding (queued, executing, or awaiting
+  /// in-order delivery) is never idle, however long the query runs.
   int64_t idle_timeout_ms = 0;
   /// Options for the embedded SQL lifecycle pipeline (StagedServer).
   server::ServerOptions pipeline;
@@ -96,6 +98,7 @@ class NetServer {
     int64_t ok_responses = 0;
     int64_t error_responses = 0;   ///< ERROR frames sent (incl. sheds)
     int64_t shed_queries = 0;      ///< rejected by admission control
+    int64_t oversized_results = 0;  ///< results over the frame limit -> ERROR
     int64_t late_results_dropped = 0;  ///< completed after client vanished
     int64_t bytes_in = 0;
     int64_t bytes_out = 0;
@@ -229,6 +232,7 @@ class NetServer {
   std::atomic<int64_t> ok_responses_{0};
   std::atomic<int64_t> error_responses_{0};
   std::atomic<int64_t> shed_queries_{0};
+  std::atomic<int64_t> oversized_results_{0};
   std::atomic<int64_t> late_results_dropped_{0};
   std::atomic<int64_t> bytes_in_{0};
   std::atomic<int64_t> bytes_out_{0};

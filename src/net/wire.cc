@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -213,6 +214,9 @@ std::string EncodeRowsPayload(const server::QueryResult& result) {
   for (const auto& col : result.schema.columns()) {
     PutU8(&out, static_cast<uint8_t>(col.type));
     std::string name = col.QualifiedName();
+    // A name past u16 would wrap the length field and corrupt the stream;
+    // truncate explicitly — the name is cosmetic, the framing is not.
+    if (name.size() > UINT16_MAX) name.resize(UINT16_MAX);
     PutU16(&out, static_cast<uint16_t>(name.size()));
     out.append(name);
   }
@@ -258,7 +262,10 @@ StatusOr<WireResult> DecodeResultPayload(std::string_view payload) {
   auto ncols = r.ReadU32();
   if (!ncols.ok()) return ncols.status();
   std::vector<catalog::Column> columns;
-  columns.reserve(*ncols);
+  // Untrusted count: clamp the reserve to the payload's capacity (each
+  // column takes at least 3 bytes; 1 is a safe lower bound) and let the
+  // per-column bounds checks reject an overclaimed frame.
+  columns.reserve(std::min<size_t>(*ncols, r.Rest().size()));
   for (uint32_t i = 0; i < *ncols; ++i) {
     auto type = r.ReadU8();
     if (!type.ok()) return type.status();
@@ -274,6 +281,17 @@ StatusOr<WireResult> DecodeResultPayload(std::string_view payload) {
   wr.result.schema = catalog::Schema(std::move(columns));
   auto nrows = r.ReadU32();
   if (!nrows.ok()) return nrows.status();
+  // A row encodes to at least one byte per column, so the remaining payload
+  // bounds the row count; with zero columns a row is zero bytes and any
+  // nonzero claim is unfalsifiable by the decode loop — reject it outright
+  // rather than materializing billions of empty tuples.
+  size_t min_row_bytes = wr.result.schema.num_columns();
+  if (min_row_bytes == 0) {
+    if (*nrows != 0)
+      return Status::Corruption("row count claimed for a zero-column result");
+  } else if (*nrows > r.Rest().size() / min_row_bytes) {
+    return Status::Corruption("row count exceeds payload capacity");
+  }
   wr.result.rows.reserve(*nrows);
   for (uint32_t i = 0; i < *nrows; ++i) {
     catalog::Tuple row;
@@ -321,7 +339,12 @@ StatusOr<ExecuteRequest> DecodeExecutePayload(std::string_view payload) {
   req.stmt_id = *id;
   auto nparams = r.ReadU32();
   if (!nparams.ok()) return nparams.status();
-  req.params.reserve(*nparams);
+  // The claimed count is untrusted: every value takes at least one byte, so
+  // clamp the reserve to what the remaining payload could possibly encode. A
+  // tiny frame claiming 2^32-1 params must fail the per-value bounds checks,
+  // not demand a multi-GB allocation first (std::bad_alloc on a stage worker
+  // would take down the whole server).
+  req.params.reserve(std::min<size_t>(*nparams, r.Rest().size()));
   for (uint32_t i = 0; i < *nparams; ++i) {
     auto v = ReadValue(&r);
     if (!v.ok()) return v.status();

@@ -25,7 +25,11 @@
 // Responses are delivered in request order per connection (the server holds
 // out-of-order completions until earlier requests finish), so frames need no
 // correlation id. Frames above the reader's limit are a protocol error: the
-// server answers ERROR and closes the connection.
+// server answers ERROR and closes the connection. The limit is symmetric —
+// the server never emits a RESULT above it either: a row set that would
+// overflow the frame becomes an InvalidArgument ERROR (the session stays
+// usable), and decoded counts (nparams/ncols/nrows) are treated as untrusted
+// claims bounded by the payload they arrived in.
 #ifndef STAGEDB_NET_WIRE_H_
 #define STAGEDB_NET_WIRE_H_
 

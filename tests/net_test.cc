@@ -149,6 +149,33 @@ TEST(WireTest, TruncatedPayloadsAreCorruption) {
             StatusCode::kCorruption);
 }
 
+TEST(WireTest, HugeClaimedCountsAreCorruptionNotAllocation) {
+  // A 12-byte EXECUTE payload claiming 2^32-1 params must fail the bounds
+  // checks, not attempt a multi-GB reserve (std::bad_alloc on a server
+  // stage worker would std::terminate the whole process).
+  std::string exec(8, '\0');                    // stmt_id = 0
+  exec += std::string("\xFF\xFF\xFF\xFF", 4);   // nparams = 0xFFFFFFFF
+  EXPECT_EQ(DecodeExecutePayload(exec).status().code(),
+            StatusCode::kCorruption);
+
+  // Same untrusted-count pattern client-side: RESULT claiming 2^32-1
+  // columns...
+  std::string cols(1, '\0');                    // kind 0 = rows
+  cols += std::string(4, '\0');                 // plan_len = 0
+  cols += std::string("\xFF\xFF\xFF\xFF", 4);   // ncols
+  EXPECT_EQ(DecodeResultPayload(cols).status().code(),
+            StatusCode::kCorruption);
+
+  // ...or 2^32-1 rows, including the zero-column shape where a row encodes
+  // to zero bytes and the decode loop itself would spin.
+  std::string rows(1, '\0');                    // kind 0 = rows
+  rows += std::string(4, '\0');                 // plan_len = 0
+  rows += std::string(4, '\0');                 // ncols = 0
+  rows += std::string("\xFF\xFF\xFF\xFF", 4);   // nrows
+  EXPECT_EQ(DecodeResultPayload(rows).status().code(),
+            StatusCode::kCorruption);
+}
+
 TEST(WireTest, OutputBufferResumesPartialWritesOnEagain) {
   // A socketpair with a tiny send buffer forces short writes; the buffer
   // must resume exactly where it left off and deliver every byte in order.
@@ -413,6 +440,92 @@ TEST_F(NetTest, SlowLorisIdleTimeoutClosesConnection) {
       << "expected the server to close the idle connection, got "
       << resp.status().ToString();
   EXPECT_GE(srv_->GetStats().closed_idle, 1);
+}
+
+TEST_F(NetTest, HugeClaimedParamCountIsAPerRequestError) {
+  StartServer();
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  // A malicious EXECUTE claiming 2^32-1 params in 12 bytes: the server must
+  // answer a Corruption ERROR and keep both the process and the connection
+  // alive (pre-hardening this was a remote crash via std::bad_alloc).
+  std::string payload(8, '\0');
+  payload += std::string("\xFF\xFF\xFF\xFF", 4);
+  ASSERT_TRUE(client->SendRaw(EncodeFrame(FrameType::kExecute, payload)).ok());
+  auto resp = client->ReadResponse();
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kCorruption)
+      << resp.status().ToString();
+  EXPECT_TRUE(client->Query("SELECT COUNT(*) FROM t").ok());
+}
+
+TEST_F(NetTest, OversizedResultAnsweredWithErrorNotPoisonFrame) {
+  NetServerOptions options;
+  options.max_frame_bytes = 1024;
+  StartServer(options);
+  // ~210 rows of (a, b) encode well past the 1 KiB frame limit.
+  for (int i = 0; i < 200; ++i)
+    ASSERT_TRUE(db_->Execute("INSERT INTO t VALUES (100, 1)").ok());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  auto big = client->Query("SELECT a, b FROM t");
+  ASSERT_FALSE(big.ok());
+  EXPECT_EQ(big.status().code(), StatusCode::kInvalidArgument)
+      << big.status().ToString();
+  // The session survives: the server sent a parseable ERROR, not a RESULT
+  // frame the client-side reader would reject as corruption.
+  auto small = client->Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(small.ok()) << small.status().ToString();
+  EXPECT_EQ(small->rows[0][0].int_value(), 210);
+  EXPECT_GE(srv_->GetStats().oversized_results, 1);
+}
+
+TEST_F(NetTest, OutstandingRequestIsNotIdle) {
+  NetServerOptions options;
+  options.idle_timeout_ms = 200;
+  options.max_inflight_queries = 0;  // admission parks every query forever
+  options.pending_per_conn = 4;
+  StartServer(options);
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->SendQuery("SELECT COUNT(*) FROM t").ok());
+  // The query sits in the admission queue far past both the idle timeout
+  // and the ~1 s idle-scan cadence with no socket bytes moving. A client
+  // waiting on its own query must not be reaped as idle.
+  auto resp = client->ReadResponse(1800);
+  ASSERT_FALSE(resp.ok());
+  EXPECT_EQ(resp.status().code(), StatusCode::kTimedOut)
+      << "idle scan reaped a connection with a query in flight: "
+      << resp.status().ToString();
+  EXPECT_EQ(srv_->GetStats().closed_idle, 0);
+}
+
+TEST_F(NetTest, StopRacingNewConnectionsDoesNotHang) {
+  StartServer();
+  // Hammer the accept path from several threads while Stop tears the server
+  // down: a connection slipping in between the shutdown check and teardown
+  // used to park its tasks forever and wedge Stop.
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      while (!done.load()) {
+        auto c = Client::Connect("127.0.0.1", srv_->port(), 1000);
+        if (!c.ok()) continue;
+        Status ignored = (*c)->SendQuery("SELECT COUNT(*) FROM t");
+        (void)ignored;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  srv_->Stop(/*drain_deadline_ms=*/500);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  done.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            30)
+      << "Stop hung while racing new connections";
 }
 
 TEST_F(NetTest, ConnectionLimitShedsWithError) {
