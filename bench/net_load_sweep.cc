@@ -333,15 +333,18 @@ int64_t ChaosSlowLoris(const Args& args) {
     auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
     if (!c.ok()) continue;
     // 3 bytes of a frame header promising a large frame that never comes.
-    (*c)->SendRaw(std::string("\xff\x00\x00", 3));
+    if (!(*c)->SendRaw(std::string("\xff\x00\x00", 3)).ok()) continue;
     lorises.push_back(std::move(*c));
   }
   std::vector<std::unique_ptr<Client>> mutes;
   for (int i = 0; i < 2; ++i) {
     auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
     if (!c.ok()) continue;
-    for (int q = 0; q < 8; ++q)
-      (*c)->SendQuery("SELECT COUNT(*) FROM nt");  // never reads the results
+    for (int q = 0; q < 8; ++q) {
+      // Never reads the results; the server may close the socket (overflow
+      // guard), at which point further sends legitimately fail.
+      if (!(*c)->SendQuery("SELECT COUNT(*) FROM nt").ok()) break;
+    }
     mutes.push_back(std::move(*c));
   }
   return ControlQueryOk(args) ? 0 : 1;
@@ -353,7 +356,8 @@ int64_t ChaosMidQueryDisconnect(const Args& args) {
   for (int i = 0; i < 8; ++i) {
     auto c = Client::Connect(args.host, args.port, kResponseTimeoutMs);
     if (!c.ok()) return 1;
-    (*c)->SendQuery("SELECT grp, COUNT(*) FROM nt GROUP BY grp");
+    if (!(*c)->SendQuery("SELECT grp, COUNT(*) FROM nt GROUP BY grp").ok())
+      return 1;
     (*c)->CloseNow();
   }
   return ControlQueryOk(args) ? 0 : 1;

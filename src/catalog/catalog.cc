@@ -6,7 +6,7 @@ namespace stagedb::catalog {
 
 StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
                                           const Schema& schema) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tables_.count(name)) {
     return Status::AlreadyExists(StrFormat("table '%s'", name.c_str()));
   }
@@ -30,7 +30,7 @@ StatusOr<TableInfo*> Catalog::CreateTable(const std::string& name,
 }
 
 StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound(StrFormat("table '%s'", name.c_str()));
@@ -39,7 +39,7 @@ StatusOr<TableInfo*> Catalog::GetTable(const std::string& name) const {
 }
 
 StatusOr<TableInfo*> Catalog::GetTableById(TableId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, info] : tables_) {
     if (info->id == id) return info.get();
   }
@@ -47,7 +47,7 @@ StatusOr<TableInfo*> Catalog::GetTableById(TableId id) const {
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound(StrFormat("table '%s'", name.c_str()));
@@ -75,7 +75,7 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
     if (!t.ok()) return t.status();
     table = *t;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (indexes_.count(index_name)) {
     return Status::AlreadyExists(StrFormat("index '%s'", index_name.c_str()));
   }
@@ -111,7 +111,7 @@ StatusOr<IndexInfo*> Catalog::CreateIndex(const std::string& index_name,
 }
 
 StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = indexes_.find(name);
   if (it == indexes_.end()) {
     return Status::NotFound(StrFormat("index '%s'", name.c_str()));
@@ -120,7 +120,7 @@ StatusOr<IndexInfo*> Catalog::GetIndex(const std::string& name) const {
 }
 
 IndexInfo* Catalog::FindIndexOn(TableId table, size_t column) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [name, info] : indexes_) {
     if (info->table_id == table && info->column == column) return info.get();
   }
@@ -169,7 +169,7 @@ Status Catalog::DeleteTuple(TableInfo* table, const storage::Rid& rid) {
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [name, info] : tables_) names.push_back(name);

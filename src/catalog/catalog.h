@@ -8,7 +8,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -16,6 +15,7 @@
 #include "catalog/symbol_table.h"
 #include "catalog/table_stats.h"
 #include "catalog/tuple.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
@@ -87,12 +87,12 @@ class Catalog {
  private:
   storage::BufferPool* pool_;
   std::atomic<uint64_t> version_{1};
-  mutable std::mutex mu_;
-  TableId next_table_id_ = 0;
-  IndexId next_index_id_ = 0;
-  std::map<std::string, std::unique_ptr<TableInfo>> tables_;
-  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_;
-  SymbolTable symbols_;
+  mutable Mutex mu_;
+  TableId next_table_id_ GUARDED_BY(mu_) = 0;
+  IndexId next_index_id_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::unique_ptr<TableInfo>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<IndexInfo>> indexes_ GUARDED_BY(mu_);
+  SymbolTable symbols_;  // self-locking
 };
 
 }  // namespace stagedb::catalog

@@ -3,7 +3,7 @@
 namespace stagedb::catalog {
 
 int32_t SymbolTable::Intern(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++lookups_;
   auto it = ids_.find(name);
   if (it != ids_.end()) {
@@ -17,7 +17,7 @@ int32_t SymbolTable::Intern(const std::string& name) {
 }
 
 int32_t SymbolTable::Lookup(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++lookups_;
   auto it = ids_.find(name);
   if (it == ids_.end()) return -1;
@@ -26,12 +26,12 @@ int32_t SymbolTable::Lookup(const std::string& name) const {
 }
 
 const std::string& SymbolTable::NameOf(int32_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.at(id);
 }
 
 size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 

@@ -6,10 +6,11 @@
 #define STAGEDB_CATALOG_SYMBOL_TABLE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace stagedb::catalog {
 
@@ -30,11 +31,11 @@ class SymbolTable {
   int64_t hits() const { return hits_; }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, int32_t> ids_;
-  std::vector<std::string> names_;
-  mutable int64_t lookups_ = 0;
-  mutable int64_t hits_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, int32_t> ids_ GUARDED_BY(mu_);
+  std::vector<std::string> names_ GUARDED_BY(mu_);
+  mutable int64_t lookups_ GUARDED_BY(mu_) = 0;
+  mutable int64_t hits_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace stagedb::catalog

@@ -3,10 +3,10 @@
 #ifndef STAGEDB_COMMON_QUEUE_H_
 #define STAGEDB_COMMON_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/mutex.h"
 
 namespace stagedb {
 
@@ -27,59 +27,63 @@ class BoundedQueue {
   /// Blocks until there is room (or the queue is closed). Returns false if the
   /// queue was closed before the item could be inserted.
   bool Enqueue(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mu_);
+    not_full_.Wait(mu_, [&]() REQUIRES(mu_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking enqueue. Returns false if full or closed.
-  bool TryEnqueue(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
+  [[nodiscard]] bool TryEnqueue(T item) {
+    MutexLock lock(mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   std::optional<T> Dequeue() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mu_);
+    not_empty_.Wait(mu_, [&]() REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking dequeue.
   std::optional<T> TryDequeue() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: producers fail, consumers drain then see nullopt.
   void Close() {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
   bool closed() const {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   size_t size() const {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
@@ -89,11 +93,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace stagedb

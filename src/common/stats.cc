@@ -5,28 +5,28 @@
 namespace stagedb {
 
 Counter* StatsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Histogram* StatsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 std::map<std::string, int64_t> StatsRegistry::CounterSnapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter->value();
   return out;
 }
 
 std::string StatsRegistry::Report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, counter] : counters_) {
     os << name << " = " << counter->value() << "\n";
@@ -38,7 +38,7 @@ std::string StatsRegistry::Report() const {
 }
 
 void StatsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, hist] : histograms_) hist->Reset();
 }

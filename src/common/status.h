@@ -29,7 +29,11 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// A success-or-error result. Cheap to copy on success (no allocation).
-class Status {
+/// [[nodiscard]] on the class makes a silently dropped error at any call
+/// site returning Status by value a compiler warning (an error under
+/// STAGED_DB_WERROR); discard deliberately with a named variable, never a
+/// bare call.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -89,9 +93,10 @@ class Status {
   std::string message_;
 };
 
-/// Either a value of type T or an error Status.
+/// Either a value of type T or an error Status. [[nodiscard]] for the same
+/// reason as Status: a dropped StatusOr is a dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
     assert(!status_.ok() &&

@@ -12,24 +12,24 @@ namespace stagedb::engine {
 // ------------------------------------------------------------ CommitTicket --
 
 Status CommitTicket::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return done_; });
+  MutexLock lock(mu_);
+  cv_.Wait(mu_, [&]() REQUIRES(mu_) { return done_; });
   return status_;
 }
 
 int64_t CommitTicket::lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return lsn_;
 }
 
 void CommitTicket::Complete(int64_t lsn, Status status) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_ = true;
     lsn_ = lsn;
     status_ = std::move(status);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 // -------------------------------------------------------- GroupCommitStage --
@@ -57,7 +57,7 @@ GroupCommitStage::GroupCommitStage(StageRuntime* runtime,
 GroupCommitStage::~GroupCommitStage() { Drain(); }
 
 bool GroupCommitStage::HasPending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !pending_.empty();
 }
 
@@ -66,7 +66,7 @@ std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id) {
   ticket->arrival_micros_ = RealClock::Instance()->NowMicros();
   bool first = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (draining_) {
       ticket->Complete(0, Status::Aborted("commit stage draining"));
       return ticket;
@@ -76,7 +76,7 @@ std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id) {
     task_enqueued_ = true;
   }
   // A full batch need not wait out the window.
-  window_cv_.notify_all();
+  window_cv_.NotifyAll();
   if (first) {
     stage_->Enqueue(task_.get());
   } else {
@@ -86,7 +86,7 @@ std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id) {
 }
 
 RunOutcome GroupCommitStage::RunFlush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pending_.empty()) return RunOutcome::kBlocked;
   // Hold the window open until the batch fills, the oldest ticket has waited
   // max_wait_us, or a drain forces the flush. This wait is the "group" in
@@ -98,7 +98,7 @@ RunOutcome GroupCommitStage::RunFlush() {
                  RealClock::Instance()->NowMicros()));
   while (!draining_ &&
          static_cast<int>(pending_.size()) < options_.max_batch) {
-    if (window_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (window_cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       break;
     }
   }
@@ -111,7 +111,7 @@ RunOutcome GroupCommitStage::RunFlush() {
     pending_.pop_front();
   }
   flushing_ = true;
-  lock.unlock();
+  lock.Unlock();
 
   const int64_t t0 = RealClock::Instance()->NowMicros();
   Status flush = Status::OK();
@@ -131,12 +131,12 @@ RunOutcome GroupCommitStage::RunFlush() {
   const int64_t flush_us = RealClock::Instance()->NowMicros() - t0;
   // Counters update before the acks: a client whose Wait() returned must see
   // its own commit in counters().
-  lock.lock();
+  lock.Lock();
   commits_ += static_cast<int64_t>(batch.size());
   ++batches_;
   batch_size_.Record(static_cast<int64_t>(batch.size()));
   flush_micros_.Record(flush_us);
-  lock.unlock();
+  lock.Unlock();
   // Ack ordering invariant: completions happen only after the Sync() barrier
   // and in LSN order (batch order == append order).
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -144,33 +144,33 @@ RunOutcome GroupCommitStage::RunFlush() {
   }
   // flushing_ clears only after the acks, so Drain() (and with it the
   // destructor) cannot return while completions are still being delivered.
-  lock.lock();
+  lock.Lock();
   flushing_ = false;
   const bool more = !pending_.empty();
-  lock.unlock();
-  drain_cv_.notify_all();
+  lock.Unlock();
+  drain_cv_.NotifyAll();
   return more ? RunOutcome::kYield : RunOutcome::kBlocked;
 }
 
 void GroupCommitStage::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
-  window_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
+  window_cv_.NotifyAll();
+  MutexLock lock(mu_);
   while (!pending_.empty() || flushing_) {
-    lock.unlock();
+    lock.Unlock();
     // The flush task may be parked (it blocked before the last Submit, or a
     // prior Run left pending work it was not re-activated for): poke it.
     stage_->Activate(task_.get());
-    lock.lock();
-    drain_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    lock.Lock();
+    drain_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
   }
 }
 
 StageRuntime::GroupCommitCounters GroupCommitStage::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StageRuntime::GroupCommitCounters c;
   c.enabled = true;
   c.commits = commits_;

@@ -13,13 +13,12 @@
 #ifndef STAGEDB_ENGINE_COMMIT_STAGE_H_
 #define STAGEDB_ENGINE_COMMIT_STAGE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "engine/runtime.h"
 #include "storage/wal.h"
@@ -45,11 +44,11 @@ class CommitTicket {
   void Complete(int64_t lsn, Status status);
 
   const int64_t txn_id_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  int64_t lsn_ = 0;
-  Status status_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  int64_t lsn_ GUARDED_BY(mu_) = 0;
+  Status status_ GUARDED_BY(mu_);
   int64_t arrival_micros_ = 0;  // written by Submit, read by the flush loop
 };
 
@@ -96,17 +95,18 @@ class GroupCommitStage {
   Stage* stage_;
   std::unique_ptr<FlushTask> task_;
 
-  mutable std::mutex mu_;
-  std::condition_variable window_cv_;  // wakes the window wait early
-  std::condition_variable drain_cv_;   // Drain waits for in-flight flushes
-  std::deque<std::shared_ptr<CommitTicket>> pending_;
-  bool draining_ = false;
-  bool flushing_ = false;  // a batch is being appended/synced right now
-  bool task_enqueued_ = false;
-  int64_t commits_ = 0;
-  int64_t batches_ = 0;
-  Histogram batch_size_;
-  Histogram flush_micros_;
+  mutable Mutex mu_;
+  CondVar window_cv_;  // wakes the window wait early
+  CondVar drain_cv_;   // Drain waits for in-flight flushes
+  std::deque<std::shared_ptr<CommitTicket>> pending_ GUARDED_BY(mu_);
+  bool draining_ GUARDED_BY(mu_) = false;
+  // A batch is being appended/synced right now.
+  bool flushing_ GUARDED_BY(mu_) = false;
+  bool task_enqueued_ GUARDED_BY(mu_) = false;
+  int64_t commits_ GUARDED_BY(mu_) = 0;
+  int64_t batches_ GUARDED_BY(mu_) = 0;
+  Histogram batch_size_ GUARDED_BY(mu_);
+  Histogram flush_micros_ GUARDED_BY(mu_);
 };
 
 }  // namespace stagedb::engine

@@ -7,12 +7,12 @@
 namespace stagedb::engine {
 
 void ExchangeBuffer::BindProducer(Stage* stage, StageTask* task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   producers_.push_back({stage, task});
 }
 
 void ExchangeBuffer::BindConsumer(Stage* stage, StageTask* task) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consumers_.push_back({stage, task});
 }
 
@@ -29,7 +29,7 @@ void ExchangeBuffer::WakeAll(const std::vector<Endpoint>& endpoints) {
 ExchangeBuffer::PushResult ExchangeBuffer::TryPush(RowBatch* batch) {
   bool was_empty = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) return PushResult::kClosed;
     if (pages_.size() >= capacity_) return PushResult::kFull;
     was_empty = pages_.empty();
@@ -53,7 +53,7 @@ ExchangeBuffer::PushResult ExchangeBuffer::TryPush(RowBatch* batch) {
 void ExchangeBuffer::MarkEof() {
   bool became_eof = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++eof_marks_;
     // With at most one producer bound this is the classic single-producer
     // EOF; with M bound, the stream ends at the M-th mark (fan-in).
@@ -69,7 +69,7 @@ void ExchangeBuffer::MarkEof() {
 
 void ExchangeBuffer::ForceEof() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     eof_ = true;
   }
   WakeAll(consumers_);
@@ -79,7 +79,7 @@ bool ExchangeBuffer::TryPop(RowBatch* out, bool* eof) {
   bool popped = false;
   bool was_full = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     *eof = false;
     if (!pages_.empty()) {
       was_full = pages_.size() >= capacity_;
@@ -102,7 +102,7 @@ bool ExchangeBuffer::TryPop(RowBatch* out, bool* eof) {
 
 void ExchangeBuffer::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     pages_.clear();
   }
@@ -116,27 +116,27 @@ void ExchangeBuffer::Close() {
 }
 
 bool ExchangeBuffer::HasData() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return !pages_.empty();
 }
 
 bool ExchangeBuffer::AtEof() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pages_.empty() && (eof_ || closed_);
 }
 
 bool ExchangeBuffer::HasSpaceOrClosed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_ || pages_.size() < capacity_;
 }
 
 bool ExchangeBuffer::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 int64_t ExchangeBuffer::pages_pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pages_pushed_;
 }
 

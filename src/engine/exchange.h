@@ -31,10 +31,10 @@
 
 #include <atomic>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "catalog/tuple.h"
+#include "common/mutex.h"
 #include "engine/runtime.h"
 #include "optimizer/bound_expr.h"
 
@@ -110,7 +110,7 @@ class ExchangeBuffer {
   /// consumer no longer wants data (caller should finish early). A
   /// zero-capacity buffer rejects every push with kFull (kClosed once
   /// closed); the engine therefore never creates one.
-  virtual PushResult TryPush(RowBatch* batch);
+  [[nodiscard]] virtual PushResult TryPush(RowBatch* batch);
 
   /// Marks end-of-stream for one producer and, once every bound producer has
   /// done so (or immediately when at most one is bound), activates the
@@ -127,7 +127,7 @@ class ExchangeBuffer {
   /// A closed buffer reports end of stream once drained: closed means no
   /// further data will ever be delivered, so a parked peer consumer must not
   /// wait for an EOF mark that will never come (see Close).
-  virtual bool TryPop(RowBatch* out, bool* eof);
+  [[nodiscard]] virtual bool TryPop(RowBatch* out, bool* eof);
 
   /// Consumer-side cancellation (e.g. LIMIT satisfied): discards buffered
   /// batches and makes future pushes return kClosed. Wakes producers parked
@@ -160,12 +160,12 @@ class ExchangeBuffer {
   std::vector<Endpoint> consumers_;
 
  private:
-  mutable std::mutex mu_;
-  std::deque<RowBatch> pages_;
-  bool eof_ = false;
-  bool closed_ = false;
-  size_t eof_marks_ = 0;  // producers that have called MarkEof
-  int64_t pages_pushed_ = 0;
+  mutable Mutex mu_;
+  std::deque<RowBatch> pages_ GUARDED_BY(mu_);
+  bool eof_ GUARDED_BY(mu_) = false;
+  bool closed_ GUARDED_BY(mu_) = false;
+  size_t eof_marks_ GUARDED_BY(mu_) = 0;  // producers that have MarkEof'd
+  int64_t pages_pushed_ GUARDED_BY(mu_) = 0;
 };
 
 /// Lock-free single-producer / single-consumer exchange edge: a bounded
@@ -198,10 +198,10 @@ class SpscRingBuffer : public ExchangeBuffer {
   /// Actual slot count (capacity_pages rounded up to a power of two).
   size_t ring_capacity() const { return mask_ + 1; }
 
-  PushResult TryPush(RowBatch* batch) override;
+  [[nodiscard]] PushResult TryPush(RowBatch* batch) override;
   void MarkEof() override;
   void ForceEof() override;
-  bool TryPop(RowBatch* out, bool* eof) override;
+  [[nodiscard]] bool TryPop(RowBatch* out, bool* eof) override;
   void Close() override;
 
   bool HasData() const override;

@@ -111,6 +111,10 @@ std::unique_ptr<SchedulingPolicy> MakeSchedulerPolicy(SchedulerPolicy policy,
 void Stage::PushLocked(StageTask* task) {
   task->enqueue_micros_ = NowMicros();
   queue_.push_back(task);
+  // run_mu_ IS runtime_->mu_, but the analysis matches capability
+  // expressions structurally and cannot equate the two spellings; restate
+  // the held lock under the runtime's name for the REQUIRES(mu_) call.
+  runtime_->mu_.AssertHeld();
   runtime_->MaybeRotateLocked();
 }
 
@@ -130,10 +134,10 @@ void Stage::Enqueue(StageTask* task) {
   }
   task->home_stage_ = this;
   {
-    std::lock_guard<std::mutex> lock(runtime_->mu_);
+    MutexLock lock(*run_mu_);
     PushLocked(task);
   }
-  runtime_->cv_.notify_all();
+  runtime_->cv_.NotifyAll();
 }
 
 void Stage::Activate(StageTask* task) {
@@ -147,7 +151,7 @@ void Stage::Activate(StageTask* task) {
     // runtime mutex, which serializes with the park decision in FinishTask;
     // if the packet is still running there, leave a wake-pending marker the
     // parking worker consumes (it requeues instead of parking).
-    std::lock_guard<std::mutex> lock(runtime_->mu_);
+    MutexLock lock(*run_mu_);
     expected = StageTask::State::kIdle;
     if (!task->state_.compare_exchange_strong(expected,
                                               StageTask::State::kQueued)) {
@@ -158,14 +162,14 @@ void Stage::Activate(StageTask* task) {
     }
     PushLocked(task);
   } else {
-    std::lock_guard<std::mutex> lock(runtime_->mu_);
+    MutexLock lock(*run_mu_);
     PushLocked(task);
   }
-  runtime_->cv_.notify_all();
+  runtime_->cv_.NotifyAll();
 }
 
 size_t Stage::queue_depth() const {
-  std::lock_guard<std::mutex> lock(runtime_->mu_);
+  MutexLock lock(*run_mu_);
   return queue_.size();
 }
 
@@ -188,10 +192,10 @@ Stage* StageRuntime::CreateStage(const std::string& name, int num_workers) {
 Stage* StageRuntime::CreateStage(const std::string& name, StagePoolSpec spec) {
   spec.num_workers = std::max(1, spec.num_workers);
   std::unique_ptr<Stage> stage(
-      new Stage(this, name, static_cast<int>(stages_.size()), spec));
+      new Stage(this, &mu_, name, static_cast<int>(stages_.size()), spec));
   Stage* ptr = stage.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stages_.push_back(std::move(stage));
   }
   for (int i = 0; i < spec.num_workers; ++i) {
@@ -203,11 +207,11 @@ Stage* StageRuntime::CreateStage(const std::string& name, StagePoolSpec spec) {
 
 void StageRuntime::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
@@ -218,6 +222,8 @@ void StageRuntime::MaybeRotateLocked() {
   if (free_run_ || stages_.empty()) return;
   if (visit_open_ && active_stage_ < stages_.size()) {
     Stage* active = stages_[active_stage_].get();
+    // mu_ IS active->run_mu_; the analysis cannot equate the spellings.
+    active->run_mu_->AssertHeld();
     const bool gate_open = gate_remaining_ == SchedulingPolicy::kUnbounded
                                ? !active->queue_.empty()
                                : gate_remaining_ > 0;
@@ -250,6 +256,7 @@ void StageRuntime::MaybeRotateLocked() {
   for (size_t k = 1; k <= n; ++k) {
     const size_t idx = (active_stage_ + k) % n;
     Stage* next = stages_[idx].get();
+    next->run_mu_->AssertHeld();  // mu_ under the stage's spelling
     if (next->queue_.empty()) continue;
     const int64_t admit = policy_->OnVisitStart(next->queue_.size());
     if (admit != SchedulingPolicy::kUnbounded && admit <= 0) continue;
@@ -271,7 +278,10 @@ void StageRuntime::MaybeRotateLocked() {
 }
 
 StageTask* StageRuntime::WaitForTask(Stage* stage) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
+  // mu_ IS stage->run_mu_; the analysis cannot equate the two spellings, so
+  // restate the held lock under the stage's name for its guarded fields.
+  stage->run_mu_->AssertHeld();
   while (true) {
     if (shutdown_) return nullptr;
     bool allowed = free_run_;
@@ -297,14 +307,15 @@ StageTask* StageRuntime::WaitForTask(Stage* stage) {
       task->service_start_micros_ = now;
       return task;
     }
-    cv_.wait(lock);
+    cv_.Wait(mu_);
   }
 }
 
 void StageRuntime::FinishTask(Stage* stage, StageTask* task,
                               RunOutcome outcome) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    stage->run_mu_->AssertHeld();  // mu_ under the stage's spelling
     --stage->inflight_;
     stage->service_micros_.Record(
         static_cast<double>(NowMicros() - task->service_start_micros_));
@@ -320,10 +331,10 @@ void StageRuntime::FinishTask(Stage* stage, StageTask* task,
       // The inflight decrement above may have ended the visit; the other
       // outcomes rotate inside their (Push|Enqueue) calls.
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         MaybeRotateLocked();
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       break;
     }
     case RunOutcome::kYield:
@@ -351,7 +362,8 @@ void StageRuntime::FinishTask(Stage* stage, StageTask* task,
       // most one spurious requeue — benign, the packet just re-blocks.)
       const bool can_progress = task->CanMakeProgress();
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
+        stage->run_mu_->AssertHeld();  // mu_ under the stage's spelling
         const bool woken =
             task->wake_pending_.exchange(false, std::memory_order_relaxed);
         if (can_progress || woken) {
@@ -362,7 +374,7 @@ void StageRuntime::FinishTask(Stage* stage, StageTask* task,
           MaybeRotateLocked();
         }
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       break;
     }
   }
@@ -378,12 +390,14 @@ void StageRuntime::WorkerLoop(Stage* stage) {
 }
 
 StageRuntime::StatsSnapshot StageRuntime::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   StatsSnapshot snap;
   snap.policy = policy_->name();
   snap.stage_switches = stage_switches_.load(std::memory_order_relaxed);
   snap.stages.reserve(stages_.size());
-  for (const auto& stage : stages_) {
+  for (const auto& owned : stages_) {
+    const Stage* stage = owned.get();
+    stage->run_mu_->AssertHeld();  // mu_ under the stage's spelling
     StageStats s;
     s.name = stage->name_;
     s.num_workers = stage->spec_.num_workers;

@@ -25,17 +25,16 @@
 #define STAGEDB_ENGINE_RUNTIME_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
 
@@ -182,18 +181,18 @@ class Stage {
   int pinned_cpu() const { return spec_.pinned_cpu; }
 
   /// Enqueues a packet. First activation binds the packet to this stage.
-  void Enqueue(StageTask* task);
+  void Enqueue(StageTask* task) EXCLUDES(*run_mu_);
 
   /// Wakes a parked packet (no-op if it is queued, running, or done). Safe to
   /// call from any thread; used by exchange buffers for producer/consumer
   /// activation.
-  void Activate(StageTask* task);
+  void Activate(StageTask* task) EXCLUDES(*run_mu_);
 
   // Monitoring (§5.2: each stage exposes its own utilization).
   int64_t packets_processed() const { return processed_; }
   int64_t packets_yielded() const { return yielded_; }
   int64_t packets_blocked() const { return blocked_; }
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(*run_mu_);
 
   /// Intra-query parallelism accounting: `count` partition packets of one
   /// dop>1 operator were created on this stage (called by the engine when it
@@ -207,30 +206,42 @@ class Stage {
 
  private:
   friend class StageRuntime;
-  Stage(StageRuntime* runtime, std::string name, int id, StagePoolSpec spec)
-      : runtime_(runtime), name_(std::move(name)), id_(id), spec_(spec) {}
+  Stage(StageRuntime* runtime, Mutex* run_mu, std::string name, int id,
+        StagePoolSpec spec)
+      : runtime_(runtime),
+        run_mu_(run_mu),
+        name_(std::move(name)),
+        id_(id),
+        spec_(spec) {}
 
   /// Appends an already-kQueued packet (caller holds the runtime mutex).
-  void PushLocked(StageTask* task);
+  void PushLocked(StageTask* task) REQUIRES(*run_mu_);
 
-  StageRuntime* runtime_;
+  StageRuntime* const runtime_;
+  /// The runtime's scheduler mutex (always &runtime_->mu_), duplicated here
+  /// so the GUARDED_BY annotations below can name it — StageRuntime is not
+  /// yet declared, and the thread-safety analysis matches capability
+  /// expressions structurally, so runtime_->mu_ would not be recognized as
+  /// the lock StageRuntime methods hold as mu_. The runtime asserts the
+  /// equivalence at its cross-object accesses (AssertHeld).
+  Mutex* const run_mu_;
   const std::string name_;
   const int id_;
   const StagePoolSpec spec_;
-  std::deque<StageTask*> queue_;  // guarded by the runtime mutex
-  int inflight_ = 0;              // workers currently running a packet
+  std::deque<StageTask*> queue_ GUARDED_BY(*run_mu_);
+  int inflight_ GUARDED_BY(*run_mu_) = 0;  // workers running a packet
   std::atomic<int64_t> processed_{0};
   std::atomic<int64_t> yielded_{0};
   std::atomic<int64_t> blocked_{0};
   // Partition packets (and dop>1 operator groups) instantiated here.
   std::atomic<int64_t> parallel_packets_{0};
   std::atomic<int64_t> parallel_groups_{0};
-  // Visit accounting and latency histograms; guarded by the runtime mutex.
-  int64_t visits_ = 0;       // rotation arrivals (stays 0 under free-run)
-  int64_t gate_rounds_ = 0;  // gate rounds served (re-gates = rounds - visits)
-  int64_t pops_ = 0;         // packets dequeued for service
-  Histogram wait_micros_;    // enqueue -> dequeue
-  Histogram service_micros_;  // one Run() invocation
+  // Visit accounting and latency histograms.
+  int64_t visits_ GUARDED_BY(*run_mu_) = 0;  // rotation arrivals (0 free-run)
+  int64_t gate_rounds_ GUARDED_BY(*run_mu_) = 0;  // gate rounds served
+  int64_t pops_ GUARDED_BY(*run_mu_) = 0;  // packets dequeued for service
+  Histogram wait_micros_ GUARDED_BY(*run_mu_);     // enqueue -> dequeue
+  Histogram service_micros_ GUARDED_BY(*run_mu_);  // one Run() invocation
 };
 
 /// Owns the stages and their worker threads.
@@ -314,40 +325,43 @@ class StageRuntime {
 
   /// Stops all workers (drains nothing; callers should have completed or
   /// cancelled their queries).
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   const SchedulingPolicy& policy() const { return *policy_; }
   /// Number of times the cohort activation rotated between stages.
   int64_t stage_switches() const { return stage_switches_; }
   const std::vector<std::unique_ptr<Stage>>& stages() const { return stages_; }
 
-  StatsSnapshot Stats() const;
+  StatsSnapshot Stats() const EXCLUDES(mu_);
 
  private:
   friend class Stage;
 
   void WorkerLoop(Stage* stage);
   /// Blocks until a packet for `stage` may run under the global policy.
-  StageTask* WaitForTask(Stage* stage);
-  void FinishTask(Stage* stage, StageTask* task, RunOutcome outcome);
+  StageTask* WaitForTask(Stage* stage) EXCLUDES(mu_);
+  void FinishTask(Stage* stage, StageTask* task, RunOutcome outcome)
+      EXCLUDES(mu_);
   /// Cohort modes: close/extend the current visit and advance the active
-  /// stage per the policy. Caller holds mu_.
-  void MaybeRotateLocked();
+  /// stage per the policy.
+  void MaybeRotateLocked() REQUIRES(mu_);
 
   const std::unique_ptr<SchedulingPolicy> policy_;
   const bool free_run_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
-  // Cohort rotation state, guarded by mu_. While a visit is open only the
-  // active stage's workers may dequeue, and only while the gate admits.
-  size_t active_stage_ = 0;
-  bool visit_open_ = false;
-  int64_t gate_remaining_ = 0;  // admissions left; kUnbounded = exhaustive
-  int visit_rounds_ = 0;        // gate rounds served in the open visit
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Cohort rotation state. While a visit is open only the active stage's
+  // workers may dequeue, and only while the gate admits.
+  size_t active_stage_ GUARDED_BY(mu_) = 0;
+  bool visit_open_ GUARDED_BY(mu_) = false;
+  int64_t gate_remaining_ GUARDED_BY(mu_) = 0;  // kUnbounded = exhaustive
+  int visit_rounds_ GUARDED_BY(mu_) = 0;  // gate rounds in the open visit
   std::atomic<int64_t> stage_switches_{0};
+  // Appended to (under mu_) only by CreateStage, which must finish before
+  // the first packet flows; read unlocked by stages() and the worker loops.
   std::vector<std::unique_ptr<Stage>> stages_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  // touched only by the owner thread
 };
 
 }  // namespace stagedb::engine

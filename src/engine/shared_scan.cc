@@ -24,7 +24,7 @@ class TableScan {
   }
 
   int64_t Attach() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const int64_t id = next_reader_id_++;
     readers_[id] = Reader{cursor_, cursor_};
     ++stats_.attaches;
@@ -33,7 +33,7 @@ class TableScan {
   }
 
   void Detach(int64_t reader_id) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     DetachLocked(reader_id);
   }
 
@@ -42,7 +42,7 @@ class TableScan {
   bool NextPage(int64_t reader_id,
                 std::shared_ptr<const std::vector<std::string>>* records,
                 Status* status) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = readers_.find(reader_id);
     if (it == readers_.end()) return false;  // completed earlier
     Reader& reader = it->second;
@@ -91,7 +91,7 @@ class TableScan {
   }
 
   SharedScanStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -107,7 +107,7 @@ class TableScan {
     std::shared_ptr<const std::vector<std::string>> records;
   };
 
-  void DetachLocked(int64_t reader_id) {
+  void DetachLocked(int64_t reader_id) REQUIRES(mu_) {
     if (readers_.erase(reader_id) == 0) return;
     --stats_.active_readers;
     if (readers_.empty()) {
@@ -124,12 +124,13 @@ class TableScan {
   const storage::PageId first_page_;
   const size_t window_pages_;
 
-  mutable std::mutex mu_;
-  storage::PageId cursor_;  // attach point: last page physically read
-  std::map<int64_t, Reader> readers_;
-  std::deque<CachedPage> window_;
-  int64_t next_reader_id_ = 1;
-  SharedScanStats stats_;
+  mutable Mutex mu_;
+  // Attach point: last page physically read.
+  storage::PageId cursor_ GUARDED_BY(mu_);
+  std::map<int64_t, Reader> readers_ GUARDED_BY(mu_);
+  std::deque<CachedPage> window_ GUARDED_BY(mu_);
+  int64_t next_reader_id_ GUARDED_BY(mu_) = 1;
+  SharedScanStats stats_ GUARDED_BY(mu_);
 };
 
 // ----------------------------------------------------------------- Cursor ---
@@ -180,7 +181,7 @@ SharedScanManager::Cursor SharedScanManager::Attach(
     const storage::HeapFile* heap) {
   TableScan* table = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = tables_[heap];
     // Replace entries left behind by a dropped table whose HeapFile address
     // was reused by a new table (detected via the first page id; see
@@ -199,13 +200,13 @@ SharedScanManager::Cursor SharedScanManager::Attach(
 
 SharedScanStats SharedScanManager::StatsFor(
     const storage::HeapFile* heap) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tables_.find(heap);
   return it == tables_.end() ? SharedScanStats{} : it->second->stats();
 }
 
 SharedScanStats SharedScanManager::TotalStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SharedScanStats total;
   for (const auto& [heap, table] : tables_) {
     const SharedScanStats s = table->stats();

@@ -19,10 +19,10 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
@@ -99,9 +99,9 @@ class SharedScanManager {
 
  private:
   const size_t window_pages_;
-  mutable std::mutex mu_;  // guards the table map only
-  std::map<const storage::HeapFile*, std::unique_ptr<class TableScan>>
-      tables_;
+  mutable Mutex mu_;  // guards the table map only
+  std::map<const storage::HeapFile*, std::unique_ptr<class TableScan>> tables_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace stagedb::engine

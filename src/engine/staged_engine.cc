@@ -23,20 +23,20 @@ using optimizer::PlanKind;
 // ------------------------------------------------------------ StagedQuery ---
 
 StatusOr<std::vector<Tuple>> StagedQuery::Await() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return remaining_ == 0; });
+  MutexLock lock(mu_);
+  cv_.Wait(mu_, [&]() REQUIRES(mu_) { return remaining_ == 0; });
   if (!status_.ok()) return status_;
   return std::move(rows_);
 }
 
 void StagedQuery::AppendResult(Tuple t) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rows_.push_back(std::move(t));
 }
 
 void StagedQuery::Fail(Status status) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!failed_) {
       failed_ = true;
       status_ = std::move(status);
@@ -52,13 +52,13 @@ void StagedQuery::Fail(Status status) {
 }
 
 bool StagedQuery::done() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return remaining_ == 0;
 }
 
 void StagedQuery::NotifyOnDone(std::function<void()> callback) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (remaining_ > 0) {
       on_done_ = std::move(callback);
       return;
@@ -70,17 +70,17 @@ void StagedQuery::NotifyOnDone(std::function<void()> callback) {
 void StagedQuery::OnInstanceRetired() {
   std::function<void()> on_done;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --remaining_;
     if (remaining_ > 0) return;
-    cv_.notify_all();
+    cv_.NotifyAll();
     on_done = std::move(on_done_);
   }
   if (on_done) on_done();
 }
 
 bool StagedQuery::failed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return failed_;
 }
 
@@ -1228,7 +1228,7 @@ Stage* StagedEngine::StageFor(const PhysicalPlan& node) {
   switch (node.kind) {
     case PlanKind::kSeqScan: {
       if (!options_.stage_per_table_scans) return fscan_shared_;
-      std::lock_guard<std::mutex> lock(stage_map_mu_);
+      MutexLock lock(stage_map_mu_);
       auto it = fscan_stages_.find(node.table->id);
       if (it != fscan_stages_.end()) return it->second;
       const std::string name = "fscan." + node.table->name;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "engine/commit_stage.h"
 #include "engine/exchange.h"
 #include "engine/runtime.h"
@@ -129,13 +130,13 @@ class StagedQuery {
 
  private:
   friend class StagedEngine;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int remaining_ = 0;
-  Status status_;
-  bool failed_ = false;
-  std::vector<catalog::Tuple> rows_;
-  std::function<void()> on_done_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int remaining_ GUARDED_BY(mu_) = 0;
+  Status status_ GUARDED_BY(mu_);
+  bool failed_ GUARDED_BY(mu_) = false;
+  std::vector<catalog::Tuple> rows_ GUARDED_BY(mu_);
+  std::function<void()> on_done_ GUARDED_BY(mu_);
 };
 
 /// The staged engine: owns the stage runtime and executes physical plans.
@@ -180,7 +181,9 @@ class StagedEngine {
   // Declared after runtime_; the dtor drains it before runtime_.Shutdown().
   std::unique_ptr<GroupCommitStage> group_commit_;
 
-  std::mutex stage_map_mu_;
+  // Guards the lazily-built per-table fscan stage map below; the named
+  // stages are created in the constructor and immutable afterwards.
+  Mutex stage_map_mu_;
   Stage* iscan_stage_ = nullptr;
   Stage* qual_stage_ = nullptr;
   Stage* sort_stage_ = nullptr;
@@ -188,7 +191,7 @@ class StagedEngine {
   Stage* aggr_stage_ = nullptr;
   Stage* dml_stage_ = nullptr;
   Stage* execute_stage_ = nullptr;  // coarse granularity
-  std::map<catalog::TableId, Stage*> fscan_stages_;
+  std::map<catalog::TableId, Stage*> fscan_stages_ GUARDED_BY(stage_map_mu_);
   Stage* fscan_shared_ = nullptr;
 
   std::atomic<int64_t> next_query_id_{1};

@@ -31,7 +31,7 @@ PlanCache::Shard& PlanCache::ShardFor(const std::string& key) {
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
                                                     uint64_t epoch) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -54,7 +54,7 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
 void PlanCache::Insert(const std::string& key,
                        std::shared_ptr<const CachedPlan> entry) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Replace in place (e.g. a replan after invalidation).
@@ -74,7 +74,7 @@ void PlanCache::Insert(const std::string& key,
 
 void PlanCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }
@@ -88,7 +88,7 @@ PlanCacheStats PlanCache::Stats() const {
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.entries += shard->lru.size();
   }
   return stats;

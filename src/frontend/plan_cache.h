@@ -20,13 +20,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/types.h"
 #include "catalog/value.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "optimizer/plan.h"
 
@@ -87,14 +87,15 @@ class PlanCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Most recently used at the front.
-    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru;
+    std::list<std::pair<std::string, std::shared_ptr<const CachedPlan>>> lru
+        GUARDED_BY(mu);
     std::unordered_map<
         std::string,
         std::list<std::pair<std::string,
                             std::shared_ptr<const CachedPlan>>>::iterator>
-        index;
+        index GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

@@ -86,19 +86,21 @@ class Connection {
 
   std::atomic<int64_t> last_activity_micros;
 
-  std::mutex out_mu;
-  uint64_t next_slot_id = 1;     // guarded by out_mu
-  std::deque<ResponseSlot> slots;  // guarded by out_mu, ids ascending
-  OutputBuffer out;              // guarded by out_mu
-  bool want_write = false;       // EPOLLOUT armed; guarded by out_mu
+  Mutex out_mu;
+  uint64_t next_slot_id GUARDED_BY(out_mu) = 1;
+  std::deque<ResponseSlot> slots GUARDED_BY(out_mu);  // ids ascending
+  OutputBuffer out GUARDED_BY(out_mu);
+  bool want_write GUARDED_BY(out_mu) = false;  // EPOLLOUT armed
 
   /// Guards the task pointers so activation never races task retirement
   /// (OnRetired nulls the pointer under this lock before freeing the task).
-  std::mutex task_mu;
-  engine::StageTask* read_task = nullptr;
-  engine::StageTask* write_task = nullptr;
+  Mutex task_mu;
+  engine::StageTask* read_task GUARDED_BY(task_mu) = nullptr;
+  engine::StageTask* write_task GUARDED_BY(task_mu) = nullptr;
 
-  // Admission state, guarded by NetServer::adm_mu_.
+  // Admission state, guarded by NetServer::adm_mu_. The analysis cannot name
+  // another object's member as a capability from here, so these stay
+  // comment-guarded; every access site already holds adm_mu_.
   size_t adm_inflight = 0;
   std::deque<PendingWork> adm_pending;
   bool adm_in_rr = false;
@@ -151,7 +153,7 @@ class PollTask : public engine::StageTask {
 
   void OnRetired() override {
     {
-      std::lock_guard<std::mutex> lock(server_->tasks_mu_);
+      MutexLock lock(server_->tasks_mu_);
       server_->poll_task_ = nullptr;
     }
     server_->TaskRetired();
@@ -167,7 +169,7 @@ class PollTask : public engine::StageTask {
     int64_t limit = server_->options_.idle_timeout_ms * 1000;
     std::vector<std::shared_ptr<Connection>> idle;
     {
-      std::lock_guard<std::mutex> lock(server_->conns_mu_);
+      MutexLock lock(server_->conns_mu_);
       for (const auto& [id, conn] : server_->conns_) {
         if (now - conn->last_activity_micros.load(std::memory_order_relaxed) >
             limit)
@@ -181,7 +183,7 @@ class PollTask : public engine::StageTask {
       // way round. Slots drain to the output buffer on completion, so an
       // empty FIFO means nothing is owed to this client.
       {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        MutexLock lock(conn->out_mu);
         if (!conn->slots.empty()) continue;
       }
       server_->closed_idle_.fetch_add(1, std::memory_order_relaxed);
@@ -217,7 +219,7 @@ class AcceptTask : public engine::StageTask {
 
   void OnRetired() override {
     {
-      std::lock_guard<std::mutex> lock(server_->tasks_mu_);
+      MutexLock lock(server_->tasks_mu_);
       server_->accept_task_ = nullptr;
     }
     server_->TaskRetired();
@@ -276,7 +278,7 @@ class ReadTask : public engine::StageTask {
 
   void OnRetired() override {
     {
-      std::lock_guard<std::mutex> lock(conn_->task_mu);
+      MutexLock lock(conn_->task_mu);
       conn_->read_task = nullptr;
     }
     server_->TaskRetired();
@@ -291,7 +293,7 @@ class ReadTask : public engine::StageTask {
     server_->error_responses_.fetch_add(1, std::memory_order_relaxed);
     conn_->closing.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(conn_->out_mu);
+      MutexLock lock(conn_->out_mu);
       conn_->out.Append(ErrorFrame(status));
     }
     server_->ActivateWrite(conn_.get());
@@ -315,7 +317,7 @@ class WriteTask : public engine::StageTask {
     bool close_now = false;
     bool io_error = false;
     {
-      std::lock_guard<std::mutex> lock(conn_->out_mu);
+      MutexLock lock(conn_->out_mu);
       size_t written = 0;
       OutputBuffer::FlushResult res = conn_->out.Flush(conn_->fd, &written);
       if (written > 0) {
@@ -350,13 +352,13 @@ class WriteTask : public engine::StageTask {
 
   bool CanMakeProgress() override {
     if (conn_->closed.load(std::memory_order_acquire)) return true;
-    std::lock_guard<std::mutex> lock(conn_->out_mu);
+    MutexLock lock(conn_->out_mu);
     return !conn_->out.empty();
   }
 
   void OnRetired() override {
     {
-      std::lock_guard<std::mutex> lock(conn_->task_mu);
+      MutexLock lock(conn_->task_mu);
       conn_->write_task = nullptr;
     }
     server_->TaskRetired();
@@ -379,7 +381,7 @@ class DispatchTask : public engine::StageTask {
     while (true) {
       std::function<void()> fn;
       {
-        std::lock_guard<std::mutex> lock(server_->defer_mu_);
+        MutexLock lock(server_->defer_mu_);
         if (server_->deferred_.empty()) {
           if (server_->shutdown_.load(std::memory_order_acquire))
             return engine::RunOutcome::kDone;
@@ -394,13 +396,13 @@ class DispatchTask : public engine::StageTask {
 
   bool CanMakeProgress() override {
     if (server_->shutdown_.load(std::memory_order_acquire)) return true;
-    std::lock_guard<std::mutex> lock(server_->defer_mu_);
+    MutexLock lock(server_->defer_mu_);
     return !server_->deferred_.empty();
   }
 
   void OnRetired() override {
     {
-      std::lock_guard<std::mutex> lock(server_->tasks_mu_);
+      MutexLock lock(server_->tasks_mu_);
       server_->dispatch_task_ = nullptr;
     }
     server_->TaskRetired();
@@ -495,22 +497,22 @@ NetServer::~NetServer() {
 }
 
 void NetServer::ActivateAccept() {
-  std::lock_guard<std::mutex> lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   if (accept_task_ != nullptr) accept_stage_->Activate(accept_task_);
 }
 
 void NetServer::ActivateDispatch() {
-  std::lock_guard<std::mutex> lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   if (dispatch_task_ != nullptr) dispatch_stage_->Activate(dispatch_task_);
 }
 
 void NetServer::ActivateRead(Connection* conn) {
-  std::lock_guard<std::mutex> lock(conn->task_mu);
+  MutexLock lock(conn->task_mu);
   if (conn->read_task != nullptr) read_stage_->Activate(conn->read_task);
 }
 
 void NetServer::ActivateWrite(Connection* conn) {
-  std::lock_guard<std::mutex> lock(conn->task_mu);
+  MutexLock lock(conn->task_mu);
   if (conn->write_task != nullptr) write_stage_->Activate(conn->write_task);
 }
 
@@ -532,7 +534,7 @@ void NetServer::HandleAccepted(int fd) {
     // (and is closed by it) or observes shutdown_ here and sheds. Without
     // this, a connection admitted in the gap would park its tasks forever
     // and Stop() would never see live_tasks_ reach zero.
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     if (conns_.size() < options_.max_connections &&
         !shutdown_.load(std::memory_order_acquire)) {
       uint64_t id = next_conn_id_++;
@@ -558,7 +560,7 @@ void NetServer::HandleAccepted(int fd) {
   auto* read_task = new ReadTask(this, conn);
   auto* write_task = new WriteTask(this, conn);
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    MutexLock lock(tasks_mu_);
     live_tasks_ += 2;
   }
   {
@@ -572,7 +574,7 @@ void NetServer::HandleAccepted(int fd) {
     // the runtime mutex inside Enqueue) matches every activation path, and
     // OnRetired takes task_mu without the runtime mutex, so there is no
     // inversion.
-    std::lock_guard<std::mutex> lock(conn->task_mu);
+    MutexLock lock(conn->task_mu);
     conn->read_task = read_task;
     conn->write_task = write_task;
     read_stage_->Enqueue(read_task);
@@ -587,7 +589,7 @@ void NetServer::HandleAccepted(int fd) {
 }
 
 std::shared_ptr<Connection> NetServer::FindConn(uint64_t id) {
-  std::lock_guard<std::mutex> lock(conns_mu_);
+  MutexLock lock(conns_mu_);
   auto it = conns_.find(id);
   return it == conns_.end() ? nullptr : it->second;
 }
@@ -601,7 +603,7 @@ void NetServer::CloseConn(const std::shared_ptr<Connection>& conn) {
   // connection while this one's tasks are still in flight.
   ::shutdown(conn->fd, SHUT_RDWR);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     conns_.erase(conn->id);
   }
   // Wake both packets so they observe `closed`, return kDone, and retire.
@@ -612,14 +614,14 @@ void NetServer::CloseConn(const std::shared_ptr<Connection>& conn) {
 void NetServer::CloseAllConns() {
   std::vector<std::shared_ptr<Connection>> all;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     for (const auto& [id, conn] : conns_) all.push_back(conn);
   }
   for (const auto& conn : all) CloseConn(conn);
 }
 
 uint64_t NetServer::NewSlot(const std::shared_ptr<Connection>& conn) {
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   uint64_t id = conn->next_slot_id++;
   conn->slots.push_back(ResponseSlot{id, false, {}});
   return id;
@@ -634,7 +636,7 @@ void NetServer::CompleteSlot(const std::shared_ptr<Connection>& conn,
     ok_responses_.fetch_add(1, std::memory_order_relaxed);
   bool overflow = false;
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     if (conn->closed.load(std::memory_order_acquire)) {
       late_results_dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -738,7 +740,7 @@ void NetServer::OnRequest(const std::shared_ptr<Connection>& conn,
   enum class Verdict { kAdmit, kQueue, kShedOverload, kShedDraining };
   Verdict verdict;
   {
-    std::lock_guard<std::mutex> lock(adm_mu_);
+    MutexLock lock(adm_mu_);
     if (draining_) {
       verdict = Verdict::kShedDraining;
     } else if (conn->adm_inflight < options_.max_inflight_per_conn &&
@@ -782,12 +784,12 @@ void NetServer::OnRequest(const std::shared_ptr<Connection>& conn,
 void NetServer::OnQueryDone(const std::shared_ptr<Connection>& conn) {
   std::vector<std::function<void()>> runnable;
   {
-    std::lock_guard<std::mutex> lock(adm_mu_);
+    MutexLock lock(adm_mu_);
     if (inflight_total_ > 0) --inflight_total_;
     if (conn->adm_inflight > 0) --conn->adm_inflight;
     DispatchPendingLocked(&runnable);
   }
-  adm_cv_.notify_all();
+  adm_cv_.NotifyAll();
   for (auto& fn : runnable) Defer(std::move(fn));
 }
 
@@ -829,7 +831,7 @@ void NetServer::DispatchPendingLocked(
 
 void NetServer::Defer(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(defer_mu_);
+    MutexLock lock(defer_mu_);
     deferred_.push_back(std::move(fn));
   }
   ActivateDispatch();
@@ -888,7 +890,7 @@ std::function<void()> NetServer::MakeDispatch(
           params = std::move(work.params)]() {
     if (db_->options().mode == server::ExecutionMode::kStaged) {
       {
-        std::lock_guard<std::mutex> lock(engine_mu_);
+        MutexLock lock(engine_mu_);
         ++engine_inflight_;
       }
       auto pending = db_->SubmitPrepared(*stmt, params);
@@ -912,10 +914,10 @@ std::function<void()> NetServer::MakeDispatch(
 
 void NetServer::EngineDone() {
   {
-    std::lock_guard<std::mutex> lock(engine_mu_);
+    MutexLock lock(engine_mu_);
     --engine_inflight_;
   }
-  engine_cv_.notify_all();
+  engine_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -927,7 +929,7 @@ void NetServer::Stop(int64_t drain_deadline_ms) {
     // 1. Stop admitting; shed every queued request with a shutdown error.
     std::vector<std::pair<std::shared_ptr<Connection>, uint64_t>> to_shed;
     {
-      std::lock_guard<std::mutex> lock(adm_mu_);
+      MutexLock lock(adm_mu_);
       draining_ = true;
       while (!fair_rr_.empty()) {
         std::shared_ptr<Connection> conn = fair_rr_.front();
@@ -952,12 +954,15 @@ void NetServer::Stop(int64_t drain_deadline_ms) {
     // 3. Wait out the admitted work (each either completed or was rejected
     //    by the draining pipeline above) and the direct engine submissions.
     {
-      std::unique_lock<std::mutex> lock(adm_mu_);
-      adm_cv_.wait(lock, [&] { return inflight_total_ == 0; });
+      MutexLock lock(adm_mu_);
+      adm_cv_.Wait(adm_mu_,
+                   [&]() REQUIRES(adm_mu_) { return inflight_total_ == 0; });
     }
     {
-      std::unique_lock<std::mutex> lock(engine_mu_);
-      engine_cv_.wait(lock, [&] { return engine_inflight_ == 0; });
+      MutexLock lock(engine_mu_);
+      engine_cv_.Wait(engine_mu_, [&]() REQUIRES(engine_mu_) {
+        return engine_inflight_ == 0;
+      });
     }
 
     // 4. Brief window to flush buffered responses to clients still reading.
@@ -965,11 +970,11 @@ void NetServer::Stop(int64_t drain_deadline_ms) {
       bool all_empty = true;
       std::vector<std::shared_ptr<Connection>> all;
       {
-        std::lock_guard<std::mutex> lock(conns_mu_);
+        MutexLock lock(conns_mu_);
         for (const auto& [id, conn] : conns_) all.push_back(conn);
       }
       for (const auto& conn : all) {
-        std::lock_guard<std::mutex> lock(conn->out_mu);
+        MutexLock lock(conn->out_mu);
         if (!conn->out.empty()) all_empty = false;
       }
       if (all_empty) break;
@@ -987,17 +992,18 @@ void NetServer::Stop(int64_t drain_deadline_ms) {
     ActivateDispatch();
     CloseAllConns();
     {
-      std::unique_lock<std::mutex> lock(tasks_mu_);
-      tasks_cv_.wait(lock, [&] { return live_tasks_ == 0; });
+      MutexLock lock(tasks_mu_);
+      tasks_cv_.Wait(tasks_mu_,
+                     [&]() REQUIRES(tasks_mu_) { return live_tasks_ == 0; });
     }
     runtime_.Shutdown();
   });
 }
 
 void NetServer::TaskRetired() {
-  std::lock_guard<std::mutex> lock(tasks_mu_);
+  MutexLock lock(tasks_mu_);
   --live_tasks_;
-  tasks_cv_.notify_all();
+  tasks_cv_.NotifyAll();
 }
 
 // ---------------------------------------------------------------------------
@@ -1008,7 +1014,7 @@ NetServer::Stats NetServer::GetStats() const {
   Stats s;
   s.accepted = accepted_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     s.active = static_cast<int64_t>(conns_.size());
   }
   s.shed_connections = shed_connections_.load(std::memory_order_relaxed);

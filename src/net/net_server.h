@@ -33,7 +33,6 @@
 #define STAGEDB_NET_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -43,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "engine/runtime.h"
 #include "net/wire.h"
@@ -151,8 +151,9 @@ class NetServer {
   Status HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   void OnRequest(const std::shared_ptr<Connection>& conn, PendingWork work);
   void OnQueryDone(const std::shared_ptr<Connection>& conn);
-  /// Caller holds adm_mu_; appends runnable work to `out`.
-  void DispatchPendingLocked(std::vector<std::function<void()>>* out);
+  /// Appends runnable work to `out` (run it after releasing adm_mu_).
+  void DispatchPendingLocked(std::vector<std::function<void()>>* out)
+      REQUIRES(adm_mu_);
   void Defer(std::function<void()> fn);
   std::function<void()> MakeDispatch(const std::shared_ptr<Connection>& conn,
                                      PendingWork work);
@@ -191,35 +192,37 @@ class NetServer {
 
   /// Long-lived tasks; pointers nulled on retire so Stop can't touch a
   /// freed task.
-  std::mutex tasks_mu_;
-  std::condition_variable tasks_cv_;
-  engine::StageTask* poll_task_ = nullptr;
-  engine::StageTask* accept_task_ = nullptr;
-  engine::StageTask* dispatch_task_ = nullptr;
-  int live_tasks_ = 0;
+  Mutex tasks_mu_;
+  CondVar tasks_cv_;
+  engine::StageTask* poll_task_ GUARDED_BY(tasks_mu_) = nullptr;
+  engine::StageTask* accept_task_ GUARDED_BY(tasks_mu_) = nullptr;
+  engine::StageTask* dispatch_task_ GUARDED_BY(tasks_mu_) = nullptr;
+  int live_tasks_ GUARDED_BY(tasks_mu_) = 0;
 
-  mutable std::mutex conns_mu_;
-  std::map<uint64_t, std::shared_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = wake eventfd
+  mutable Mutex conns_mu_;
+  std::map<uint64_t, std::shared_ptr<Connection>> conns_
+      GUARDED_BY(conns_mu_);
+  // 0 = listener, 1 = wake eventfd
+  uint64_t next_conn_id_ GUARDED_BY(conns_mu_) = 2;
 
   /// Admission state: counters plus the fair-dequeue rotation of connections
   /// with pending work.
-  std::mutex adm_mu_;
-  std::condition_variable adm_cv_;
-  bool draining_ = false;
-  size_t inflight_total_ = 0;
+  Mutex adm_mu_;
+  CondVar adm_cv_;
+  bool draining_ GUARDED_BY(adm_mu_) = false;
+  size_t inflight_total_ GUARDED_BY(adm_mu_) = 0;
   /// Connections with queued pending work, drained round-robin.
-  std::deque<std::shared_ptr<Connection>> fair_rr_;
+  std::deque<std::shared_ptr<Connection>> fair_rr_ GUARDED_BY(adm_mu_);
 
   /// Deferred closures for the dispatch stage (engine callbacks push here).
-  std::mutex defer_mu_;
-  std::deque<std::function<void()>> deferred_;
+  Mutex defer_mu_;
+  std::deque<std::function<void()>> deferred_ GUARDED_BY(defer_mu_);
 
   /// Queries submitted straight to the engine (EXECUTE fast path); Stop
   /// waits for these so no completion callback outlives the server.
-  std::mutex engine_mu_;
-  std::condition_variable engine_cv_;
-  size_t engine_inflight_ = 0;
+  Mutex engine_mu_;
+  CondVar engine_cv_;
+  size_t engine_inflight_ GUARDED_BY(engine_mu_) = 0;
 
   // Counters (Stats).
   std::atomic<int64_t> accepted_{0};

@@ -569,7 +569,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       return result;
     }
     case Kind::kBegin: {
-      std::lock_guard<std::mutex> lock(txn_mu_);
+      MutexLock lock(txn_mu_);
       if (active_txn_ != nullptr) {
         return Status::InvalidArgument("transaction already in progress");
       }
@@ -586,7 +586,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
     case Kind::kCommit: {
       int64_t wal_txn = 0;
       {
-        std::lock_guard<std::mutex> lock(txn_mu_);
+        MutexLock lock(txn_mu_);
         if (active_txn_ == nullptr) {
           return Status::InvalidArgument("no transaction in progress");
         }
@@ -604,7 +604,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
       return result;
     }
     case Kind::kRollback: {
-      std::lock_guard<std::mutex> lock(txn_mu_);
+      MutexLock lock(txn_mu_);
       if (active_txn_ == nullptr) {
         return Status::InvalidArgument("no transaction in progress");
       }
@@ -662,7 +662,7 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
   int64_t wal_txn = 0;
   bool auto_commit = false;
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     ctx.mutation_log = active_txn_.get();
     if (durable() && IsDmlPlan(plan)) {
       if (active_txn_ != nullptr && active_wal_txn_ != 0) {
@@ -708,7 +708,7 @@ StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
   pending->plan_text_ = plan->ToString();
   pending->ctx_.catalog = catalog_.get();
   {
-    std::lock_guard<std::mutex> lock(txn_mu_);
+    MutexLock lock(txn_mu_);
     pending->ctx_.mutation_log = active_txn_.get();
     if (durable() && IsDmlPlan(plan)) {
       int64_t wal_txn = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/mutex.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "engine/runtime.h"
@@ -280,9 +281,10 @@ class Database {
   storage::RecoveryStats recovery_stats_;
 
   // Explicit SQL transaction state (single implicit session).
-  std::mutex txn_mu_;
-  std::unique_ptr<exec::MutationLog> active_txn_;
-  int64_t active_wal_txn_ = 0;  // wal txn id of the open BEGIN (0 = none)
+  Mutex txn_mu_;
+  std::unique_ptr<exec::MutationLog> active_txn_ GUARDED_BY(txn_mu_);
+  // wal txn id of the open BEGIN (0 = none).
+  int64_t active_wal_txn_ GUARDED_BY(txn_mu_) = 0;
 
   // Staged engine instance (created lazily in staged mode).
   std::unique_ptr<class StagedEngineHandle> staged_;

@@ -18,8 +18,8 @@ using engine::StageTask;
 // ---------------------------------------------------------------- Request ---
 
 StatusOr<QueryResult> Request::Await() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return done_; });
+  MutexLock lock(mu_);
+  cv_.Wait(mu_, [&]() REQUIRES(mu_) { return done_; });
   if (!status_.ok()) return status_;
   return result_;
 }
@@ -27,7 +27,7 @@ StatusOr<QueryResult> Request::Await() {
 void Request::Complete(StatusOr<QueryResult> result) {
   std::function<void()> callback;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     done_ = true;
     if (result.ok()) {
       result_ = std::move(*result);
@@ -37,13 +37,13 @@ void Request::Complete(StatusOr<QueryResult> result) {
     callback = std::move(callback_);
     callback_ = nullptr;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (callback) callback();
 }
 
 void Request::NotifyOnDone(std::function<void()> callback) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!done_) {
       callback_ = std::move(callback);
       return;
@@ -297,10 +297,10 @@ void LifecycleTask::OnRetired() {
   request_->Complete(std::move(result_));
   StagedServer* server = server_;
   {
-    std::lock_guard<std::mutex> lock(server->admission_mu_);
+    MutexLock lock(server->admission_mu_);
     --server->inflight_;
   }
-  server->admission_cv_.notify_one();
+  server->admission_cv_.NotifyOne();
   delete this;  // packet owns itself once submitted
 }
 
@@ -323,9 +323,12 @@ StagedServer::StagedServer(Database* db, ServerOptions options)
 
 StagedServer::~StagedServer() {
   // Wait for in-flight packets, then stop the stages.
-  std::unique_lock<std::mutex> lock(admission_mu_);
-  admission_cv_.wait(lock, [&] { return inflight_ == 0; });
-  lock.unlock();
+  {
+    MutexLock lock(admission_mu_);
+    admission_cv_.Wait(admission_mu_, [&]() REQUIRES(admission_mu_) {
+      return inflight_ == 0;
+    });
+  }
   runtime_.Shutdown();
 }
 
@@ -334,12 +337,12 @@ std::shared_ptr<Request> StagedServer::Submit(std::string sql) {
   {
     // Admission control: block while the server is at capacity ("new queries
     // queue up in the first stage").
-    std::unique_lock<std::mutex> lock(admission_mu_);
-    admission_cv_.wait(lock, [&] {
+    MutexLock lock(admission_mu_);
+    admission_cv_.Wait(admission_mu_, [&]() REQUIRES(admission_mu_) {
       return draining_ || inflight_ < options_.admission_capacity;
     });
     if (draining_) {
-      lock.unlock();
+      lock.Unlock();
       request->Complete(Status::Aborted("server shutting down"));
       return request;
     }
@@ -353,9 +356,9 @@ std::shared_ptr<Request> StagedServer::Submit(std::string sql) {
 std::shared_ptr<Request> StagedServer::TrySubmit(std::string sql) {
   auto request = std::make_shared<Request>(std::move(sql));
   {
-    std::unique_lock<std::mutex> lock(admission_mu_);
+    MutexLock lock(admission_mu_);
     if (draining_) {
-      lock.unlock();
+      lock.Unlock();
       request->Complete(Status::Aborted("server shutting down"));
       return request;
     }
@@ -368,20 +371,24 @@ std::shared_ptr<Request> StagedServer::TrySubmit(std::string sql) {
 }
 
 size_t StagedServer::Shutdown(int64_t deadline_ms) {
-  std::unique_lock<std::mutex> lock(admission_mu_);
+  MutexLock lock(admission_mu_);
   draining_ = true;
   // Wake Submit callers blocked on admission so they observe the drain.
-  admission_cv_.notify_all();
+  admission_cv_.NotifyAll();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(deadline_ms);
-  admission_cv_.wait_until(lock, deadline, [&] { return inflight_ == 0; });
+  admission_cv_.WaitUntil(
+      admission_mu_, deadline,
+      [&]() REQUIRES(admission_mu_) { return inflight_ == 0; });
   if (inflight_ != 0) {
     // Deadline expired: reject everything that has not reached execution.
     // Every remaining packet now completes in one cheap stage visit (or
     // finishes an already-running query), so this wait is bounded by queue
     // length, not per-query cost.
     shed_queued_.store(true, std::memory_order_release);
-    admission_cv_.wait(lock, [&] { return inflight_ == 0; });
+    admission_cv_.Wait(admission_mu_, [&]() REQUIRES(admission_mu_) {
+      return inflight_ == 0;
+    });
   }
   return static_cast<size_t>(
       rejected_on_drain_.load(std::memory_order_relaxed));
@@ -419,9 +426,9 @@ std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
   // Count the admission before the enqueue so no snapshot can observe a
   // request as started before it was submitted; roll back on a closed queue.
   {
-    std::unique_lock<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     if (draining_) {
-      lock.unlock();  // Complete may run a NotifyOnDone callback
+      lock.Unlock();  // Complete may run a NotifyOnDone callback
       request->Complete(Status::Aborted("server shutting down"));
       return request;
     }
@@ -429,7 +436,7 @@ std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
   }
   if (!queue_.Enqueue(request)) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       --counts_.submitted;
     }
     request->Complete(Status::Aborted("server shut down"));
@@ -440,28 +447,28 @@ std::shared_ptr<Request> ThreadedServer::Submit(std::string sql) {
 void ThreadedServer::WorkerLoop() {
   while (auto request = queue_.Dequeue()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++counts_.started;
     }
     auto result = db_->Execute((*request)->sql());
     {
       // Count before Complete: a client returning from Await must already
       // see itself reflected in Stats()/StatsReport.
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++counts_.served;
     }
-    drain_cv_.notify_all();
+    drain_cv_.NotifyAll();
     (*request)->Complete(std::move(result));
   }
 }
 
 size_t ThreadedServer::Shutdown(int64_t deadline_ms) {
   {
-    std::unique_lock<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     draining_ = true;
     const auto deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(deadline_ms);
-    drain_cv_.wait_until(lock, deadline, [&] {
+    drain_cv_.WaitUntil(stats_mu_, deadline, [&]() REQUIRES(stats_mu_) {
       return counts_.queued() == 0 && counts_.in_flight() == 0;
     });
   }
@@ -471,7 +478,7 @@ size_t ThreadedServer::Shutdown(int64_t deadline_ms) {
   size_t rejected = 0;
   while (auto request = queue_.TryDequeue()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++counts_.rejected;
     }
     ++rejected;
@@ -481,8 +488,8 @@ size_t ThreadedServer::Shutdown(int64_t deadline_ms) {
     // In-flight requests complete normally ("complete in-flight, reject
     // queued"); with the queue empty this wait is bounded by the running
     // statements, not the backlog.
-    std::unique_lock<std::mutex> lock(stats_mu_);
-    drain_cv_.wait(lock, [&] {
+    MutexLock lock(stats_mu_);
+    drain_cv_.Wait(stats_mu_, [&]() REQUIRES(stats_mu_) {
       return counts_.queued() == 0 && counts_.in_flight() == 0;
     });
   }
@@ -494,7 +501,7 @@ size_t ThreadedServer::Shutdown(int64_t deadline_ms) {
 }
 
 ThreadedServer::ThreadedStats ThreadedServer::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return counts_;
 }
 

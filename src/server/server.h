@@ -15,15 +15,14 @@
 #define STAGEDB_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/queue.h"
 #include "common/status.h"
 #include "engine/runtime.h"
@@ -53,12 +52,12 @@ class Request {
 
  private:
   std::string sql_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
-  Status status_;
-  QueryResult result_;
-  std::function<void()> callback_;
+  Mutex mu_;
+  CondVar cv_;
+  bool done_ GUARDED_BY(mu_) = false;
+  Status status_ GUARDED_BY(mu_);
+  QueryResult result_ GUARDED_BY(mu_);
+  std::function<void()> callback_ GUARDED_BY(mu_);
 };
 
 struct ServerOptions {
@@ -112,7 +111,7 @@ class StagedServer : public Server {
   /// thread (the network front-end's reject-with-ERROR policy). A draining
   /// server returns a request already completed with kAborted — never
   /// nullptr — so callers can tell "shed now" from "shutting down".
-  std::shared_ptr<Request> TrySubmit(std::string sql);
+  [[nodiscard]] std::shared_ptr<Request> TrySubmit(std::string sql);
   size_t Shutdown(int64_t deadline_ms) override;
   std::string StatsReport() const override;
   const engine::StageRuntime& runtime() const { return runtime_; }
@@ -128,11 +127,11 @@ class StagedServer : public Server {
   engine::Stage* execute_ = nullptr;
   engine::Stage* disconnect_ = nullptr;
   // Admission control: bounds the number of in-flight lifecycle packets.
-  std::mutex admission_mu_;
-  std::condition_variable admission_cv_;
-  size_t inflight_ = 0;
-  /// Set by Shutdown under admission_mu_: no new packets are admitted.
-  bool draining_ = false;
+  Mutex admission_mu_;
+  CondVar admission_cv_;
+  size_t inflight_ GUARDED_BY(admission_mu_) = 0;
+  /// Set by Shutdown: no new packets are admitted.
+  bool draining_ GUARDED_BY(admission_mu_) = false;
   /// Set when the drain deadline expires: LifecycleTask::Run completes any
   /// packet that has not reached execution with a shutdown error instead of
   /// doing its stage work, so the tail of the drain is bounded by queue
@@ -178,12 +177,12 @@ class ThreadedServer : public Server {
   /// Guards the three ThreadedStats counters so Stats() returns a mutually
   /// consistent snapshot (the pre-fix code mixed an atomic counter with an
   /// unsynchronized queue-size read).
-  mutable std::mutex stats_mu_;
-  ThreadedStats counts_;
-  bool draining_ = false;  // guarded by stats_mu_
+  mutable Mutex stats_mu_;
+  ThreadedStats counts_ GUARDED_BY(stats_mu_);
+  bool draining_ GUARDED_BY(stats_mu_) = false;
   /// Signalled on every completion so Shutdown can wait out the drain with a
   /// deadline instead of spinning.
-  std::condition_variable drain_cv_;
+  CondVar drain_cv_;
 };
 
 }  // namespace stagedb::server

@@ -181,7 +181,7 @@ Status BPlusTree::InsertRec(PageId node_id, int64_t key, const Rid& rid,
 }
 
 Status BPlusTree::Insert(int64_t key, const Rid& rid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SplitResult split;
   STAGEDB_RETURN_IF_ERROR(InsertRec(root_, key, rid, &split));
   if (!split.split) return Status::OK();
@@ -201,7 +201,7 @@ Status BPlusTree::Insert(int64_t key, const Rid& rid) {
 }
 
 StatusOr<Rid> BPlusTree::Get(int64_t key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId node = root_;
   while (true) {
     auto page_or = pool_->FetchPage(node);
@@ -230,7 +230,7 @@ StatusOr<Rid> BPlusTree::Get(int64_t key) const {
 }
 
 Status BPlusTree::Delete(int64_t key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId node = root_;
   while (true) {
     auto page_or = pool_->FetchPage(node);
@@ -263,7 +263,7 @@ Status BPlusTree::Delete(int64_t key) {
 
 Status BPlusTree::Scan(int64_t lo, int64_t hi,
                        std::vector<std::pair<int64_t, Rid>>* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Descend to the leaf containing lo.
   PageId node = root_;
   while (true) {
@@ -310,7 +310,7 @@ Status BPlusTree::Scan(int64_t lo, int64_t hi,
 }
 
 StatusOr<int> BPlusTree::Height() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int height = 1;
   PageId node = root_;
   while (true) {
@@ -373,7 +373,7 @@ Status BPlusTree::CheckNode(PageId node, int64_t lo, int64_t hi, int depth,
 }
 
 Status BPlusTree::CheckInvariants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int leaf_depth = -1;
   return CheckNode(root_, INT64_MIN, INT64_MAX, 0, &leaf_depth);
 }

@@ -9,10 +9,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -60,8 +60,8 @@ class BPlusTree {
                    int* leaf_depth) const;
 
   BufferPool* pool_;
-  PageId root_;
-  mutable std::mutex mu_;
+  PageId root_ GUARDED_BY(mu_);
+  mutable Mutex mu_;
 };
 
 }  // namespace stagedb::storage

@@ -42,7 +42,7 @@ void BufferPool::UnlinkLru(int frame) {
 }
 
 StatusOr<Page*> BufferPool::FetchPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++hits_;
@@ -78,7 +78,7 @@ StatusOr<Page*> BufferPool::NewPage() {
     if (!id_or.ok()) return id_or.status();
     id = *id_or;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int frame = FindVictim();
   if (frame < 0) {
     return Status::ResourceExhausted("buffer pool: all frames pinned");
@@ -99,7 +99,7 @@ StatusOr<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::Unpin(PageId id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) {
     return Status::InvalidArgument(
@@ -116,7 +116,7 @@ Status BufferPool::Unpin(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end()) return Status::OK();
   Page* page = frames_[it->second].get();
@@ -128,7 +128,7 @@ Status BufferPool::FlushPage(PageId id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& frame : frames_) {
     if (frame->page_id() != kInvalidPageId && frame->dirty()) {
       STAGEDB_RETURN_IF_ERROR(
@@ -140,7 +140,7 @@ Status BufferPool::FlushAll() {
 }
 
 int64_t BufferPool::pinned_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t n = 0;
   for (const auto& frame : frames_) {
     if (frame->page_id() != kInvalidPageId && frame->pin_count() > 0) ++n;

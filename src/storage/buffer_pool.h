@@ -3,12 +3,13 @@
 #ifndef STAGEDB_STORAGE_BUFFER_POOL_H_
 #define STAGEDB_STORAGE_BUFFER_POOL_H_
 
+#include <cassert>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -50,15 +51,19 @@ class BufferPool {
   void UnlinkLru(int frame);
 
   DiskManager* disk_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  // frames_ itself is sized once in the constructor; the Page objects it
+  // points to are pinned/unpinned under mu_ (their *contents* are protected
+  // by the per-frame latch, see Page::latch()).
   std::vector<std::unique_ptr<Page>> frames_;
-  std::unordered_map<PageId, int> page_table_;
-  std::list<int> lru_;  // front = least recently used, unpinned frames only
+  std::unordered_map<PageId, int> page_table_ GUARDED_BY(mu_);
+  // front = least recently used, unpinned frames only
+  std::list<int> lru_ GUARDED_BY(mu_);
   /// Per-frame position in lru_; lru_.end() when not linked.
-  std::vector<std::list<int>::iterator> lru_pos_;
-  std::vector<int> free_frames_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::vector<std::list<int>::iterator> lru_pos_ GUARDED_BY(mu_);
+  std::vector<int> free_frames_ GUARDED_BY(mu_);
+  int64_t hits_ GUARDED_BY(mu_) = 0;
+  int64_t misses_ GUARDED_BY(mu_) = 0;
 };
 
 /// RAII pin guard: unpins on destruction.
@@ -85,7 +90,12 @@ class PageGuard {
   void MarkDirty() { dirty_ = true; }
   void Release() {
     if (pool_ != nullptr && page_ != nullptr) {
-      pool_->Unpin(page_->page_id(), dirty_);
+      // Release runs from the destructor, so the status cannot propagate;
+      // Unpin only fails on a pin-count bookkeeping bug, which asserts here
+      // in debug builds.
+      const Status unpin = pool_->Unpin(page_->page_id(), dirty_);
+      assert(unpin.ok());
+      (void)unpin;
     }
     pool_ = nullptr;
     page_ = nullptr;

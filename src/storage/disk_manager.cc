@@ -15,7 +15,7 @@ namespace stagedb::storage {
 
 void WriteFaultInjector::Arm(Fault fault, int64_t after_writes,
                              std::function<void()> on_fault) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_ = fault;
   fire_at_ = writes_seen_.load(std::memory_order_relaxed) + after_writes;
   on_fault_ = std::move(on_fault);
@@ -23,7 +23,7 @@ void WriteFaultInjector::Arm(Fault fault, int64_t after_writes,
 }
 
 void WriteFaultInjector::Disarm() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   fault_ = Fault::kNone;
   fire_at_ = -1;
   on_fault_ = nullptr;
@@ -32,7 +32,7 @@ void WriteFaultInjector::Disarm() {
 std::string WriteFaultInjector::FilterWrite(std::string_view bytes,
                                             bool* fault_applied) {
   *fault_applied = false;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int64_t n = writes_seen_.fetch_add(1, std::memory_order_relaxed);
   if (fault_ == Fault::kNone || fired_.load(std::memory_order_relaxed) ||
       n < fire_at_) {
@@ -65,7 +65,7 @@ std::string WriteFaultInjector::FilterWrite(std::string_view bytes,
 void WriteFaultInjector::RunCallback() {
   std::function<void()> cb;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cb = on_fault_;
   }
   if (cb) cb();
@@ -93,7 +93,7 @@ StatusOr<std::unique_ptr<LogDevice>> LogDevice::Open(const std::string& path) {
 }
 
 Status LogDevice::Append(std::string_view bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return Status::IOError("log: device failed (injected fault)");
   std::string to_write;
   bool faulted = false;
@@ -126,7 +126,7 @@ Status LogDevice::Append(std::string_view bytes) {
 }
 
 Status LogDevice::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (failed_) return Status::IOError("log: device failed (injected fault)");
   if (::fdatasync(fd_) != 0) {
     return Status::IOError(
@@ -137,7 +137,7 @@ Status LogDevice::Sync() {
 }
 
 Status LogDevice::Truncate(uint64_t size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
     return Status::IOError(
         StrFormat("log: ftruncate failed: %s", strerror(errno)));
@@ -147,7 +147,7 @@ Status LogDevice::Truncate(uint64_t size) {
 }
 
 Status LogDevice::ReadAll(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out->clear();
   out->resize(size_);
   size_t off = 0;
@@ -169,7 +169,7 @@ Status LogDevice::ReadAll(std::string* out) const {
 }
 
 uint64_t LogDevice::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return size_;
 }
 
@@ -184,7 +184,7 @@ void MemDiskManager::ChargeLatency() {
 }
 
 StatusOr<PageId> MemDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto page = std::make_unique<char[]>(kPageSize);
   std::memset(page.get(), 0, kPageSize);
   pages_.push_back(std::move(page));
@@ -193,7 +193,7 @@ StatusOr<PageId> MemDiskManager::AllocatePage() {
 
 Status MemDiskManager::ReadPage(PageId id, char* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (id < 0 || id >= static_cast<PageId>(pages_.size())) {
       return Status::InvalidArgument(
           StrFormat("read of unallocated page %d", id));
@@ -207,7 +207,7 @@ Status MemDiskManager::ReadPage(PageId id, char* out) {
 
 Status MemDiskManager::WritePage(PageId id, const char* data) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (id < 0 || id >= static_cast<PageId>(pages_.size())) {
       return Status::InvalidArgument(
           StrFormat("write of unallocated page %d", id));
@@ -220,7 +220,7 @@ Status MemDiskManager::WritePage(PageId id, const char* data) {
 }
 
 PageId MemDiskManager::num_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<PageId>(pages_.size());
 }
 
@@ -248,7 +248,7 @@ StatusOr<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
 }
 
 StatusOr<PageId> FileDiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const PageId id = num_pages_++;
   char zero[kPageSize] = {};
   if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
@@ -259,7 +259,7 @@ StatusOr<PageId> FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::ReadPage(PageId id, char* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id < 0 || id >= num_pages_) {
     return Status::InvalidArgument(
         StrFormat("read of unallocated page %d", id));
@@ -273,7 +273,7 @@ Status FileDiskManager::ReadPage(PageId id, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId id, const char* data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (id < 0 || id >= num_pages_) {
     return Status::InvalidArgument(
         StrFormat("write of unallocated page %d", id));
@@ -288,7 +288,7 @@ Status FileDiskManager::WritePage(PageId id, const char* data) {
 }
 
 PageId FileDiskManager::num_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_pages_;
 }
 

@@ -11,12 +11,12 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/page.h"
 
@@ -61,10 +61,10 @@ class WriteFaultInjector {
   std::string FilterWrite(std::string_view bytes, bool* fault_applied);
   void RunCallback();
 
-  mutable std::mutex mu_;
-  Fault fault_ = Fault::kNone;
-  int64_t fire_at_ = -1;
-  std::function<void()> on_fault_;
+  mutable Mutex mu_;
+  Fault fault_ GUARDED_BY(mu_) = Fault::kNone;
+  int64_t fire_at_ GUARDED_BY(mu_) = -1;
+  std::function<void()> on_fault_ GUARDED_BY(mu_);
   std::atomic<int64_t> writes_seen_{0};
   std::atomic<bool> fired_{false};
 };
@@ -103,7 +103,7 @@ class LogDevice {
 
   /// Installs a fault injector (not owned; may be nullptr to clear).
   void set_fault_injector(WriteFaultInjector* injector) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     injector_ = injector;
   }
 
@@ -111,12 +111,13 @@ class LogDevice {
   LogDevice(int fd, uint64_t size, std::string path)
       : fd_(fd), size_(size), path_(std::move(path)) {}
 
-  mutable std::mutex mu_;
-  int fd_ = -1;
-  uint64_t size_ = 0;  // append offset
-  bool failed_ = false;  // set after an injected fault; appends then fail
+  mutable Mutex mu_;
+  const int fd_;
+  uint64_t size_ GUARDED_BY(mu_) = 0;  // append offset
+  // Set after an injected fault; appends then fail.
+  bool failed_ GUARDED_BY(mu_) = false;
   std::string path_;
-  WriteFaultInjector* injector_ = nullptr;
+  WriteFaultInjector* injector_ GUARDED_BY(mu_) = nullptr;
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> syncs_{0};
 };
@@ -161,8 +162,8 @@ class MemDiskManager : public DiskManager {
 
   const int64_t latency_micros_;
   Clock* clock_;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<char[]>> pages_;
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<char[]>> pages_ GUARDED_BY(mu_);
 };
 
 /// File-backed page store (one file, pages addressed by offset).
@@ -181,9 +182,9 @@ class FileDiskManager : public DiskManager {
  private:
   FileDiskManager(std::FILE* file, PageId num_pages, std::string path);
 
-  mutable std::mutex mu_;
-  std::FILE* file_;
-  PageId num_pages_;
+  mutable Mutex mu_;
+  std::FILE* const file_;
+  PageId num_pages_ GUARDED_BY(mu_);
   std::string path_;
 };
 

@@ -1,7 +1,5 @@
 #include "storage/heap_file.h"
 
-#include <shared_mutex>
-
 #include "storage/slotted_page.h"
 
 namespace stagedb::storage {
@@ -39,14 +37,14 @@ StatusOr<std::unique_ptr<HeapFile>> HeapFile::Open(BufferPool* pool,
 }
 
 StatusOr<Rid> HeapFile::Insert(std::string_view record) {
-  std::lock_guard<std::mutex> lock(append_mu_);
+  MutexLock lock(append_mu_);
   auto page_or = pool_->FetchPage(last_page_);
   if (!page_or.ok()) return page_or.status();
   Page* page = *page_or;
   SlottedPage sp(page);
   StatusOr<uint16_t> slot_or = uint16_t{0};
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    ExclusiveLock latch(page->latch());
     slot_or = sp.Insert(record);
   }
   if (slot_or.ok()) {
@@ -70,12 +68,12 @@ StatusOr<Rid> HeapFile::Insert(std::string_view record) {
   SlottedPage fresh_sp(fresh);
   StatusOr<uint16_t> slot2_or = uint16_t{0};
   {
-    std::unique_lock<std::shared_mutex> latch(fresh->latch());
+    ExclusiveLock latch(fresh->latch());
     fresh_sp.Init();
     slot2_or = fresh_sp.Insert(record);
   }
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    ExclusiveLock latch(page->latch());
     sp.set_next_page(fresh->page_id());
   }
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(page->page_id(), true));
@@ -97,7 +95,7 @@ Status HeapFile::Get(const Rid& rid, std::string* out) const {
   SlottedPage sp(page);
   Status status;
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    SharedLock latch(page->latch());
     auto rec_or = sp.Get(rid.slot);
     if (rec_or.ok()) {
       out->assign(rec_or->data(), rec_or->size());
@@ -119,7 +117,7 @@ Status HeapFile::Delete(const Rid& rid) {
   SlottedPage sp(page);
   Status s;
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    ExclusiveLock latch(page->latch());
     s = sp.Delete(rid.slot);
   }
   STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, s.ok()));
@@ -134,7 +132,7 @@ StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
   SlottedPage sp(page);
   Status s;
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    ExclusiveLock latch(page->latch());
     s = sp.UpdateInPlace(rid.slot, record);
   }
   if (s.ok()) {
@@ -148,7 +146,7 @@ StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
   }
   // Record grew: delete here, re-insert at the tail.
   {
-    std::unique_lock<std::shared_mutex> latch(page->latch());
+    ExclusiveLock latch(page->latch());
     s = sp.Delete(rid.slot);
   }
   STAGEDB_RETURN_IF_ERROR(s);
@@ -180,7 +178,7 @@ bool HeapFile::Iterator::Next() {
     bool found = false;
     PageId next = kInvalidPageId;
     {
-      std::shared_lock<std::shared_mutex> latch(page->latch());
+      SharedLock latch(page->latch());
       const uint16_t slots = sp.num_slots();
       while (next_slot_ < slots) {
         const uint16_t slot = static_cast<uint16_t>(next_slot_++);
@@ -211,7 +209,7 @@ Status HeapFile::ReadPage(PageId page_id, std::vector<std::string>* records,
   Page* page = *page_or;
   SlottedPage sp(page);
   {
-    std::shared_lock<std::shared_mutex> latch(page->latch());
+    SharedLock latch(page->latch());
     const uint16_t slots = sp.num_slots();
     records->reserve(slots);
     for (uint16_t slot = 0; slot < slots; ++slot) {

@@ -5,11 +5,11 @@
 #define STAGEDB_STORAGE_HEAP_FILE_H_
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
 #include "storage/page.h"
@@ -85,9 +85,10 @@ class HeapFile {
 
   BufferPool* pool_;
   PageId first_page_;
-  PageId last_page_;
+  /// Tail of the page chain; moved only by Insert while appending.
+  PageId last_page_ GUARDED_BY(append_mu_);
   std::atomic<uint64_t> version_{0};
-  std::mutex append_mu_;
+  Mutex append_mu_;
 
   friend class Iterator;
 };

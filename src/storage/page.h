@@ -4,7 +4,8 @@
 
 #include <cstdint>
 #include <cstring>
-#include <shared_mutex>
+
+#include "common/mutex.h"
 
 namespace stagedb::storage {
 
@@ -56,14 +57,14 @@ class Page {
   /// FetchPage and Unpin (the pin keeps the frame from being recycled while
   /// latched). The latch belongs to the frame, not the on-disk page, which is
   /// safe precisely because it is only ever held under a pin.
-  std::shared_mutex& latch() const { return latch_; }
+  SharedMutex& latch() const { return latch_; }
 
  private:
   char data_[kPageSize];
   PageId page_id_;
   int pin_count_;
   bool dirty_;
-  mutable std::shared_mutex latch_;
+  mutable SharedMutex latch_;
 };
 
 }  // namespace stagedb::storage

@@ -12,7 +12,7 @@ namespace stagedb::storage {
 // cv_.wait_until would dangle.
 
 Status LockManager::AcquireShared(TxnId txn, int32_t table_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros_);
   while (true) {
@@ -22,14 +22,14 @@ Status LockManager::AcquireShared(TxnId txn, int32_t table_id) {
       l.shared.insert(txn);
       return Status::OK();
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       return Status::Aborted("lock timeout (possible deadlock)");
     }
   }
 }
 
 Status LockManager::AcquireExclusive(TxnId txn, int32_t table_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::microseconds(timeout_micros_);
   while (true) {
@@ -40,14 +40,14 @@ Status LockManager::AcquireExclusive(TxnId txn, int32_t table_id) {
       l.exclusive = txn;
       return Status::OK();
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) {
       return Status::Aborted("lock timeout (possible deadlock)");
     }
   }
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = locks_.begin(); it != locks_.end();) {
     TableLock& l = it->second;
     l.shared.erase(txn);
@@ -58,23 +58,29 @@ void LockManager::ReleaseAll(TxnId txn) {
       ++it;
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t LockManager::locked_tables() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return locks_.size();
 }
 
 // ----------------------------------------------------- TransactionManager ---
 
 void TransactionManager::RegisterTable(int32_t table_id, HeapFile* file) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tables_[table_id] = file;
 }
 
+HeapFile* TransactionManager::FindTable(int32_t table_id) const {
+  MutexLock lock(mu_);
+  auto it = tables_.find(table_id);
+  return it == tables_.end() ? nullptr : it->second;
+}
+
 StatusOr<Transaction*> TransactionManager::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto txn = std::make_unique<Transaction>();
   txn->id = next_txn_++;
   Transaction* ptr = txn.get();
@@ -101,7 +107,7 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->state = TxnState::kCommitted;
   locks_.ReleaseAll(txn->id);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txn_log_.erase(txn->id);
   return Status::OK();
 }
@@ -128,7 +134,8 @@ StatusOr<Rid> FindRowByImage(HeapFile* file, const Rid& hint,
 }  // namespace
 
 Status TransactionManager::Undo(const WalRecord& record) {
-  HeapFile* file = tables_.at(record.table_id);
+  HeapFile* file = FindTable(record.table_id);
+  if (file == nullptr) return Status::NotFound("undo: unregistered table");
   switch (record.type) {
     case WalRecord::Type::kInsert: {
       auto rid_or = FindRowByImage(file, record.rid, record.after);
@@ -157,7 +164,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   std::vector<WalRecord> ops;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ops = txn_log_[txn->id];
   }
   for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
@@ -172,7 +179,7 @@ Status TransactionManager::Abort(Transaction* txn) {
   }
   txn->state = TxnState::kAborted;
   locks_.ReleaseAll(txn->id);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txn_log_.erase(txn->id);
   return Status::OK();
 }
@@ -180,13 +187,8 @@ Status TransactionManager::Abort(Transaction* txn) {
 StatusOr<Rid> TransactionManager::Insert(Transaction* txn, int32_t table_id,
                                          std::string_view row) {
   STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
-  HeapFile* file;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tables_.find(table_id);
-    if (it == tables_.end()) return Status::NotFound("unregistered table");
-    file = it->second;
-  }
+  HeapFile* file = FindTable(table_id);
+  if (file == nullptr) return Status::NotFound("unregistered table");
   WalRecord r;
   r.txn_id = txn->id;
   r.type = WalRecord::Type::kInsert;
@@ -200,7 +202,7 @@ StatusOr<Rid> TransactionManager::Insert(Transaction* txn, int32_t table_id,
     auto lsn_or = wal_->Append(r);
     if (!lsn_or.ok()) return lsn_or.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txn_log_[txn->id].push_back(std::move(r));
   return *rid_or;
 }
@@ -208,13 +210,8 @@ StatusOr<Rid> TransactionManager::Insert(Transaction* txn, int32_t table_id,
 Status TransactionManager::Delete(Transaction* txn, int32_t table_id,
                                   const Rid& rid) {
   STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
-  HeapFile* file;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tables_.find(table_id);
-    if (it == tables_.end()) return Status::NotFound("unregistered table");
-    file = it->second;
-  }
+  HeapFile* file = FindTable(table_id);
+  if (file == nullptr) return Status::NotFound("unregistered table");
   WalRecord r;
   r.txn_id = txn->id;
   r.type = WalRecord::Type::kDelete;
@@ -226,7 +223,7 @@ Status TransactionManager::Delete(Transaction* txn, int32_t table_id,
     if (!lsn_or.ok()) return lsn_or.status();
   }
   STAGEDB_RETURN_IF_ERROR(file->Delete(rid));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txn_log_[txn->id].push_back(std::move(r));
   return Status::OK();
 }
@@ -235,13 +232,8 @@ StatusOr<Rid> TransactionManager::Update(Transaction* txn, int32_t table_id,
                                          const Rid& rid,
                                          std::string_view new_row) {
   STAGEDB_RETURN_IF_ERROR(locks_.AcquireExclusive(txn->id, table_id));
-  HeapFile* file;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = tables_.find(table_id);
-    if (it == tables_.end()) return Status::NotFound("unregistered table");
-    file = it->second;
-  }
+  HeapFile* file = FindTable(table_id);
+  if (file == nullptr) return Status::NotFound("unregistered table");
   WalRecord r;
   r.txn_id = txn->id;
   r.type = WalRecord::Type::kUpdate;
@@ -255,13 +247,13 @@ StatusOr<Rid> TransactionManager::Update(Transaction* txn, int32_t table_id,
   }
   auto new_rid_or = file->Update(rid, new_row);
   if (!new_rid_or.ok()) return new_rid_or.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   txn_log_[txn->id].push_back(std::move(r));
   return *new_rid_or;
 }
 
 TxnId TransactionManager::AllocateTxnId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_txn_++;
 }
 
@@ -270,7 +262,7 @@ Status TransactionManager::Recover(RecoveryApplier* applier,
   {
     // Idempotence guard: the Database ctor and explicit callers may both try
     // to recover; only the first pass replays.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (recovery_done_) return Status::OK();
     recovery_done_ = true;
   }
@@ -313,9 +305,8 @@ Status TransactionManager::Recover(RecoveryApplier* applier,
           return applier->ApplyUpdate(r.table_id, r.before, r.after);
       }
     }
-    auto it = tables_.find(r.table_id);
-    if (it == tables_.end()) return Status::NotFound("recover: table");
-    HeapFile* file = it->second;
+    HeapFile* file = FindTable(r.table_id);
+    if (file == nullptr) return Status::NotFound("recover: table");
     if (r.type == WalRecord::Type::kInsert) {
       auto rid_or = file->Insert(r.after);
       return rid_or.ok() ? Status::OK() : rid_or.status();
@@ -343,7 +334,7 @@ Status TransactionManager::Recover(RecoveryApplier* applier,
   }
   {
     // New transactions must not reuse ids that appear in the log.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (max_txn + 1 > next_txn_) next_txn_ = max_txn + 1;
   }
   if (stats != nullptr) *stats = local;
@@ -351,7 +342,7 @@ Status TransactionManager::Recover(RecoveryApplier* applier,
 }
 
 int64_t TransactionManager::active_transactions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   int64_t n = 0;
   for (const auto& [id, txn] : txns_) {
     if (txn->state == TxnState::kActive) ++n;

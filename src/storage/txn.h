@@ -4,15 +4,14 @@
 #ifndef STAGEDB_STORAGE_TXN_H_
 #define STAGEDB_STORAGE_TXN_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/heap_file.h"
 #include "storage/wal.h"
@@ -50,10 +49,10 @@ class LockManager {
     TxnId exclusive = -1;  // -1 = none
   };
 
-  bool CanGrantShared(const TableLock& l, TxnId txn) const {
+  bool CanGrantShared(const TableLock& l, TxnId txn) const REQUIRES(mu_) {
     return l.exclusive == -1 || l.exclusive == txn;
   }
-  bool CanGrantExclusive(const TableLock& l, TxnId txn) const {
+  bool CanGrantExclusive(const TableLock& l, TxnId txn) const REQUIRES(mu_) {
     const bool only_self_shared =
         l.shared.empty() ||
         (l.shared.size() == 1 && l.shared.count(txn) == 1);
@@ -61,9 +60,9 @@ class LockManager {
   }
 
   const int64_t timeout_micros_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<int32_t, TableLock> locks_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<int32_t, TableLock> locks_ GUARDED_BY(mu_);
 };
 
 /// Receives replayed operations during recovery. The default path applies
@@ -137,15 +136,18 @@ class TransactionManager {
 
  private:
   Status Undo(const WalRecord& record);
+  /// Locked lookup of a registered table (nullptr if unknown).
+  HeapFile* FindTable(int32_t table_id) const EXCLUDES(mu_);
 
   WriteAheadLog* wal_;
   LockManager locks_;
-  mutable std::mutex mu_;
-  TxnId next_txn_ = 1;
-  bool recovery_done_ = false;
-  std::map<TxnId, std::unique_ptr<Transaction>> txns_;
-  std::map<TxnId, std::vector<WalRecord>> txn_log_;  // per-txn undo chain
-  std::unordered_map<int32_t, HeapFile*> tables_;
+  mutable Mutex mu_;
+  TxnId next_txn_ GUARDED_BY(mu_) = 1;
+  bool recovery_done_ GUARDED_BY(mu_) = false;
+  std::map<TxnId, std::unique_ptr<Transaction>> txns_ GUARDED_BY(mu_);
+  // Per-txn undo chain.
+  std::map<TxnId, std::vector<WalRecord>> txn_log_ GUARDED_BY(mu_);
+  std::unordered_map<int32_t, HeapFile*> tables_ GUARDED_BY(mu_);
 };
 
 }  // namespace stagedb::storage

@@ -142,7 +142,7 @@ StatusOr<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 }
 
 StatusOr<int64_t> WriteAheadLog::Append(WalRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record.lsn = next_lsn_++;
   if (device_ != nullptr) {
     STAGEDB_RETURN_IF_ERROR(device_->Append(EncodeWalFrame(record)));
@@ -153,7 +153,7 @@ StatusOr<int64_t> WriteAheadLog::Append(WalRecord record) {
 }
 
 Status WriteAheadLog::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (device_ != nullptr) {
     STAGEDB_RETURN_IF_ERROR(device_->Sync());
   } else {
@@ -165,7 +165,7 @@ Status WriteAheadLog::Sync() {
 
 Status WriteAheadLog::Replay(
     const std::function<Status(const WalRecord&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const WalRecord& r : records_) {
     STAGEDB_RETURN_IF_ERROR(fn(r));
   }
@@ -173,7 +173,7 @@ Status WriteAheadLog::Replay(
 }
 
 std::vector<int64_t> WriteAheadLog::CommittedTxns() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<int64_t> out;
   for (const WalRecord& r : records_) {
     if (r.type == WalRecord::Type::kCommit) out.push_back(r.txn_id);
@@ -182,33 +182,33 @@ std::vector<int64_t> WriteAheadLog::CommittedTxns() const {
 }
 
 int64_t WriteAheadLog::num_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int64_t>(records_.size());
 }
 
 int64_t WriteAheadLog::next_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_lsn_;
 }
 
 int64_t WriteAheadLog::durable_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return durable_lsn_;
 }
 
 int64_t WriteAheadLog::syncs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (device_ != nullptr) return device_->syncs();
   return mem_syncs_;
 }
 
 int64_t WriteAheadLog::truncated_tail_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return truncated_tail_bytes_;
 }
 
 void WriteAheadLog::set_fault_injector(WriteFaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (device_ != nullptr) device_->set_fault_injector(injector);
 }
 

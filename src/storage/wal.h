@@ -14,10 +14,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
@@ -107,13 +107,14 @@ class WriteAheadLog {
  private:
   Status LoadFromDevice();
 
-  mutable std::mutex mu_;
-  std::vector<WalRecord> records_;
-  int64_t next_lsn_ = 1;
-  int64_t durable_lsn_ = 0;
-  int64_t mem_syncs_ = 0;           // Sync() count for memory-only logs
-  int64_t truncated_tail_bytes_ = 0;
-  std::unique_ptr<LogDevice> device_;  // null = memory-only
+  mutable Mutex mu_;
+  std::vector<WalRecord> records_ GUARDED_BY(mu_);
+  int64_t next_lsn_ GUARDED_BY(mu_) = 1;
+  int64_t durable_lsn_ GUARDED_BY(mu_) = 0;
+  // Sync() count for memory-only logs.
+  int64_t mem_syncs_ GUARDED_BY(mu_) = 0;
+  int64_t truncated_tail_bytes_ GUARDED_BY(mu_) = 0;
+  std::unique_ptr<LogDevice> device_;  // null = memory-only; self-locking
 };
 
 }  // namespace stagedb::storage

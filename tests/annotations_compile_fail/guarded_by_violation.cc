@@ -1,0 +1,23 @@
+// Negative-compile fixture: a GUARDED_BY field touched without its mutex
+// held must fail the build under clang -Werror=thread-safety. Kept minimal
+// so the only possible diagnostic is the one under test.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { ++count_; }  // writes count_ without holding mu_
+
+ private:
+  stagedb::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

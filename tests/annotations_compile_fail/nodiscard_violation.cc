@@ -1,0 +1,15 @@
+// Negative-compile fixture: discarding a Status return must fail the build
+// under -Werror=unused-result. Status is class-level [[nodiscard]], so this
+// fails under GCC and clang alike (no thread-safety analysis needed).
+#include "common/status.h"
+
+namespace {
+
+stagedb::Status Mutate() { return stagedb::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Mutate();  // dropped Status
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Positive control for the negative-compile harness: the same shapes as the
+// violation fixtures, written correctly. If this stops compiling, the
+// harness is broken (or the wrapper regressed), not the fixtures.
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    stagedb::MutexLock lock(mu_);
+    BumpLocked();
+  }
+
+  int Get() const {
+    stagedb::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++count_; }
+
+  mutable stagedb::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+stagedb::Status Mutate() { return stagedb::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  stagedb::Status st = Mutate();
+  return st.ok() && c.Get() == 1 ? 0 : 1;
+}

@@ -1,0 +1,24 @@
+// Negative-compile fixture: calling a REQUIRES(mu_) helper without holding
+// the mutex must fail the build under clang -Werror=thread-safety.
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() { BumpLocked(); }  // calls a REQUIRES helper unlocked
+
+ private:
+  void BumpLocked() REQUIRES(mu_) { ++count_; }
+
+  stagedb::Mutex mu_;
+  int count_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return 0;
+}

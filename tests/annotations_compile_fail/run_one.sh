@@ -1,0 +1,62 @@
+#!/bin/sh
+# Negative-compile driver: compiles one fixture with the annotation warnings
+# promoted to errors and checks the outcome against the expectation.
+#
+#   run_one.sh <compiler> <include_dir> <EXPECT_FAIL|EXPECT_PASS> \
+#              <needs_clang:0|1> <source.cc>
+#
+# Exit 0 on the expected outcome, 1 otherwise, 77 (ctest SKIP_RETURN_CODE)
+# when the fixture needs the clang thread-safety analysis and the compiler
+# is not clang — the annotation macros expand to nothing elsewhere, so the
+# violation legitimately compiles there.
+set -u
+
+compiler="$1"
+include_dir="$2"
+expect="$3"
+needs_clang="$4"
+source="$5"
+
+if [ "$needs_clang" = "1" ]; then
+  if ! "$compiler" --version 2>/dev/null | grep -qi clang; then
+    echo "SKIP: $source needs the clang thread-safety analysis"
+    exit 77
+  fi
+fi
+
+flags="-std=c++17 -fsyntax-only -Wall -Werror=unused-result"
+if "$compiler" --version 2>/dev/null | grep -qi clang; then
+  flags="$flags -Wthread-safety -Werror=thread-safety"
+fi
+
+# shellcheck disable=SC2086
+if "$compiler" $flags -I"$include_dir" "$source" 2>compile_errors.txt; then
+  outcome=PASS
+else
+  outcome=FAIL
+fi
+
+case "$expect" in
+  EXPECT_FAIL)
+    if [ "$outcome" = FAIL ]; then
+      echo "OK: $source failed to compile, as required:"
+      head -4 compile_errors.txt
+      exit 0
+    fi
+    echo "ERROR: $source compiled but must not (violation not caught)"
+    exit 1
+    ;;
+  EXPECT_PASS)
+    if [ "$outcome" = PASS ]; then
+      echo "OK: $source compiled cleanly"
+      exit 0
+    fi
+    echo "ERROR: positive control $source failed to compile:"
+    cat compile_errors.txt
+    exit 1
+    ;;
+  *)
+    echo "ERROR: bad expectation '$expect'"
+    exit 2
+    ;;
+esac

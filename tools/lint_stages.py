@@ -1,0 +1,263 @@
+#!/usr/bin/env python3
+"""Staged-runtime invariant lint.
+
+Checks the repo-specific concurrency invariants that the Clang thread-safety
+analysis cannot express (see docs/DESIGN.md, "Locking discipline"):
+
+  raw-sync-primitive
+      Every std::mutex / std::condition_variable / std:: lock holder in src/
+      must go through the annotated wrapper in src/common/mutex.h. Raw
+      primitives carry no capability annotations, so any locking discipline
+      around them is invisible to -Wthread-safety.
+
+  blocking-call-in-stage
+      Stage workers are a fixed-size pool; a blocked worker stalls every
+      packet queued at its stage. fsync/fdatasync/sync may appear only in the
+      log/disk device layer (storage/disk_manager.cc, storage/wal.cc), and
+      sleep-family calls may not appear in src/engine/ at all (operator and
+      stage-task code). This is a file-scope approximation: the device files
+      are exactly the files allowed to block, so scoping by path is precise
+      enough without parsing call graphs.
+
+  activate-before-publish
+      A freshly allocated StageTask that is later published to a shared
+      task-pointer field must be published before its first Enqueue/Activate:
+      once enqueued, the task can run, retire, and delete itself before the
+      publishing store, and the activation paths would then race a dangling
+      pointer (the NetServer publish-before-enqueue race, PR 8). Activating a
+      bare `new` expression is flagged unconditionally — nothing else holds a
+      reference, so nothing can ever retire it safely.
+
+  missing-nodiscard
+      Status / StatusOr must stay class-level [[nodiscard]], and Try*-style
+      bool/PushResult declarations must each carry [[nodiscard]]: a silently
+      dropped error or failed-try is how lost writes start.
+
+Usage:  lint_stages.py [--root DIR] [FILE...]
+Lints the given files, or every .h/.cc under <root>/src by default. Prints
+findings as `path:line: rule: message` and exits non-zero if any were found.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- rule: raw-sync-primitive ------------------------------------------------
+
+RAW_PRIMITIVES = re.compile(
+    r"\bstd::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)\b"
+)
+# The wrapper itself is the one place raw primitives belong.
+RAW_PRIMITIVE_ALLOWED = {"src/common/mutex.h"}
+
+# --- rule: blocking-call-in-stage --------------------------------------------
+
+FSYNC_CALL = re.compile(r"::\s*(fsync|fdatasync|sync|syncfs)\s*\(")
+FSYNC_ALLOWED = {"src/storage/disk_manager.cc", "src/storage/wal.cc"}
+
+SLEEP_CALL = re.compile(
+    r"\b(sleep|usleep|nanosleep|sleep_for|sleep_until|SleepMicros)\s*\("
+)
+# Engine code is stage-task code; nothing there may sleep. The clock itself
+# and the simulated-latency disk device are the implementations sleeps live
+# behind.
+SLEEP_SCOPED_TO = ("src/engine/",)
+
+# --- rule: activate-before-publish -------------------------------------------
+
+NEW_TASK = re.compile(r"\b(\w+)\s*=\s*new\s+\w*Task\b")
+ACTIVATE_NEW = re.compile(r"\b(?:Activate|Enqueue)\s*\(\s*new\b")
+
+# --- rule: missing-nodiscard -------------------------------------------------
+
+TRY_DECL = re.compile(
+    r"^\s*(?:virtual\s+)?(?:bool|PushResult)\s+Try[A-Z]\w*\s*\("
+)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                j += 1
+            i = min(j + 1, n)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: %s: %s" % (self.path, self.line, self.rule,
+                                  self.message)
+
+
+def lint_text(relpath, text):
+    """Lints one file's contents; returns a list of Findings. `relpath` is
+    the repo-relative path used for the scoping allowlists."""
+    findings = []
+    rel = relpath.replace(os.sep, "/")
+    code = strip_comments_and_strings(text)
+    lines = code.split("\n")
+
+    if rel not in RAW_PRIMITIVE_ALLOWED:
+        for lineno, line in enumerate(lines, 1):
+            m = RAW_PRIMITIVES.search(line)
+            if m:
+                findings.append(Finding(
+                    relpath, lineno, "raw-sync-primitive",
+                    "std::%s outside src/common/mutex.h; use the annotated "
+                    "Mutex/MutexLock/CondVar wrapper" % m.group(1)))
+
+    if rel not in FSYNC_ALLOWED:
+        for lineno, line in enumerate(lines, 1):
+            m = FSYNC_CALL.search(line)
+            if m:
+                findings.append(Finding(
+                    relpath, lineno, "blocking-call-in-stage",
+                    "%s() outside the disk/log device layer; stage code must "
+                    "delegate durability to DiskManager/WAL" % m.group(1)))
+
+    if rel.startswith(SLEEP_SCOPED_TO):
+        for lineno, line in enumerate(lines, 1):
+            m = SLEEP_CALL.search(line)
+            if m:
+                findings.append(Finding(
+                    relpath, lineno, "blocking-call-in-stage",
+                    "%s() in engine code; a sleeping stage worker stalls its "
+                    "whole stage — park with kBlocked instead" % m.group(1)))
+
+    findings.extend(check_activate_before_publish(relpath, lines))
+
+    if rel.endswith("status.h"):
+        if "class [[nodiscard]] Status" not in code:
+            findings.append(Finding(
+                relpath, 1, "missing-nodiscard",
+                "class Status must be declared [[nodiscard]]"))
+        if "class [[nodiscard]] StatusOr" not in code:
+            findings.append(Finding(
+                relpath, 1, "missing-nodiscard",
+                "class StatusOr must be declared [[nodiscard]]"))
+    if rel.endswith(".h"):
+        raw_lines = text.split("\n")
+        for lineno, line in enumerate(lines, 1):
+            if TRY_DECL.match(line) and "[[nodiscard]]" not in \
+                    raw_lines[lineno - 1]:
+                prev = raw_lines[lineno - 2] if lineno >= 2 else ""
+                if "[[nodiscard]]" not in prev:
+                    findings.append(Finding(
+                        relpath, lineno, "missing-nodiscard",
+                        "Try*-style declaration without [[nodiscard]]"))
+
+    return findings
+
+
+def check_activate_before_publish(relpath, lines):
+    """A locally new-ed *Task later stored into a task-pointer field must be
+    stored (published) before its first Enqueue/Activate. Scoped per
+    function: scanning stops at the next line starting a new definition at
+    column 0 (close enough for this codebase's formatting)."""
+    findings = []
+    for lineno, line in enumerate(lines, 1):
+        if ACTIVATE_NEW.search(line):
+            findings.append(Finding(
+                relpath, lineno, "activate-before-publish",
+                "Enqueue/Activate of a bare `new` task: no other reference "
+                "exists, so its retirement can never be observed"))
+        m = NEW_TASK.search(line)
+        if not m:
+            continue
+        var = m.group(1)
+        publish = re.compile(r"(?:\.|->|\b)\w*task\w*\s*=\s*%s\b" % var,
+                             re.IGNORECASE)
+        use = re.compile(r"\b(?:Activate|Enqueue)\s*\(\s*%s\b" % var)
+        published = False
+        for off, later in enumerate(lines[lineno:], lineno + 1):
+            if later and not later[0].isspace() and later.startswith("}"):
+                break  # end of the enclosing definition
+            if publish.search(later):
+                published = True
+            elif use.search(later) and not published:
+                # Only a violation if a publish exists later (tasks owned by
+                # a local container are fine to enqueue directly).
+                if any(publish.search(rest) for rest in lines[off:]):
+                    findings.append(Finding(
+                        relpath, off, "activate-before-publish",
+                        "task `%s` is enqueued/activated before being "
+                        "published to its task-pointer field" % var))
+                break
+    return findings
+
+
+def collect_files(root):
+    files = []
+    src = os.path.join(root, "src")
+    for dirpath, _, names in os.walk(src):
+        for name in sorted(names):
+            if name.endswith((".h", ".cc")):
+                files.append(os.path.join(dirpath, name))
+    return files
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument("files", nargs="*")
+    args = parser.parse_args(argv)
+
+    paths = args.files or collect_files(args.root)
+    findings = []
+    for path in paths:
+        rel = os.path.relpath(os.path.abspath(path), args.root)
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print("lint_stages: cannot read %s: %s" % (path, e),
+                  file=sys.stderr)
+            return 2
+        findings.extend(lint_text(rel, text))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("lint_stages: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_stages: %d file(s) clean" % len(paths))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_stages.py rule matching: every rule gets a
+known-good fixture (no finding) and a seeded-violation fixture (exactly the
+expected finding)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_stages  # noqa: E402
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class RawSyncPrimitiveTest(unittest.TestCase):
+    def test_flags_raw_mutex(self):
+        code = "class Foo {\n  std::mutex mu_;\n};\n"
+        fs = lint_stages.lint_text("src/engine/foo.h", code)
+        self.assertEqual(rules(fs), ["raw-sync-primitive"])
+        self.assertEqual(fs[0].line, 2)
+
+    def test_flags_raw_lock_holders(self):
+        code = ("void F() {\n"
+                "  std::lock_guard<stagedb::Mutex> a(mu_);\n"
+                "  std::unique_lock<stagedb::Mutex> b(mu_);\n"
+                "}\n")
+        fs = lint_stages.lint_text("src/server/foo.cc", code)
+        self.assertEqual(rules(fs),
+                         ["raw-sync-primitive", "raw-sync-primitive"])
+
+    def test_wrapper_header_is_exempt(self):
+        code = "class Mutex {\n  std::mutex raw_;\n};\n"
+        fs = lint_stages.lint_text("src/common/mutex.h", code)
+        self.assertEqual(fs, [])
+
+    def test_mentions_in_comments_ignored(self):
+        code = "// std::mutex is banned here\nMutex mu_;\n"
+        fs = lint_stages.lint_text("src/engine/foo.h", code)
+        self.assertEqual(fs, [])
+
+    def test_wrapper_use_is_clean(self):
+        code = "Mutex mu_;\nvoid F() { MutexLock lock(mu_); }\n"
+        fs = lint_stages.lint_text("src/engine/foo.cc", code)
+        self.assertEqual(fs, [])
+
+
+class BlockingCallTest(unittest.TestCase):
+    def test_fsync_outside_device_layer(self):
+        code = "void F(int fd) { ::fdatasync(fd); }\n"
+        fs = lint_stages.lint_text("src/engine/foo.cc", code)
+        self.assertEqual(rules(fs), ["blocking-call-in-stage"])
+
+    def test_fsync_in_device_layer_ok(self):
+        code = "void F(int fd) { ::fdatasync(fd); }\n"
+        fs = lint_stages.lint_text("src/storage/disk_manager.cc", code)
+        self.assertEqual(fs, [])
+
+    def test_sleep_in_engine(self):
+        code = "void F() { clock_->SleepMicros(10); }\n"
+        fs = lint_stages.lint_text("src/engine/foo.cc", code)
+        self.assertEqual(rules(fs), ["blocking-call-in-stage"])
+
+    def test_sleep_outside_engine_ok(self):
+        code = "void F() { clock_->SleepMicros(10); }\n"
+        fs = lint_stages.lint_text("src/net/net_server.cc", code)
+        self.assertEqual(fs, [])
+
+    def test_fsync_in_string_or_comment_ignored(self):
+        code = ('// one ::fsync( per batch\n'
+                'const char* k = "fsyncs/commit=%.3f";\n')
+        fs = lint_stages.lint_text("src/engine/runtime.cc", code)
+        self.assertEqual(fs, [])
+
+
+class ActivateBeforePublishTest(unittest.TestCase):
+    GOOD = ("void NetServer::HandleAccepted(int fd) {\n"
+            "  auto* read_task = new ReadTask(this, conn);\n"
+            "  {\n"
+            "    MutexLock lock(conn->task_mu);\n"
+            "    conn->read_task = read_task;\n"
+            "    read_stage_->Enqueue(read_task);\n"
+            "  }\n"
+            "}\n")
+    BAD = ("void NetServer::HandleAccepted(int fd) {\n"
+           "  auto* read_task = new ReadTask(this, conn);\n"
+           "  read_stage_->Enqueue(read_task);\n"
+           "  {\n"
+           "    MutexLock lock(conn->task_mu);\n"
+           "    conn->read_task = read_task;\n"
+           "  }\n"
+           "}\n")
+
+    def test_publish_then_enqueue_ok(self):
+        fs = lint_stages.lint_text("src/net/foo.cc", self.GOOD)
+        self.assertEqual(fs, [])
+
+    def test_enqueue_before_publish_flagged(self):
+        fs = lint_stages.lint_text("src/net/foo.cc", self.BAD)
+        self.assertEqual(rules(fs), ["activate-before-publish"])
+        self.assertEqual(fs[0].line, 3)
+
+    def test_unpublished_local_task_ok(self):
+        # Tasks owned by a local container never publish; enqueue is fine.
+        code = ("void F() {\n"
+                "  auto* t = new FlushTask(this);\n"
+                "  tasks_.emplace_back(t);\n"
+                "  stage_->Enqueue(t);\n"
+                "}\n")
+        fs = lint_stages.lint_text("src/engine/foo.cc", code)
+        self.assertEqual(fs, [])
+
+    def test_activate_of_bare_new(self):
+        code = "void F() { stage_->Activate(new FlushTask(this)); }\n"
+        fs = lint_stages.lint_text("src/engine/foo.cc", code)
+        self.assertEqual(rules(fs), ["activate-before-publish"])
+
+
+class NodiscardTest(unittest.TestCase):
+    def test_status_header_must_be_nodiscard(self):
+        code = "class Status {};\ntemplate <typename T>\nclass StatusOr {};\n"
+        fs = lint_stages.lint_text("src/common/status.h", code)
+        self.assertEqual(rules(fs),
+                         ["missing-nodiscard", "missing-nodiscard"])
+
+    def test_annotated_status_header_ok(self):
+        code = ("class [[nodiscard]] Status {};\n"
+                "template <typename T>\n"
+                "class [[nodiscard]] StatusOr {};\n")
+        fs = lint_stages.lint_text("src/common/status.h", code)
+        self.assertEqual(fs, [])
+
+    def test_try_decl_without_nodiscard(self):
+        code = "class Q {\n  bool TryPop(int* out);\n};\n"
+        fs = lint_stages.lint_text("src/engine/foo.h", code)
+        self.assertEqual(rules(fs), ["missing-nodiscard"])
+
+    def test_try_decl_with_nodiscard_ok(self):
+        code = ("class Q {\n"
+                "  [[nodiscard]] bool TryPop(int* out);\n"
+                "  [[nodiscard]] virtual PushResult TryPush(RowBatch* b);\n"
+                "};\n")
+        fs = lint_stages.lint_text("src/engine/foo.h", code)
+        self.assertEqual(fs, [])
+
+
+class WholeTreeTest(unittest.TestCase):
+    def test_current_tree_is_clean(self):
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(lint_stages.__file__)))
+        findings = []
+        for path in lint_stages.collect_files(root):
+            rel = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as f:
+                findings.extend(lint_stages.lint_text(rel, f.read()))
+        self.assertEqual([str(f) for f in findings], [])
+
+
+if __name__ == "__main__":
+    unittest.main()
