@@ -20,6 +20,8 @@
 #include "storage/btree.h"
 #include "storage/buffer_pool.h"
 #include "storage/heap_file.h"
+#include "storage/mvcc.h"
+#include "storage/txn.h"
 
 namespace stagedb::catalog {
 
@@ -66,9 +68,42 @@ class Catalog {
   IndexInfo* FindIndexOn(TableId table, size_t column) const;
 
   /// Inserts a tuple through the catalog: updates heap, stats, and indexes.
-  StatusOr<storage::Rid> InsertTuple(TableInfo* table, const Tuple& tuple);
+  ///
+  /// Under MVCC (EnableMvcc), records gain a version header: with a writer
+  /// `txn` the new version is installed uncommitted (begin = -txn->id) and
+  /// unique-key conflicts against the index head follow first-updater-wins
+  /// (Aborted on a concurrent writer's version, AlreadyExists on a genuinely
+  /// live duplicate); with txn == nullptr (bootstrap/recovery) the version is
+  /// installed committed-at-bootstrap (begin = 0).
+  StatusOr<storage::Rid> InsertTuple(TableInfo* table, const Tuple& tuple,
+                                     storage::MvccTxn* txn = nullptr);
   /// Deletes a tuple by rid, maintaining indexes and stats.
-  Status DeleteTuple(TableInfo* table, const storage::Rid& rid);
+  ///
+  /// Under MVCC with a writer `txn` this only *marks* the version deleted
+  /// (end = -txn->id, first-updater-wins) and leaves index entries in place
+  /// so older snapshots keep finding the chain; physical reclamation is
+  /// MvccVacuum's job. With txn == nullptr the delete is physical (recovery
+  /// replays a flat committed history).
+  Status DeleteTuple(TableInfo* table, const storage::Rid& rid,
+                     storage::MvccTxn* txn = nullptr);
+
+  /// Switches the catalog to multi-version storage, using `txn_mgr` as the
+  /// timestamp authority. Call once at setup, before any rows exist; tuple
+  /// encodings with and without version headers must never mix in one heap.
+  void EnableMvcc(storage::TransactionManager* txn_mgr) { mvcc_ = txn_mgr; }
+  bool mvcc_enabled() const { return mvcc_ != nullptr; }
+  storage::TransactionManager* mvcc() const { return mvcc_; }
+
+  /// Publishes `txn`'s versions at commit timestamp `cts` (rewrites the
+  /// -txn_id markers; see TransactionManager::FinalizeCommit for ordering).
+  Status MvccCommit(storage::MvccTxn* txn, storage::Ts cts);
+  /// Undoes `txn`'s write set in reverse: uncommitted inserts are physically
+  /// removed (restoring any replaced index heads), delete marks are cleared.
+  Status MvccAbort(storage::MvccTxn* txn);
+  /// Reclaims versions invisible to every present and future snapshot
+  /// (committed end <= TransactionManager::VacuumHorizon()). Returns the
+  /// number of versions physically deleted.
+  StatusOr<int64_t> MvccVacuum();
 
   std::vector<std::string> TableNames() const;
   SymbolTable* symbols() { return &symbols_; }
@@ -85,7 +120,18 @@ class Catalog {
   void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
 
  private:
+  /// MVCC index maintenance: head check + entry swap for one key must be
+  /// atomic against other inserters and against vacuum, which is exactly the
+  /// sequence this mutex serializes. Page latches nest inside it; it is never
+  /// taken while holding mu_ or the TransactionManager's mvcc lock.
+  Status MvccInsertIndexes(TableInfo* table, const Tuple& tuple,
+                           std::string_view payload, storage::MvccTxn* txn,
+                           storage::Rid* out_rid)
+      EXCLUDES(structural_mu_);
+
   storage::BufferPool* pool_;
+  storage::TransactionManager* mvcc_ = nullptr;
+  mutable Mutex structural_mu_;
   std::atomic<uint64_t> version_{1};
   mutable Mutex mu_;
   TableId next_table_id_ GUARDED_BY(mu_) = 0;

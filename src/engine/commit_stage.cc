@@ -61,8 +61,9 @@ bool GroupCommitStage::HasPending() const {
   return !pending_.empty();
 }
 
-std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id) {
-  std::shared_ptr<CommitTicket> ticket(new CommitTicket(txn_id));
+std::shared_ptr<CommitTicket> GroupCommitStage::Submit(int64_t txn_id,
+                                                       int64_t commit_ts) {
+  std::shared_ptr<CommitTicket> ticket(new CommitTicket(txn_id, commit_ts));
   ticket->arrival_micros_ = RealClock::Instance()->NowMicros();
   bool first = false;
   {
@@ -120,6 +121,7 @@ RunOutcome GroupCommitStage::RunFlush() {
     storage::WalRecord r;
     r.txn_id = batch[i]->txn_id();
     r.type = storage::WalRecord::Type::kCommit;
+    r.ts = batch[i]->commit_ts();
     auto lsn_or = wal_->Append(std::move(r));
     if (!lsn_or.ok()) {
       flush = lsn_or.status();

@@ -35,15 +35,19 @@ class CommitTicket {
   Status Wait();
 
   int64_t txn_id() const { return txn_id_; }
+  /// MVCC commit timestamp carried into the COMMIT record (0 = none).
+  int64_t commit_ts() const { return commit_ts_; }
   /// LSN of the COMMIT record (0 until flushed).
   int64_t lsn() const;
 
  private:
   friend class GroupCommitStage;
-  explicit CommitTicket(int64_t txn_id) : txn_id_(txn_id) {}
+  CommitTicket(int64_t txn_id, int64_t commit_ts)
+      : txn_id_(txn_id), commit_ts_(commit_ts) {}
   void Complete(int64_t lsn, Status status);
 
   const int64_t txn_id_;
+  const int64_t commit_ts_;
   mutable Mutex mu_;
   CondVar cv_;
   bool done_ GUARDED_BY(mu_) = false;
@@ -73,9 +77,11 @@ class GroupCommitStage {
   GroupCommitStage& operator=(const GroupCommitStage&) = delete;
 
   /// Submits txn `txn_id` for commit; the caller then blocks in
-  /// ticket->Wait(). Returns a completed ticket with an Aborted status if
-  /// the stage is draining.
-  std::shared_ptr<CommitTicket> Submit(int64_t txn_id);
+  /// ticket->Wait(). `commit_ts` (MVCC snapshot mode) is stamped on the
+  /// COMMIT record so recovery can restore the timestamp high-water mark.
+  /// Returns a completed ticket with an Aborted status if the stage is
+  /// draining.
+  std::shared_ptr<CommitTicket> Submit(int64_t txn_id, int64_t commit_ts = 0);
 
   /// Flushes every pending ticket and stops accepting new ones. Must be
   /// called before the owning runtime's Shutdown(); after Drain returns no

@@ -393,6 +393,19 @@ class OperatorInstance : public StageTask {
   BlockReason block_ = BlockReason::kNone;
   bool finishing_ = false;
 
+  /// MVCC view for this packet's scans: the statement's registered snapshot
+  /// when the query carries one, last-committed visibility otherwise. Same
+  /// fallback as the volcano engine's MvccViewFor, so the differential tests
+  /// compare identical semantics.
+  storage::MvccReadView MvccView() const {
+    if (query_->exec_ctx != nullptr && query_->exec_ctx->mvcc != nullptr) {
+      return query_->exec_ctx->mvcc->View();
+    }
+    return storage::MvccReadView{
+        engine_->catalog()->mvcc()->last_committed(), 0};
+  }
+  bool MvccOn() const { return engine_->catalog()->mvcc_enabled(); }
+
   // Scan state. Private-iterator path (shared_scans=false):
   std::unique_ptr<storage::HeapFile::Iterator> scan_iter_;
   // Cooperative path (shared_scans=true): a cursor attached to the table's
@@ -484,6 +497,9 @@ RunOutcome OperatorInstance::RunSeqScan() {
     scan_iter_ = std::make_unique<storage::HeapFile::Iterator>(
         plan_->table->heap->Scan());
   }
+  const bool mvcc_on = MvccOn();
+  const storage::MvccReadView view =
+      mvcc_on ? MvccView() : storage::MvccReadView{};
   int budget = quantum_tuples();
   RowBatch morsel;
   while (budget > 0) {
@@ -502,13 +518,15 @@ RunOutcome OperatorInstance::RunSeqScan() {
         if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
         return Finish();
       }
-      auto tuple = catalog::DecodeTuple(plan_->table->schema,
-                                        scan_iter_->record());
-      if (!tuple.ok()) {
-        query_->Fail(tuple.status());
+      Tuple tuple;
+      auto visible = exec::DecodeVisibleRecord(
+          mvcc_on, view, plan_->table->schema, scan_iter_->record(), &tuple);
+      if (!visible.ok()) {
+        query_->Fail(visible.status());
         return FinishEarly();
       }
-      morsel.push_back(std::move(*tuple));
+      if (!*visible) continue;
+      morsel.push_back(std::move(tuple));
     }
     budget -= static_cast<int>(morsel.size());
     if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
@@ -528,25 +546,33 @@ RunOutcome OperatorInstance::RunSharedSeqScan() {
     shared_cursor_ = engine_->shared_scans()->Attach(plan_->table->heap.get());
     shared_attached_ = true;
   }
+  const bool mvcc_on = MvccOn();
+  const storage::MvccReadView view =
+      mvcc_on ? MvccView() : storage::MvccReadView{};
   int budget = quantum_tuples();
   RowBatch morsel;
   while (budget > 0) {
     if (shared_page_ != nullptr && shared_page_pos_ < shared_page_->size()) {
       // Decode a morsel's worth of the delivered page and emit it whole.
+      // Visibility is evaluated against this rider's own snapshot: elevator
+      // riders share page deliveries but never visibility decisions.
       morsel.clear();
       const size_t target =
           std::min(page_size(), static_cast<size_t>(budget));
       morsel.reserve(target);
       while (morsel.size() < target &&
              shared_page_pos_ < shared_page_->size()) {
-        auto tuple = catalog::DecodeTuple(plan_->table->schema,
-                                          (*shared_page_)[shared_page_pos_]);
+        Tuple tuple;
+        auto visible = exec::DecodeVisibleRecord(
+            mvcc_on, view, plan_->table->schema,
+            (*shared_page_)[shared_page_pos_], &tuple);
         ++shared_page_pos_;
-        if (!tuple.ok()) {
-          query_->Fail(tuple.status());
+        if (!visible.ok()) {
+          query_->Fail(visible.status());
           return FinishEarly();
         }
-        morsel.push_back(std::move(*tuple));
+        if (!*visible) continue;
+        morsel.push_back(std::move(tuple));
       }
       budget -= static_cast<int>(morsel.size());
       if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;
@@ -576,6 +602,9 @@ RunOutcome OperatorInstance::RunIndexScan() {
     }
     index_loaded_ = true;
   }
+  const bool mvcc_on = MvccOn();
+  const storage::MvccReadView view =
+      mvcc_on ? MvccView() : storage::MvccReadView{};
   int budget = quantum_tuples();
   RowBatch morsel;
   while (budget > 0) {
@@ -583,20 +612,52 @@ RunOutcome OperatorInstance::RunIndexScan() {
     const size_t target = std::min(page_size(), static_cast<size_t>(budget));
     morsel.reserve(target);
     while (morsel.size() < target && index_pos_ < index_matches_.size()) {
-      const storage::Rid rid = index_matches_[index_pos_++].second;
-      std::string record;
-      Status s = plan_->table->heap->Get(rid, &record);
-      if (s.IsNotFound()) continue;
-      if (!s.ok()) {
-        query_->Fail(s);
-        return FinishEarly();
+      const auto& [key, head] = index_matches_[index_pos_++];
+      // Walk the version chain from the indexed head to the version visible
+      // in this packet's snapshot (mirrors IndexScanExec::FetchVisible). A
+      // dangling prev ends the walk: deeper versions predate the vacuum
+      // horizon and were invisible to us anyway.
+      storage::Rid rid = head;
+      bool emitted = false;
+      while (!emitted) {
+        std::string record;
+        Status s = plan_->table->heap->Get(rid, &record);
+        if (s.IsNotFound()) break;  // deleted/vacuumed after lookup
+        if (!s.ok()) {
+          query_->Fail(s);
+          return FinishEarly();
+        }
+        if (mvcc_on) {
+          if (record.size() < storage::kVersionHeaderSize) {
+            query_->Fail(
+                Status::Internal("record missing MVCC version header"));
+            return FinishEarly();
+          }
+          const storage::VersionHeader h =
+              storage::DecodeVersionHeader(record);
+          if (!storage::VersionVisible(h, view)) {
+            if (!h.has_prev()) break;
+            rid = h.prev;
+            continue;
+          }
+        }
+        auto tuple = catalog::DecodeTuple(
+            plan_->table->schema,
+            mvcc_on ? storage::RowPayload(record) : std::string_view(record));
+        if (!tuple.ok()) {
+          query_->Fail(tuple.status());
+          return FinishEarly();
+        }
+        if (mvcc_on) {
+          // Key recheck: chains cross keys when an update rewrites the
+          // indexed column; a visible version with a different key does not
+          // match this lookup in our snapshot.
+          const Value& v = (*tuple)[plan_->index->column];
+          if (v.is_null() || v.int_value() != key) break;
+        }
+        morsel.push_back(std::move(*tuple));
+        emitted = true;
       }
-      auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
-      if (!tuple.ok()) {
-        query_->Fail(tuple.status());
-        return FinishEarly();
-      }
-      morsel.push_back(std::move(*tuple));
     }
     budget -= static_cast<int>(std::max<size_t>(1, morsel.size()));
     if (!HandleSink(EmitBatch(&morsel), &oc)) return oc;

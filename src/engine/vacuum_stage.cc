@@ -1,0 +1,114 @@
+#include "engine/vacuum_stage.h"
+
+#include <chrono>
+
+namespace stagedb::engine {
+
+/// The stage's single long-lived packet, mirroring the group-commit flush
+/// task: parked (kBlocked) while nothing is pending, woken via
+/// Stage::Activate, one vacuum pass per Run().
+class VacuumStage::VacuumTask : public StageTask {
+ public:
+  explicit VacuumTask(VacuumStage* owner) : owner_(owner) {}
+  RunOutcome Run() override { return owner_->RunVacuum(); }
+  bool CanMakeProgress() override { return owner_->HasPending(); }
+
+ private:
+  VacuumStage* owner_;
+};
+
+VacuumStage::VacuumStage(StageRuntime* runtime, catalog::Catalog* catalog,
+                         Options options, StagePoolSpec pool)
+    : catalog_(catalog), options_(options),
+      stage_(runtime->CreateStage("vacuum", pool)),
+      task_(std::make_unique<VacuumTask>(this)) {}
+
+VacuumStage::~VacuumStage() { Drain(); }
+
+bool VacuumStage::HasPending() const {
+  MutexLock lock(mu_);
+  return wake_pending_;
+}
+
+void VacuumStage::Wake() {
+  bool first = false;
+  {
+    MutexLock lock(mu_);
+    if (draining_) return;
+    wake_pending_ = true;
+    first = !task_enqueued_;
+    task_enqueued_ = true;
+  }
+  if (first) {
+    stage_->Enqueue(task_.get());
+  } else {
+    stage_->Activate(task_.get());
+  }
+}
+
+RunOutcome VacuumStage::RunVacuum() {
+  {
+    MutexLock lock(mu_);
+    if (!wake_pending_) return RunOutcome::kBlocked;
+    if (!draining_ && options_.window_us > 0) {
+      // Batching window: let a burst of committing deletes coalesce into one
+      // pass. The CondVar wait (not a sleep) lets Drain cut it short.
+      window_cv_.WaitFor(mu_, std::chrono::microseconds(options_.window_us));
+    }
+    wake_pending_ = false;
+    vacuuming_ = true;
+  }
+  // Reset the hint counter before the pass: marks that land mid-pass may be
+  // counted twice (a harmless extra wake), never missed.
+  if (catalog_->mvcc() != nullptr) catalog_->mvcc()->ResetDeadVersions();
+  auto reclaimed_or = catalog_->MvccVacuum();
+  RunOutcome outcome;
+  {
+    MutexLock lock(mu_);
+    vacuuming_ = false;
+    ++passes_;
+    if (reclaimed_or.ok()) {
+      reclaimed_ += *reclaimed_or;
+    } else if (last_error_.ok()) {
+      last_error_ = reclaimed_or.status();
+    }
+    outcome = (wake_pending_ && !draining_) ? RunOutcome::kYield
+                                            : RunOutcome::kBlocked;
+  }
+  drain_cv_.NotifyAll();
+  return outcome;
+}
+
+void VacuumStage::Drain() {
+  {
+    MutexLock lock(mu_);
+    draining_ = true;
+  }
+  window_cv_.NotifyAll();
+  MutexLock lock(mu_);
+  while (wake_pending_ || vacuuming_) {
+    lock.Unlock();
+    // The task may be parked (its wake predates this drain): poke it so the
+    // final pass runs.
+    stage_->Activate(task_.get());
+    lock.Lock();
+    drain_cv_.WaitFor(mu_, std::chrono::milliseconds(1));
+  }
+}
+
+int64_t VacuumStage::passes() const {
+  MutexLock lock(mu_);
+  return passes_;
+}
+
+int64_t VacuumStage::versions_reclaimed() const {
+  MutexLock lock(mu_);
+  return reclaimed_;
+}
+
+Status VacuumStage::last_error() const {
+  MutexLock lock(mu_);
+  return last_error_;
+}
+
+}  // namespace stagedb::engine

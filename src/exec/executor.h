@@ -97,10 +97,51 @@ class WalSink {
 /// Per-query execution context.
 struct ExecContext {
   catalog::Catalog* catalog = nullptr;
-  OperatorTrace* trace = nullptr;        // optional
+  OperatorTrace* trace = nullptr;        // optional (activity tracing)
   MutationLog* mutation_log = nullptr;   // optional (active SQL transaction)
   WalSink* wal = nullptr;                // optional (durable database)
+  /// MVCC transaction state when the catalog runs in snapshot mode: scans
+  /// filter versions through mvcc->View() and DML records its write set
+  /// here. Null on a snapshot-mode catalog means "no registered snapshot";
+  /// readers then fall back to last-committed visibility.
+  storage::MvccTxn* mvcc = nullptr;      // optional (snapshot concurrency)
 };
+
+/// The visibility view for a scan: the context's transaction view when
+/// present, otherwise everything committed so far (internal readers such as
+/// index backfill or stats refresh that run without a registered snapshot).
+inline storage::MvccReadView MvccViewFor(const ExecContext* ctx) {
+  if (ctx != nullptr && ctx->mvcc != nullptr) return ctx->mvcc->View();
+  if (ctx != nullptr && ctx->catalog != nullptr &&
+      ctx->catalog->mvcc_enabled()) {
+    return storage::MvccReadView{ctx->catalog->mvcc()->last_committed(), 0};
+  }
+  return storage::MvccReadView{0, 0};
+}
+
+/// Decodes a heap record into `*out`, applying MVCC visibility when
+/// `mvcc_on`: invisible versions return false (skip), visible ones are
+/// decoded from the payload after the version header. Shared by the volcano
+/// executors and the staged scan drivers so both engines filter identically.
+inline StatusOr<bool> DecodeVisibleRecord(bool mvcc_on,
+                                          const storage::MvccReadView& view,
+                                          const catalog::Schema& schema,
+                                          std::string_view record,
+                                          catalog::Tuple* out) {
+  if (mvcc_on) {
+    if (record.size() < storage::kVersionHeaderSize) {
+      return Status::Internal("record missing MVCC version header");
+    }
+    if (!storage::VersionVisible(storage::DecodeVersionHeader(record), view)) {
+      return false;
+    }
+    record = storage::RowPayload(record);
+  }
+  auto tuple = catalog::DecodeTuple(schema, record);
+  if (!tuple.ok()) return tuple.status();
+  *out = std::move(*tuple);
+  return true;
+}
 
 /// Pull-based operator.
 class Executor {

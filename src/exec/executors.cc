@@ -67,24 +67,32 @@ class SeqScanExec : public Executor {
       trace_id_ = ctx_->trace->Register(PlanKind::kSeqScan, plan->table->name);
     }
   }
-  Status Init() override { return Status::OK(); }
+  Status Init() override {
+    mvcc_on_ = ctx_->catalog != nullptr && ctx_->catalog->mvcc_enabled();
+    view_ = MvccViewFor(ctx_);
+    return Status::OK();
+  }
   StatusOr<bool> Next(Tuple* out) override {
     if (ctx_->trace != nullptr) ctx_->trace->CountInvocation(trace_id_);
-    if (!iter_.Next()) {
-      STAGEDB_RETURN_IF_ERROR(iter_.status());
-      return false;
+    while (iter_.Next()) {
+      auto visible = DecodeVisibleRecord(mvcc_on_, view_,
+                                         plan_->table->schema,
+                                         iter_.record(), out);
+      if (!visible.ok()) return visible.status();
+      if (!*visible) continue;  // version outside our snapshot
+      if (ctx_->trace != nullptr) ctx_->trace->CountTuple(trace_id_);
+      return true;
     }
-    auto tuple = catalog::DecodeTuple(plan_->table->schema, iter_.record());
-    if (!tuple.ok()) return tuple.status();
-    *out = std::move(*tuple);
-    if (ctx_->trace != nullptr) ctx_->trace->CountTuple(trace_id_);
-    return true;
+    STAGEDB_RETURN_IF_ERROR(iter_.status());
+    return false;
   }
 
  private:
   const PhysicalPlan* plan_;
   ExecContext* ctx_;
   storage::HeapFile::Iterator iter_;
+  bool mvcc_on_ = false;
+  storage::MvccReadView view_;
   size_t trace_id_ = 0;
 };
 
@@ -100,20 +108,18 @@ class IndexScanExec : public Executor {
     }
   }
   Status Init() override {
+    mvcc_on_ = ctx_->catalog != nullptr && ctx_->catalog->mvcc_enabled();
+    view_ = MvccViewFor(ctx_);
     return plan_->index->tree->Scan(plan_->index_lo, plan_->index_hi,
                                     &matches_);
   }
   StatusOr<bool> Next(Tuple* out) override {
     if (ctx_->trace != nullptr) ctx_->trace->CountInvocation(trace_id_);
     while (pos_ < matches_.size()) {
-      const storage::Rid rid = matches_[pos_++].second;
-      std::string record;
-      Status s = plan_->table->heap->Get(rid, &record);
-      if (s.IsNotFound()) continue;  // row deleted after index lookup
-      STAGEDB_RETURN_IF_ERROR(s);
-      auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
-      if (!tuple.ok()) return tuple.status();
-      *out = std::move(*tuple);
+      const auto& [key, head] = matches_[pos_++];
+      auto found = FetchVisible(key, head, out);
+      if (!found.ok()) return found.status();
+      if (!*found) continue;
       if (ctx_->trace != nullptr) ctx_->trace->CountTuple(trace_id_);
       return true;
     }
@@ -121,10 +127,51 @@ class IndexScanExec : public Executor {
   }
 
  private:
+  /// Resolves one index match. Without MVCC this is a plain heap fetch; with
+  /// it, the entry points at the newest version of the key and we walk the
+  /// prev-chain to the (unique) version visible in our view. A dangling prev
+  /// (vacuumed tail) ends the walk: deeper versions are strictly older than
+  /// the vacuum horizon, hence invisible to us anyway.
+  StatusOr<bool> FetchVisible(int64_t key, storage::Rid rid, Tuple* out) {
+    std::string record;
+    while (true) {
+      Status s = plan_->table->heap->Get(rid, &record);
+      if (s.IsNotFound()) return false;  // deleted/vacuumed after lookup
+      STAGEDB_RETURN_IF_ERROR(s);
+      if (!mvcc_on_) {
+        auto tuple = catalog::DecodeTuple(plan_->table->schema, record);
+        if (!tuple.ok()) return tuple.status();
+        *out = std::move(*tuple);
+        return true;
+      }
+      if (record.size() < storage::kVersionHeaderSize) {
+        return Status::Internal("record missing MVCC version header");
+      }
+      const storage::VersionHeader h = storage::DecodeVersionHeader(record);
+      if (storage::VersionVisible(h, view_)) {
+        auto tuple = catalog::DecodeTuple(plan_->table->schema,
+                                          storage::RowPayload(record));
+        if (!tuple.ok()) return tuple.status();
+        // Key recheck: an update that changed the indexed column links
+        // versions with different keys into one chain. If the visible
+        // version's key is not the one we looked up, the row does not match
+        // in this snapshot.
+        const Value& v = (*tuple)[plan_->index->column];
+        if (v.is_null() || v.int_value() != key) return false;
+        *out = std::move(*tuple);
+        return true;
+      }
+      if (!h.has_prev()) return false;
+      rid = h.prev;
+    }
+  }
+
   const PhysicalPlan* plan_;
   ExecContext* ctx_;
   std::vector<std::pair<int64_t, storage::Rid>> matches_;
   size_t pos_ = 0;
+  bool mvcc_on_ = false;
+  storage::MvccReadView view_;
   size_t trace_id_ = 0;
 };
 
@@ -711,7 +758,7 @@ class InsertExec : public Executor {
       auto more = child_->Next(&t);
       if (!more.ok()) return more.status();
       if (!*more) break;
-      auto rid = ctx_->catalog->InsertTuple(plan_->table, t);
+      auto rid = ctx_->catalog->InsertTuple(plan_->table, t, ctx_->mvcc);
       if (!rid.ok()) return rid.status();
       if (ctx_->mutation_log != nullptr) {
         ctx_->mutation_log->LogInsert(plan_->table, *rid, t);
@@ -743,20 +790,26 @@ class DeleteExec : public Executor {
     // Two phases: collect matching rids, then delete (so the scan iterator
     // never observes its own deletions).
     std::vector<std::pair<storage::Rid, Tuple>> victims;
+    const bool mvcc_on = ctx_->catalog->mvcc_enabled();
+    const storage::MvccReadView view = MvccViewFor(ctx_);
     auto it = plan_->table->heap->Scan();
     while (it.Next()) {
-      auto tuple = catalog::DecodeTuple(plan_->table->schema, it.record());
-      if (!tuple.ok()) return tuple.status();
+      Tuple tuple;
+      auto visible = DecodeVisibleRecord(mvcc_on, view, plan_->table->schema,
+                                         it.record(), &tuple);
+      if (!visible.ok()) return visible.status();
+      if (!*visible) continue;
       if (plan_->predicate) {
-        auto pass = EvalPredicate(*plan_->predicate, *tuple);
+        auto pass = EvalPredicate(*plan_->predicate, tuple);
         if (!pass.ok()) return pass.status();
         if (!*pass) continue;
       }
-      victims.emplace_back(it.rid(), std::move(*tuple));
+      victims.emplace_back(it.rid(), std::move(tuple));
     }
     STAGEDB_RETURN_IF_ERROR(it.status());
     for (auto& [rid, tuple] : victims) {
-      STAGEDB_RETURN_IF_ERROR(ctx_->catalog->DeleteTuple(plan_->table, rid));
+      STAGEDB_RETURN_IF_ERROR(
+          ctx_->catalog->DeleteTuple(plan_->table, rid, ctx_->mvcc));
       if (ctx_->wal != nullptr) {
         STAGEDB_RETURN_IF_ERROR(ctx_->wal->LogDelete(plan_->table, tuple));
       }
@@ -788,18 +841,23 @@ class UpdateExec : public Executor {
       Tuple new_tuple;
     };
     std::vector<Pending> updates;
+    const bool mvcc_on = ctx_->catalog->mvcc_enabled();
+    const storage::MvccReadView view = MvccViewFor(ctx_);
     auto it = plan_->table->heap->Scan();
     while (it.Next()) {
-      auto tuple = catalog::DecodeTuple(plan_->table->schema, it.record());
-      if (!tuple.ok()) return tuple.status();
+      Tuple tuple;
+      auto visible = DecodeVisibleRecord(mvcc_on, view, plan_->table->schema,
+                                         it.record(), &tuple);
+      if (!visible.ok()) return visible.status();
+      if (!*visible) continue;
       if (plan_->predicate) {
-        auto pass = EvalPredicate(*plan_->predicate, *tuple);
+        auto pass = EvalPredicate(*plan_->predicate, tuple);
         if (!pass.ok()) return pass.status();
         if (!*pass) continue;
       }
-      Tuple updated = *tuple;
+      Tuple updated = tuple;
       for (size_t i = 0; i < plan_->update_columns.size(); ++i) {
-        auto v = Eval(*plan_->exprs[i], *tuple);
+        auto v = Eval(*plan_->exprs[i], tuple);
         if (!v.ok()) return v.status();
         Value value = *v;
         const TypeId want =
@@ -812,15 +870,17 @@ class UpdateExec : public Executor {
         }
         updated[plan_->update_columns[i]] = std::move(value);
       }
-      updates.push_back({it.rid(), std::move(*tuple), std::move(updated)});
+      updates.push_back({it.rid(), std::move(tuple), std::move(updated)});
     }
     STAGEDB_RETURN_IF_ERROR(it.status());
     for (auto& pending : updates) {
-      // Delete + reinsert keeps indexes and stats consistent.
+      // Delete + reinsert keeps indexes and stats consistent. Under MVCC
+      // this marks the old version deleted and installs the new tuple as a
+      // fresh version, both stamped with the statement's transaction.
       STAGEDB_RETURN_IF_ERROR(
-          ctx_->catalog->DeleteTuple(plan_->table, pending.rid));
-      auto new_rid =
-          ctx_->catalog->InsertTuple(plan_->table, pending.new_tuple);
+          ctx_->catalog->DeleteTuple(plan_->table, pending.rid, ctx_->mvcc));
+      auto new_rid = ctx_->catalog->InsertTuple(plan_->table,
+                                                pending.new_tuple, ctx_->mvcc);
       if (!new_rid.ok()) return new_rid.status();
       if (ctx_->wal != nullptr) {
         // One UPDATE record carrying both images (redo finds the victim by

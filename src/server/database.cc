@@ -4,7 +4,9 @@
 #include "common/string_util.h"
 #include "engine/commit_stage.h"
 #include "engine/staged_engine.h"
+#include "engine/vacuum_stage.h"
 #include "parser/parser.h"
+#include "storage/mvcc.h"
 
 namespace stagedb::server {
 
@@ -175,12 +177,17 @@ class CatalogRecoveryApplier : public storage::RecoveryApplier {
   }
 
  private:
-  /// Logical identity across re-assigned rids: find the row by image.
+  /// Logical identity across re-assigned rids: find the row by image. Under
+  /// MVCC the heap records carry a version header the WAL images do not, so
+  /// compare the payload bytes only.
   StatusOr<storage::Rid> FindByImage(catalog::TableInfo* table,
                                      const std::string& image) {
+    const bool mvcc = db_->catalog_->mvcc_enabled();
     auto scan = table->heap->Scan();
     while (scan.Next()) {
-      if (scan.record() == image) return scan.rid();
+      const std::string_view row =
+          mvcc ? storage::RowPayload(scan.record()) : scan.record();
+      if (row == image) return scan.rid();
     }
     STAGEDB_RETURN_IF_ERROR(scan.status());
     return Status::NotFound("recover: row image not found");
@@ -204,6 +211,17 @@ std::string QueryResult::ToString() const {
 }
 
 // ----------------------------------------------------------- PendingQuery ---
+
+PendingQuery::~PendingQuery() {
+  if (wal_finalize_ == nullptr) return;
+  // Abandoned without Await: the client never saw an ack, so the statement
+  // must not commit. Wait out the in-flight query first — the engine still
+  // holds the context this object owns.
+  if (query_ != nullptr) (void)query_->Await();
+  auto finalize = std::move(wal_finalize_);
+  wal_finalize_ = nullptr;
+  (void)finalize(false);
+}
 
 StatusOr<QueryResult> PendingQuery::Await() {
   auto rows = query_->Await();
@@ -232,8 +250,11 @@ void PendingQuery::NotifyOnDone(std::function<void()> callback) {
 Database::Database(DatabaseOptions options) : options_(std::move(options)) {}
 
 Database::~Database() {
-  // The staged engine drains its own commit stage. The volcano-mode commit
+  // Drain order: vacuum first (its passes touch catalog state the engines
+  // read), then the commit stage, then stop the volcano-mode runtime. The
+  // staged engine drains its own commit stage; the volcano-mode commit
   // runtime is ours: drain while its workers are alive, then stop them.
+  if (vacuum_ != nullptr) vacuum_->Drain();
   if (own_group_commit_ != nullptr) own_group_commit_->Drain();
   if (commit_runtime_ != nullptr) commit_runtime_->Shutdown();
 }
@@ -254,6 +275,13 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
   }
   db->txn_mgr_ =
       std::make_unique<storage::TransactionManager>(db->wal_.get());
+  db->txn_mgr_->lock_manager()->set_timeout_micros(
+      db->options_.lock_timeout_micros);
+  if (db->options_.concurrency == ConcurrencyMode::kSnapshot) {
+    // Before recovery: replayed rows must be installed with version headers
+    // (begin = 0, committed-at-bootstrap) like every other MVCC record.
+    db->catalog_->EnableMvcc(db->txn_mgr_.get());
+  }
   if (db->durable()) {
     // Replay the log before the engines exist: committed transactions are
     // redone through the catalog (rebuilding tables, indexes, statistics),
@@ -308,6 +336,25 @@ StatusOr<std::unique_ptr<Database>> Database::Open(DatabaseOptions options) {
       db->group_commit_ = db->own_group_commit_.get();
     }
   }
+  if (db->options_.concurrency == ConcurrencyMode::kSnapshot) {
+    // The vacuum stage rides the staged engine's runtime so "vacuum" shows
+    // up beside fscan/commit in the stage table; in volcano mode it shares
+    // the private commit runtime (created here if group commit did not).
+    engine::StageRuntime* vac_runtime;
+    if (db->options_.mode == ExecutionMode::kStaged) {
+      vac_runtime = db->staged_->engine.runtime();
+    } else {
+      if (db->commit_runtime_ == nullptr) {
+        db->commit_runtime_ = std::make_unique<engine::StageRuntime>(
+            engine::SchedulerPolicy::kFreeRun);
+      }
+      vac_runtime = db->commit_runtime_.get();
+    }
+    engine::VacuumStage::Options vo;
+    vo.window_us = db->options_.vacuum_window_us;
+    db->vacuum_ = std::make_unique<engine::VacuumStage>(
+        vac_runtime, db->catalog_.get(), vo, engine::StagePoolSpec{1, -1});
+  }
   return db;
 }
 
@@ -325,13 +372,14 @@ StatusOr<int64_t> Database::BeginWalTxn() {
   return txn_id;
 }
 
-Status Database::CommitWalTxn(int64_t txn_id) {
+Status Database::CommitWalTxn(int64_t txn_id, int64_t commit_ts) {
   if (group_commit_ != nullptr) {
-    return group_commit_->Submit(txn_id)->Wait();
+    return group_commit_->Submit(txn_id, commit_ts)->Wait();
   }
   storage::WalRecord r;
   r.txn_id = txn_id;
   r.type = storage::WalRecord::Type::kCommit;
+  r.ts = commit_ts;
   auto lsn_or = wal_->Append(std::move(r));
   if (!lsn_or.ok()) return lsn_or.status();
   return wal_->Sync();
@@ -349,6 +397,84 @@ Status Database::AppendDdl(storage::WalRecord record) {
   if (!lsn_or.ok()) return lsn_or.status();
   // DDL is auto-committed: durable before the statement acks.
   return wal_->Sync();
+}
+
+Status Database::FinishMvccTxn(storage::MvccTxn* txn, bool ok, int64_t* cts) {
+  *cts = 0;
+  Status st;
+  if (ok && !txn->writes.empty()) {
+    // Visibility before durability: the commit timestamp is allocated and
+    // published here; the caller then stamps it on the WAL COMMIT record.
+    const storage::Ts ts = txn_mgr_->AllocateCommitTs();
+    st = catalog_->MvccCommit(txn, ts);
+    if (st.ok()) *cts = ts;
+  } else if (!ok) {
+    st = catalog_->MvccAbort(txn);
+  }
+  if (txn->registered) {
+    txn_mgr_->ReleaseSnapshot(txn->snapshot);
+    txn->registered = false;
+  }
+  if (*cts != 0) MaybeWakeVacuum();
+  return st;
+}
+
+void Database::MaybeWakeVacuum() {
+  if (vacuum_ == nullptr) return;
+  if (txn_mgr_->dead_versions() >= options_.vacuum_dead_threshold) {
+    vacuum_->Wake();
+  }
+}
+
+StatusOr<int64_t> Database::VacuumNow() {
+  if (!snapshot_mode()) {
+    return Status::InvalidArgument("vacuum requires snapshot concurrency mode");
+  }
+  txn_mgr_->ResetDeadVersions();
+  return catalog_->MvccVacuum();
+}
+
+namespace {
+bool IsDmlPlan(const PhysicalPlan* plan) {
+  return plan->kind == optimizer::PlanKind::kInsert ||
+         plan->kind == optimizer::PlanKind::kDelete ||
+         plan->kind == optimizer::PlanKind::kUpdate;
+}
+
+/// Table-lock requests of a plan: table id -> needs exclusive. The DML node
+/// itself locks exclusive; every other table-bearing node (the scans,
+/// including the scan feeding a DELETE/UPDATE of the same table) is shared —
+/// the map keeps the strongest mode per table.
+void CollectLockRequests(const PhysicalPlan* plan,
+                         std::map<int32_t, bool>* out) {
+  if (plan->table != nullptr) {
+    const bool exclusive = IsDmlPlan(plan);
+    auto [it, inserted] = out->emplace(plan->table->id, exclusive);
+    if (!inserted && exclusive) it->second = true;
+  }
+  for (const auto& child : plan->children) {
+    CollectLockRequests(child.get(), out);
+  }
+}
+}  // namespace
+
+StatusOr<int64_t> Database::AcquireStatementLocks(const PhysicalPlan* plan) {
+  std::map<int32_t, bool> requests;
+  CollectLockRequests(plan, &requests);
+  if (requests.empty()) return 0;
+  const int64_t lock_txn = txn_mgr_->AllocateTxnId();
+  storage::LockManager* lm = txn_mgr_->lock_manager();
+  // std::map iteration = ascending table id: every statement acquires in the
+  // same global order, so timeouts fire only under true contention pile-ups.
+  for (const auto& [table_id, exclusive] : requests) {
+    const Status s = exclusive ? lm->AcquireExclusive(lock_txn, table_id)
+                               : lm->AcquireShared(lock_txn, table_id);
+    if (!s.ok()) {
+      lm->ReleaseAll(lock_txn);
+      return s;
+    }
+  }
+  return lock_txn;
 }
 
 engine::StageRuntime::StatsSnapshot Database::EngineStats() const {
@@ -570,7 +696,7 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
     }
     case Kind::kBegin: {
       MutexLock lock(txn_mu_);
-      if (active_txn_ != nullptr) {
+      if (active_txn_ != nullptr || active_mvcc_txn_ != nullptr) {
         return Status::InvalidArgument("transaction already in progress");
       }
       if (durable()) {
@@ -578,26 +704,46 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
         if (!txn_or.ok()) return txn_or.status();
         active_wal_txn_ = *txn_or;
       }
-      active_txn_ = std::make_unique<exec::MutationLog>();
+      if (snapshot_mode()) {
+        // The transaction's snapshot is fixed here: every statement inside
+        // the BEGIN reads the same commit point, and the MvccTxn's write set
+        // doubles as the undo log (no MutationLog).
+        active_mvcc_txn_ = std::make_unique<storage::MvccTxn>();
+        active_mvcc_txn_->id = txn_mgr_->AllocateTxnId();
+        active_mvcc_txn_->snapshot = txn_mgr_->BeginSnapshot();
+        active_mvcc_txn_->registered = true;
+      } else {
+        active_txn_ = std::make_unique<exec::MutationLog>();
+      }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
       return result;
     }
     case Kind::kCommit: {
       int64_t wal_txn = 0;
+      std::unique_ptr<storage::MvccTxn> mvcc_txn;
       {
         MutexLock lock(txn_mu_);
-        if (active_txn_ == nullptr) {
+        if (active_txn_ == nullptr && active_mvcc_txn_ == nullptr) {
           return Status::InvalidArgument("no transaction in progress");
         }
         active_txn_.reset();
+        mvcc_txn = std::move(active_mvcc_txn_);
         wal_txn = active_wal_txn_;
         active_wal_txn_ = 0;
       }
+      int64_t cts = 0;
+      if (mvcc_txn != nullptr) {
+        const Status st = FinishMvccTxn(mvcc_txn.get(), true, &cts);
+        if (!st.ok()) {
+          if (wal_txn != 0) AbortWalTxn(wal_txn);
+          return st;
+        }
+      }
       if (wal_txn != 0) {
         // COMMIT does not ack until the log is durable (group-commit ticket
-        // or inline fsync).
-        STAGEDB_RETURN_IF_ERROR(CommitWalTxn(wal_txn));
+        // or inline fsync). The MVCC commit timestamp rides the record.
+        STAGEDB_RETURN_IF_ERROR(CommitWalTxn(wal_txn, cts));
       }
       result.schema = Schema({{"status", TypeId::kVarchar, ""}});
       result.rows = {{catalog::Value::Varchar("ok")}};
@@ -605,11 +751,18 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
     }
     case Kind::kRollback: {
       MutexLock lock(txn_mu_);
-      if (active_txn_ == nullptr) {
+      if (active_txn_ == nullptr && active_mvcc_txn_ == nullptr) {
         return Status::InvalidArgument("no transaction in progress");
       }
-      STAGEDB_RETURN_IF_ERROR(active_txn_->Rollback(catalog_.get()));
-      active_txn_.reset();
+      if (active_txn_ != nullptr) {
+        STAGEDB_RETURN_IF_ERROR(active_txn_->Rollback(catalog_.get()));
+        active_txn_.reset();
+      }
+      if (active_mvcc_txn_ != nullptr) {
+        auto mvcc_txn = std::move(active_mvcc_txn_);
+        int64_t cts = 0;
+        STAGEDB_RETURN_IF_ERROR(FinishMvccTxn(mvcc_txn.get(), false, &cts));
+      }
       if (active_wal_txn_ != 0) {
         AbortWalTxn(active_wal_txn_);
         active_wal_txn_ = 0;
@@ -632,14 +785,6 @@ StatusOr<QueryResult> Database::Execute(const std::string& sql) {
   return ExecutePlanned(plan.get());
 }
 
-namespace {
-bool IsDmlPlan(const PhysicalPlan* plan) {
-  return plan->kind == optimizer::PlanKind::kInsert ||
-         plan->kind == optimizer::PlanKind::kDelete ||
-         plan->kind == optimizer::PlanKind::kUpdate;
-}
-}  // namespace
-
 StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
   // A template must be instantiated first: the engines ignore parameterized
   // index bounds and unevaluated VALUES rows, so executing one would return
@@ -652,6 +797,18 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
   result.schema = plan->schema;
   result.plan_text = plan->ToString();
 
+  // kTableLock: the blocking baseline. Locks are held for the statement's
+  // whole duration (through the commit), released on every exit path below.
+  int64_t lock_txn = 0;
+  if (options_.concurrency == ConcurrencyMode::kTableLock) {
+    auto lock_or = AcquireStatementLocks(plan);
+    if (!lock_or.ok()) return lock_or.status();
+    lock_txn = *lock_or;
+  }
+  const auto unlock = [this, lock_txn] {
+    if (lock_txn != 0) txn_mgr_->lock_manager()->ReleaseAll(lock_txn);
+  };
+
   exec::ExecContext ctx;
   ctx.catalog = catalog_.get();
   // Durable DML runs under a wal transaction: a statement inside an explicit
@@ -659,17 +816,39 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
   // statement auto-commits — BEGIN record, row records from the executors,
   // then a durable COMMIT before the statement acks.
   std::unique_ptr<DatabaseWalSink> sink;
+  std::unique_ptr<storage::MvccTxn> stmt_mvcc;
   int64_t wal_txn = 0;
   bool auto_commit = false;
   {
     MutexLock lock(txn_mu_);
     ctx.mutation_log = active_txn_.get();
+    if (snapshot_mode()) {
+      // Inside an explicit BEGIN, statements share the transaction's
+      // snapshot and write set; standalone statements get their own
+      // MvccTxn, committed or aborted right after execution.
+      if (active_mvcc_txn_ != nullptr) {
+        ctx.mvcc = active_mvcc_txn_.get();
+      } else {
+        stmt_mvcc = std::make_unique<storage::MvccTxn>();
+        if (IsDmlPlan(plan)) stmt_mvcc->id = txn_mgr_->AllocateTxnId();
+        stmt_mvcc->snapshot = txn_mgr_->BeginSnapshot();
+        stmt_mvcc->registered = true;
+        ctx.mvcc = stmt_mvcc.get();
+      }
+    }
     if (durable() && IsDmlPlan(plan)) {
-      if (active_txn_ != nullptr && active_wal_txn_ != 0) {
+      const bool in_txn = active_txn_ != nullptr || active_mvcc_txn_ != nullptr;
+      if (in_txn && active_wal_txn_ != 0) {
         wal_txn = active_wal_txn_;
       } else {
         auto txn_or = BeginWalTxn();
-        if (!txn_or.ok()) return txn_or.status();
+        if (!txn_or.ok()) {
+          if (stmt_mvcc != nullptr && stmt_mvcc->registered) {
+            txn_mgr_->ReleaseSnapshot(stmt_mvcc->snapshot);
+          }
+          unlock();
+          return txn_or.status();
+        }
         wal_txn = *txn_or;
         auto_commit = true;
       }
@@ -683,12 +862,29 @@ StatusOr<QueryResult> Database::ExecutePlanned(const PhysicalPlan* plan) {
                   ? staged_->engine.Execute(plan, &ctx)
                   : exec::ExecutePlan(plan, &ctx);
   if (!rows.ok()) {
+    int64_t cts = 0;
+    if (stmt_mvcc != nullptr) (void)FinishMvccTxn(stmt_mvcc.get(), false, &cts);
     if (auto_commit) AbortWalTxn(wal_txn);
+    unlock();
     return rows.status();
   }
-  if (auto_commit) {
-    STAGEDB_RETURN_IF_ERROR(CommitWalTxn(wal_txn));
+  int64_t cts = 0;
+  if (stmt_mvcc != nullptr) {
+    const Status st = FinishMvccTxn(stmt_mvcc.get(), true, &cts);
+    if (!st.ok()) {
+      if (auto_commit) AbortWalTxn(wal_txn);
+      unlock();
+      return st;
+    }
   }
+  if (auto_commit) {
+    const Status st = CommitWalTxn(wal_txn, cts);
+    if (!st.ok()) {
+      unlock();
+      return st;
+    }
+  }
+  unlock();
   result.rows = std::move(*rows);
   return result;
 }
@@ -703,6 +899,15 @@ StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
     return Status::InvalidArgument(
         "statement contains '?' parameters; use Prepare/ExecutePrepared");
   }
+  // kTableLock: acquired before submission, held across the asynchronous
+  // execution, released by the finalize epilogue (Await or the destructor).
+  int64_t lock_txn = 0;
+  if (options_.concurrency == ConcurrencyMode::kTableLock) {
+    auto lock_or = AcquireStatementLocks(plan);
+    if (!lock_or.ok()) return lock_or.status();
+    lock_txn = *lock_or;
+  }
+
   auto pending = std::make_shared<PendingQuery>();
   pending->schema_ = plan->schema;
   pending->plan_text_ = plan->ToString();
@@ -710,29 +915,63 @@ StatusOr<std::shared_ptr<PendingQuery>> Database::SubmitPlanned(
   {
     MutexLock lock(txn_mu_);
     pending->ctx_.mutation_log = active_txn_.get();
+    if (snapshot_mode()) {
+      if (active_mvcc_txn_ != nullptr) {
+        pending->ctx_.mvcc = active_mvcc_txn_.get();
+      } else {
+        pending->mvcc_txn_ = std::make_unique<storage::MvccTxn>();
+        if (IsDmlPlan(plan)) {
+          pending->mvcc_txn_->id = txn_mgr_->AllocateTxnId();
+        }
+        pending->mvcc_txn_->snapshot = txn_mgr_->BeginSnapshot();
+        pending->mvcc_txn_->registered = true;
+        pending->ctx_.mvcc = pending->mvcc_txn_.get();
+      }
+    }
+    int64_t wal_txn = 0;
+    bool wal_auto = false;
     if (durable() && IsDmlPlan(plan)) {
-      int64_t wal_txn = 0;
-      bool auto_commit = false;
-      if (active_txn_ != nullptr && active_wal_txn_ != 0) {
+      const bool in_txn = active_txn_ != nullptr || active_mvcc_txn_ != nullptr;
+      if (in_txn && active_wal_txn_ != 0) {
         wal_txn = active_wal_txn_;
       } else {
         auto txn_or = BeginWalTxn();
-        if (!txn_or.ok()) return txn_or.status();
+        if (!txn_or.ok()) {
+          if (pending->mvcc_txn_ != nullptr && pending->mvcc_txn_->registered) {
+            txn_mgr_->ReleaseSnapshot(pending->mvcc_txn_->snapshot);
+            pending->mvcc_txn_->registered = false;
+          }
+          if (lock_txn != 0) txn_mgr_->lock_manager()->ReleaseAll(lock_txn);
+          return txn_or.status();
+        }
         wal_txn = *txn_or;
-        auto_commit = true;
+        wal_auto = true;
       }
       auto sink = std::make_unique<DatabaseWalSink>(this, wal_txn);
       pending->ctx_.wal = sink.get();
       pending->wal_sink_ = std::move(sink);
-      if (auto_commit) {
-        pending->wal_finalize_ = [this, wal_txn](bool ok) -> Status {
-          if (!ok) {
+    }
+    // One epilogue finishes the statement: MVCC commit/abort, durable wal
+    // commit (or abort), lock release — in that order, so visibility is
+    // published before the durability wait and locks cover the whole
+    // statement. Runs exactly once, from Await or ~PendingQuery.
+    storage::MvccTxn* stmt_mvcc = pending->mvcc_txn_.get();
+    if (stmt_mvcc != nullptr || wal_auto || lock_txn != 0) {
+      pending->wal_finalize_ = [this, stmt_mvcc, wal_txn, wal_auto,
+                                lock_txn](bool ok) -> Status {
+        Status st;
+        int64_t cts = 0;
+        if (stmt_mvcc != nullptr) st = FinishMvccTxn(stmt_mvcc, ok, &cts);
+        if (wal_auto) {
+          if (!ok || !st.ok()) {
             AbortWalTxn(wal_txn);
-            return Status::OK();
+          } else {
+            st = CommitWalTxn(wal_txn, cts);
           }
-          return CommitWalTxn(wal_txn);
-        };
-      }
+        }
+        if (lock_txn != 0) txn_mgr_->lock_manager()->ReleaseAll(lock_txn);
+        return st;
+      };
     }
   }
   stats_.GetCounter("stage.execute.packets")->Add(1);

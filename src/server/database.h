@@ -26,6 +26,7 @@
 namespace stagedb::engine {
 class GroupCommitStage;
 class StagedQuery;
+class VacuumStage;
 }  // namespace stagedb::engine
 
 namespace stagedb::server {
@@ -34,6 +35,26 @@ namespace stagedb::server {
 enum class ExecutionMode {
   kVolcano,  ///< single-worker iterator model (the traditional baseline)
   kStaged,   ///< the paper's staged engine (operator stages + packets)
+};
+
+/// Statement-level concurrency control across concurrent Execute callers.
+enum class ConcurrencyMode {
+  /// The seed behaviour: no table locks, no version headers. Concurrent
+  /// statements rely on page latches only (readers may observe a concurrent
+  /// statement's partial effects).
+  kNone,
+  /// Shared/exclusive table locks per statement: scans lock their tables
+  /// shared, DML locks its target exclusive, for the statement's duration.
+  /// The measurable blocking baseline — an analytics scan stalls every
+  /// update on its table and vice versa.
+  kTableLock,
+  /// Multi-version snapshot isolation: every statement reads a registered
+  /// commit-ordered snapshot, updates install new row versions instead of
+  /// mutating in place, and a background vacuum stage reclaims versions
+  /// older than the oldest live snapshot. Readers never block writers and
+  /// never take table locks; write-write conflicts abort the second writer
+  /// (first-updater-wins).
+  kSnapshot,
 };
 
 struct DatabaseOptions {
@@ -86,6 +107,19 @@ struct DatabaseOptions {
   bool group_commit = true;
   int group_commit_max_batch = 64;
   int64_t group_commit_max_wait_us = 200;
+  /// Statement-level concurrency control. kNone keeps the seed semantics;
+  /// kTableLock and kSnapshot are the lock-based baseline and the MVCC
+  /// design compared by bench/ablation_snapshot_reads.
+  ConcurrencyMode concurrency = ConcurrencyMode::kNone;
+  /// kTableLock: how long a statement waits for a table lock before its
+  /// acquisition times out (the deadlock-resolution policy).
+  int64_t lock_timeout_micros = 200000;
+  /// kSnapshot: wake the vacuum stage once this many delete marks have
+  /// committed since the last pass (0 = wake after every committing delete).
+  int64_t vacuum_dead_threshold = 64;
+  /// kSnapshot: batching window of the vacuum stage — a wake waits this long
+  /// so a burst of committing deletes coalesces into one pass.
+  int64_t vacuum_window_us = 1000;
 };
 
 /// Result of one statement.
@@ -102,6 +136,11 @@ struct QueryResult {
 /// lifetime; Await consumes the result and must be called at most once.
 class PendingQuery {
  public:
+  /// If the query was never awaited, finishes it and runs the finalize
+  /// epilogue with ok=false — an abandoned statement must not commit, leak
+  /// its wal transaction, or pin the vacuum horizon with its snapshot.
+  ~PendingQuery();
+
   /// Blocks until the query completes and returns its result.
   StatusOr<QueryResult> Await();
   /// True once the query has completed (Await would not block).
@@ -117,12 +156,18 @@ class PendingQuery {
   std::string plan_text_;
   exec::ExecContext ctx_;
   std::shared_ptr<engine::StagedQuery> query_;
-  /// Durable-commit epilogue (set for DML on a WAL-backed database): runs
-  /// exactly once in Await with whether execution succeeded, and completes
-  /// the commit (group-commit ticket wait) or aborts. Owns nothing beyond
-  /// the capture; wal_sink_ keeps the context's sink alive until then.
+  /// Statement-finalize epilogue (set for DML on a WAL-backed database, and
+  /// for every statement under kTableLock/kSnapshot): runs exactly once in
+  /// Await (or the destructor) with whether execution succeeded, and
+  /// completes the commit — MVCC publish, group-commit ticket wait, lock
+  /// release — or aborts. Owns nothing beyond the capture; wal_sink_ keeps
+  /// the context's sink alive until then.
   std::function<Status(bool)> wal_finalize_;
   std::unique_ptr<exec::WalSink> wal_sink_;
+  /// Statement-scoped MVCC transaction (kSnapshot mode, no explicit BEGIN):
+  /// the context points at it for the query's lifetime; wal_finalize_
+  /// commits or aborts it.
+  std::unique_ptr<storage::MvccTxn> mvcc_txn_;
   /// Set by SubmitPrepared: the engine executes against the plan's nodes, so
   /// an instantiated-on-the-fly plan must live as long as the query.
   std::unique_ptr<optimizer::PhysicalPlan> owned_plan_;
@@ -254,6 +299,15 @@ class Database {
   /// Fault-injection passthrough to the WAL's log device (crash tests).
   void set_wal_fault_injector(storage::WriteFaultInjector* injector);
 
+  /// kSnapshot only: runs one synchronous vacuum pass on the caller's thread
+  /// and returns the number of versions physically reclaimed (tests and
+  /// benchmarks; production reclamation rides the vacuum stage).
+  StatusOr<int64_t> VacuumNow();
+  /// The background vacuum stage (nullptr outside kSnapshot mode).
+  engine::VacuumStage* vacuum_stage() { return vacuum_.get(); }
+  /// The transaction manager (timestamp authority in kSnapshot mode).
+  storage::TransactionManager* txn_manager() { return txn_mgr_.get(); }
+
  private:
   friend class DatabaseWalSink;
   friend class CatalogRecoveryApplier;
@@ -262,13 +316,32 @@ class Database {
   /// Appends BEGIN for a fresh wal transaction and returns its id.
   StatusOr<int64_t> BeginWalTxn();
   /// Durably commits `txn_id`: a group-commit ticket when the commit stage
-  /// exists, else an inline COMMIT append + Sync.
-  Status CommitWalTxn(int64_t txn_id);
+  /// exists, else an inline COMMIT append + Sync. `commit_ts` (kSnapshot
+  /// mode) is stamped on the COMMIT record so recovery can restore the
+  /// timestamp high-water mark.
+  Status CommitWalTxn(int64_t txn_id, int64_t commit_ts = 0);
   /// Appends ABORT (absence of COMMIT already makes the txn a loser; the
   /// record is for log legibility). Best-effort.
   void AbortWalTxn(int64_t txn_id);
   /// Appends + syncs a DDL record (auto-committed at append time).
   Status AppendDdl(storage::WalRecord record);
+
+  bool snapshot_mode() const {
+    return options_.concurrency == ConcurrencyMode::kSnapshot;
+  }
+  /// Finishes an MVCC transaction: on ok, allocates a commit timestamp and
+  /// publishes the write set (returned through `cts`; 0 when the txn wrote
+  /// nothing); on failure, undoes the write set. Always releases the
+  /// registered snapshot.
+  Status FinishMvccTxn(storage::MvccTxn* txn, bool ok, int64_t* cts);
+  /// Wakes the vacuum stage when the committed-delete counter crosses the
+  /// configured threshold.
+  void MaybeWakeVacuum();
+  /// kTableLock: walks the plan, takes shared locks on scanned tables and
+  /// exclusive locks on DML targets under a fresh lock-owner id, and returns
+  /// that id (0 = the plan touches no tables). The caller releases via
+  /// LockManager::ReleaseAll when the statement finishes.
+  StatusOr<int64_t> AcquireStatementLocks(const optimizer::PhysicalPlan* plan);
 
   DatabaseOptions options_;
   std::unique_ptr<storage::MemDiskManager> disk_;
@@ -280,9 +353,12 @@ class Database {
   StatsRegistry stats_;
   storage::RecoveryStats recovery_stats_;
 
-  // Explicit SQL transaction state (single implicit session).
+  // Explicit SQL transaction state (single implicit session). kNone and
+  // kTableLock record undo in a MutationLog; kSnapshot carries an MvccTxn
+  // instead (its write set is the undo log).
   Mutex txn_mu_;
   std::unique_ptr<exec::MutationLog> active_txn_ GUARDED_BY(txn_mu_);
+  std::unique_ptr<storage::MvccTxn> active_mvcc_txn_ GUARDED_BY(txn_mu_);
   // wal txn id of the open BEGIN (0 = none).
   int64_t active_wal_txn_ GUARDED_BY(txn_mu_) = 0;
 
@@ -297,6 +373,12 @@ class Database {
   std::unique_ptr<engine::StageRuntime> commit_runtime_;
   std::unique_ptr<engine::GroupCommitStage> own_group_commit_;
   engine::GroupCommitStage* group_commit_ = nullptr;  // whichever exists
+
+  // kSnapshot: the vacuum stage rides the staged engine's runtime (staged
+  // mode) or commit_runtime_ (volcano mode; created even without group
+  // commit). Declared last so it drains — while the host runtime's workers
+  // are still alive — before either runtime is destroyed.
+  std::unique_ptr<engine::VacuumStage> vacuum_;
 };
 
 }  // namespace stagedb::server

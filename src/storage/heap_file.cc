@@ -155,6 +155,21 @@ StatusOr<Rid> HeapFile::Update(const Rid& rid, std::string_view record) {
   return Insert(record);
 }
 
+Status HeapFile::OverwritePrefix(const Rid& rid, std::string_view prefix) {
+  auto page_or = pool_->FetchPage(rid.page_id);
+  if (!page_or.ok()) return page_or.status();
+  Page* page = *page_or;
+  SlottedPage sp(page);
+  Status s;
+  {
+    ExclusiveLock latch(page->latch());
+    s = sp.OverwritePrefix(rid.slot, prefix);
+  }
+  STAGEDB_RETURN_IF_ERROR(pool_->Unpin(rid.page_id, s.ok()));
+  if (s.ok()) BumpVersion();
+  return s;
+}
+
 StatusOr<int64_t> HeapFile::CountRecords() const {
   int64_t n = 0;
   Iterator it = Scan();

@@ -35,11 +35,23 @@ class HeapFile {
   /// Updates a record; may relocate it. Returns the (possibly new) Rid.
   StatusOr<Rid> Update(const Rid& rid, std::string_view record);
 
+  /// Overwrites the first `prefix.size()` bytes of the record at `rid` in
+  /// place (exclusive page latch; the record must be at least that long).
+  /// MVCC commit/abort uses this to rewrite version headers; it bumps
+  /// version() so shared-scan page caches never serve a stale header.
+  Status OverwritePrefix(const Rid& rid, std::string_view prefix);
+
   PageId first_page() const { return first_page_; }
 
-  /// Monotone mutation counter, bumped by every successful Insert / Delete /
-  /// Update. Lets page-content caches (the shared-scan reuse window) detect
-  /// that a cached copy may predate a mutation and fall back to the pool.
+  /// Monotone *data* mutation counter, bumped by every successful Insert /
+  /// Delete / Update / OverwritePrefix. Lets page-content caches (the
+  /// shared-scan reuse window in engine/shared_scan.cc) detect that a cached
+  /// copy may predate a mutation and fall back to the pool.
+  ///
+  /// Not to be confused with Catalog::version(), the *schema* epoch bumped by
+  /// DDL that plan-cache validation keys on. This counter tracks row bytes
+  /// only; MVCC visibility never reads it (visibility lives in the per-row
+  /// version headers), and a schema change alone never bumps it.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// Forward iterator over live records. Not stable under concurrent

@@ -86,4 +86,18 @@ Status SlottedPage::UpdateInPlace(uint16_t slot_id, std::string_view record) {
   return Status::OK();
 }
 
+Status SlottedPage::OverwritePrefix(uint16_t slot_id,
+                                    std::string_view prefix) {
+  if (slot_id >= num_slots()) {
+    return Status::NotFound(StrFormat("slot %u out of range", slot_id));
+  }
+  Slot* s = slot(slot_id);
+  if (s->length == 0) return Status::NotFound("slot deleted");
+  if (prefix.size() > s->length) {
+    return Status::InvalidArgument("prefix longer than record");
+  }
+  std::memcpy(page_->data() + s->offset, prefix.data(), prefix.size());
+  return Status::OK();
+}
+
 }  // namespace stagedb::storage

@@ -39,6 +39,11 @@ class SlottedPage {
   /// returns ResourceExhausted and the caller relocates the record.
   Status UpdateInPlace(uint16_t slot, std::string_view record);
 
+  /// Overwrites the first `prefix.size()` bytes of a live record in place
+  /// (InvalidArgument if the record is shorter). MVCC uses this to rewrite
+  /// the version header without relocating the row.
+  Status OverwritePrefix(uint16_t slot, std::string_view prefix);
+
   uint16_t num_slots() const;
   /// Number of live (non-deleted) records.
   uint16_t live_records() const;

@@ -4,7 +4,9 @@
 #ifndef STAGEDB_STORAGE_TXN_H_
 #define STAGEDB_STORAGE_TXN_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -14,11 +16,10 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "storage/heap_file.h"
+#include "storage/mvcc.h"
 #include "storage/wal.h"
 
 namespace stagedb::storage {
-
-using TxnId = int64_t;
 
 enum class TxnState { kActive, kCommitted, kAborted };
 
@@ -36,6 +37,12 @@ class LockManager {
   explicit LockManager(int64_t timeout_micros = 200000)
       : timeout_micros_(timeout_micros) {}
 
+  /// Reconfigures the wait timeout. Call during setup, before concurrent
+  /// acquires are in flight (the field is read without the lock held).
+  void set_timeout_micros(int64_t timeout_micros) {
+    timeout_micros_ = timeout_micros;
+  }
+
   Status AcquireShared(TxnId txn, int32_t table_id);
   Status AcquireExclusive(TxnId txn, int32_t table_id);
   void ReleaseAll(TxnId txn);
@@ -47,10 +54,15 @@ class LockManager {
   struct TableLock {
     std::set<TxnId> shared;
     TxnId exclusive = -1;  // -1 = none
+    // Writers currently blocked in AcquireExclusive. New readers queue
+    // behind them (writer preference): without this, a steady stream of
+    // overlapping shared scans starves DML forever.
+    int waiting_writers = 0;
   };
 
   bool CanGrantShared(const TableLock& l, TxnId txn) const REQUIRES(mu_) {
-    return l.exclusive == -1 || l.exclusive == txn;
+    return (l.exclusive == -1 || l.exclusive == txn) &&
+           l.waiting_writers == 0;
   }
   bool CanGrantExclusive(const TableLock& l, TxnId txn) const REQUIRES(mu_) {
     const bool only_self_shared =
@@ -59,7 +71,7 @@ class LockManager {
     return (l.exclusive == -1 || l.exclusive == txn) && only_self_shared;
   }
 
-  const int64_t timeout_micros_;
+  int64_t timeout_micros_;
   mutable Mutex mu_;
   CondVar cv_;
   std::map<int32_t, TableLock> locks_ GUARDED_BY(mu_);
@@ -134,6 +146,58 @@ class TransactionManager {
 
   int64_t active_transactions() const;
 
+  // --- MVCC (snapshot isolation) -----------------------------------------
+  //
+  // The manager is the timestamp authority for ConcurrencyMode::kSnapshot:
+  // AllocateCommitTs hands out commit timestamps in commit order and marks
+  // them pending; FinalizeCommit publishes them strictly oldest-first, so
+  // last_committed() (the value snapshots are built from) never exposes a
+  // suffix of a group-commit batch before its prefix.
+
+  /// Registers a reader snapshot and returns its timestamp. The read of
+  /// last_committed() and the registration are atomic, so the vacuum horizon
+  /// can never advance past a snapshot that is about to start reading.
+  Ts BeginSnapshot();
+  /// Deregisters a snapshot returned by BeginSnapshot (exactly once).
+  void ReleaseSnapshot(Ts snapshot);
+  /// Largest published commit timestamp.
+  Ts last_committed() const;
+
+  /// Allocates the next commit timestamp and marks it pending.
+  Ts AllocateCommitTs();
+  /// Publishes `cts`: waits until it is the oldest pending commit, rewrites
+  /// the transaction's uncommitted -txn_id markers to `cts` (resolving heap
+  /// files through `heap_for`), then advances last_committed(). Returns the
+  /// first rewrite error, but always unblocks later commits.
+  Status FinalizeCommit(MvccTxn* txn, Ts cts,
+                        const std::function<HeapFile*(int32_t)>& heap_for);
+
+  /// First-updater-wins delete mark: atomically checks that the version at
+  /// `rid` is live (end == kMaxTs) and stamps end = -txn->id, recording the
+  /// write in txn->writes. Any other end value means another transaction
+  /// deleted it first (committed-after-snapshot or still in flight), so the
+  /// caller must abort: returns Aborted("write-write conflict").
+  Status MarkDeleteVersion(MvccTxn* txn, int32_t table_id, HeapFile* heap,
+                           const Rid& rid);
+
+  /// Oldest live snapshot, or last_committed() when none: every version
+  /// whose committed end <= horizon is invisible to all present and future
+  /// readers and may be physically reclaimed.
+  Ts VacuumHorizon() const;
+
+  /// Recovery hook: raises the commit-timestamp high-water mark so commits
+  /// after a restart continue above everything in the replayed log.
+  void RestoreTimestampHighWater(Ts ts);
+
+  /// Committed delete marks since the last ResetDeadVersions (vacuum's
+  /// wake-up hint).
+  int64_t dead_versions() const {
+    return dead_versions_.load(std::memory_order_relaxed);
+  }
+  void ResetDeadVersions() {
+    dead_versions_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   Status Undo(const WalRecord& record);
   /// Locked lookup of a registered table (nullptr if unknown).
@@ -148,6 +212,17 @@ class TransactionManager {
   // Per-txn undo chain.
   std::map<TxnId, std::vector<WalRecord>> txn_log_ GUARDED_BY(mu_);
   std::unordered_map<int32_t, HeapFile*> tables_ GUARDED_BY(mu_);
+
+  // MVCC state. mvcc_mu_ is held across header check-and-stamp sequences
+  // (MarkDeleteVersion, FinalizeCommit's rewrites), so two writers can never
+  // both observe a version as live; page latches nest inside it.
+  mutable Mutex mvcc_mu_;
+  CondVar commit_cv_;
+  Ts next_cts_ GUARDED_BY(mvcc_mu_) = 0;
+  Ts last_committed_ GUARDED_BY(mvcc_mu_) = 0;
+  std::set<Ts> pending_cts_ GUARDED_BY(mvcc_mu_);
+  std::multiset<Ts> active_snaps_ GUARDED_BY(mvcc_mu_);
+  std::atomic<int64_t> dead_versions_{0};
 };
 
 }  // namespace stagedb::storage

@@ -89,6 +89,7 @@ std::string EncodePayload(const WalRecord& r) {
   PutScalar<uint16_t>(&p, r.rid.slot);
   PutBlob(&p, r.before);
   PutBlob(&p, r.after);
+  PutScalar<int64_t>(&p, r.ts);
   return p;
 }
 
@@ -107,6 +108,10 @@ bool DecodePayload(const std::string& payload, WalRecord* r) {
   }
   if (type > static_cast<uint8_t>(WalRecord::Type::kDropTable)) return false;
   r->type = static_cast<WalRecord::Type>(type);
+  // Trailing optional: logs written before the MVCC timestamp field simply
+  // end here; absent means ts = 0.
+  r->ts = 0;
+  if (pos < payload.size() && !GetScalar(payload, &pos, &r->ts)) return false;
   return pos == payload.size();
 }
 

@@ -48,6 +48,11 @@ struct WalRecord {
   Rid rid;
   std::string before;
   std::string after;
+  /// MVCC commit timestamp (kCommit records under snapshot mode); recovery
+  /// restores the timestamp high-water mark from the max over these. 0 for
+  /// pre-MVCC logs and non-commit records (the field is a trailing optional
+  /// in the frame encoding, so old logs decode cleanly).
+  int64_t ts = 0;
 };
 
 const char* WalRecordTypeName(WalRecord::Type type);

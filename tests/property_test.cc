@@ -433,11 +433,13 @@ TEST(SqlRandomProperty, JoinCardinalityMatchesModel) {
 // ------------------------------------- randomized DML differential sweep ---
 //
 // Random DML scripts (inserts/updates/deletes, some inside explicit
-// transactions that commit or roll back) run against three databases:
-// volcano, staged, and staged backed by a WAL file. The WAL-backed one is
-// then closed and reopened so its state is rebuilt purely from log replay.
-// All four final states must agree. The script is fully determined by its
-// seed, which is printed on failure for replay.
+// transactions that commit or roll back) run against five databases:
+// volcano, staged, staged backed by a WAL file, staged under MVCC snapshot
+// isolation, and snapshot + WAL. The WAL-backed ones are then closed and
+// reopened so their state is rebuilt purely from log replay (the snapshot
+// one additionally restores the commit-timestamp high-water mark). All
+// final states must agree. The script is fully determined by its seed,
+// which is printed on failure for replay.
 
 std::vector<std::string> RunDmlScript(server::Database* db, uint64_t seed,
                                       bool* ok) {
@@ -499,15 +501,30 @@ std::vector<std::string> RunDmlScript(server::Database* db, uint64_t seed,
   return rows;
 }
 
+std::vector<std::string> FinalRows(server::Database* db) {
+  auto result = db->Execute("SELECT * FROM t");
+  std::vector<std::string> rows;
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (result.ok()) {
+    for (const auto& t : result->rows) {
+      rows.push_back(catalog::TupleToString(t));
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 TEST(DmlDifferentialProperty, EnginesAndRecoveryAgreeOnRandomScripts) {
   const std::string wal_path = testing::TempDir() + "/stagedb_prop_wal_" +
                                std::to_string(::getpid());
+  const std::string snap_wal_path = wal_path + "_snap";
   constexpr uint64_t kBaseSeed = 4242;
   constexpr int kScripts = 200;
   for (int i = 0; i < kScripts; ++i) {
     const uint64_t seed = kBaseSeed + static_cast<uint64_t>(i);
     SCOPED_TRACE("seed=" + std::to_string(seed));
     std::remove(wal_path.c_str());
+    std::remove(snap_wal_path.c_str());
 
     server::DatabaseOptions volcano_opts;
     auto volcano = server::Database::Open(volcano_opts);
@@ -521,6 +538,16 @@ TEST(DmlDifferentialProperty, EnginesAndRecoveryAgreeOnRandomScripts) {
     durable_opts.wal_path = wal_path;
     auto durable = server::Database::Open(durable_opts);
     ASSERT_TRUE(durable.ok());
+    server::DatabaseOptions snapshot_opts;
+    snapshot_opts.mode = server::ExecutionMode::kStaged;
+    snapshot_opts.concurrency = server::ConcurrencyMode::kSnapshot;
+    snapshot_opts.vacuum_dead_threshold = 1;  // vacuum races the script
+    auto snapshot = server::Database::Open(snapshot_opts);
+    ASSERT_TRUE(snapshot.ok());
+    server::DatabaseOptions snap_durable_opts = snapshot_opts;
+    snap_durable_opts.wal_path = snap_wal_path;
+    auto snap_durable = server::Database::Open(snap_durable_opts);
+    ASSERT_TRUE(snap_durable.ok());
 
     bool ok = true;
     const auto v = RunDmlScript(volcano->get(), seed, &ok);
@@ -529,24 +556,36 @@ TEST(DmlDifferentialProperty, EnginesAndRecoveryAgreeOnRandomScripts) {
     if (!ok) break;
     const auto d = RunDmlScript(durable->get(), seed, &ok);
     if (!ok) break;
+    const auto m = RunDmlScript(snapshot->get(), seed, &ok);
+    if (!ok) break;
+    const auto md = RunDmlScript(snap_durable->get(), seed, &ok);
+    if (!ok) break;
     EXPECT_EQ(v, s);
     EXPECT_EQ(v, d);
+    EXPECT_EQ(v, m) << "snapshot mode diverged";
+    EXPECT_EQ(v, md) << "snapshot+wal diverged";
 
-    // Restart the WAL-backed database: state must be rebuilt from the log.
+    // Restart the WAL-backed databases: state must be rebuilt from the log.
     durable->reset();
     auto reopened = server::Database::Open(durable_opts);
     ASSERT_TRUE(reopened.ok());
-    auto replayed = (*reopened)->Execute("SELECT * FROM t");
-    ASSERT_TRUE(replayed.ok());
-    std::vector<std::string> r;
-    for (const auto& t : replayed->rows) {
-      r.push_back(catalog::TupleToString(t));
-    }
-    std::sort(r.begin(), r.end());
-    EXPECT_EQ(v, r) << "recovery diverged";
+    EXPECT_EQ(v, FinalRows(reopened->get())) << "recovery diverged";
+
+    // The snapshot-mode recovery additionally restores the commit-timestamp
+    // high-water mark: post-replay DML must still be visible/orderable.
+    const storage::Ts high_water =
+        (*snap_durable)->txn_manager()->last_committed();
+    snap_durable->reset();
+    auto snap_reopened = server::Database::Open(snap_durable_opts);
+    ASSERT_TRUE(snap_reopened.ok());
+    EXPECT_EQ(v, FinalRows(snap_reopened->get())) << "snapshot recovery "
+                                                     "diverged";
+    EXPECT_GE((*snap_reopened)->txn_manager()->last_committed(), high_water)
+        << "timestamp high-water not restored";
     if (::testing::Test::HasFailure()) break;
   }
   std::remove(wal_path.c_str());
+  std::remove(snap_wal_path.c_str());
 }
 
 // ------------------------------------------------- parser robustness fuzz --

@@ -663,6 +663,35 @@ TEST_F(TxnTest, ExclusiveReleaseWakesWaiter) {
   EXPECT_TRUE(acquired.load());
 }
 
+TEST_F(TxnTest, WaitingWriterBlocksNewReaders) {
+  // Writer preference: once a writer is queued, fresh shared requests must
+  // wait behind it, or overlapping scans starve DML forever.
+  LockManager lm(/*timeout_micros=*/5000000);
+  ASSERT_TRUE(lm.AcquireShared(1, 0).ok());
+  std::atomic<bool> writer_in{false};
+  std::atomic<bool> reader_in{false};
+  std::thread writer([&] {
+    if (lm.AcquireExclusive(2, 0).ok()) writer_in = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread reader([&] {
+    if (lm.AcquireShared(3, 0).ok()) reader_in = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Only a shared lock is held, yet the new reader must be queued behind
+  // the waiting writer (without writer preference it is granted at once).
+  EXPECT_FALSE(reader_in.load());
+  EXPECT_FALSE(writer_in.load());
+  lm.ReleaseAll(1);  // the writer goes first...
+  writer.join();
+  EXPECT_TRUE(writer_in.load());
+  lm.ReleaseAll(2);  // ...then the queued reader
+  reader.join();
+  EXPECT_TRUE(reader_in.load());
+  lm.ReleaseAll(3);
+  EXPECT_EQ(lm.locked_tables(), 0u);
+}
+
 TEST_F(TxnTest, RecoveryReplaysOnlyCommittedTransactions) {
   auto committed = tm_->Begin();
   ASSERT_TRUE(tm_->Insert(*committed, 0, "durable-row").ok());

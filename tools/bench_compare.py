@@ -4,7 +4,7 @@ checked-in baselines (bench/baselines/) and fail on regressions.
 
 Key classification (by name, documented in README "Bench baselines"):
 
-  correctness  names matching ``error|failure|stale|mismatch``.
+  correctness  names matching ``error|failure|stale|mismatch|anomaly``.
                Hard gate: the fresh value must be 0 and must not exceed the
                baseline. These never flap (they count broken executions),
                so there is no tolerance.
@@ -36,7 +36,7 @@ import re
 import sys
 from pathlib import Path
 
-CORRECTNESS_RE = re.compile(r"error|failure|stale|mismatch|divergence")
+CORRECTNESS_RE = re.compile(r"error|failure|stale|mismatch|divergence|anomaly")
 LOWER_BETTER_RE = re.compile(r"_ms\b|_ms_|wall|_micros|misses|page_reads")
 HIGHER_BETTER_RE = re.compile(r"qps|hit_rate|speedup|items_per_sec")
 

@@ -32,6 +32,11 @@ struct CrashHarnessOptions {
   Mode mode = Mode::kMix;
   int threads = 3;
   int ops_per_thread = 400;
+  /// Run the child and the recovery database with ConcurrencyMode::kSnapshot
+  /// (MVCC). Adds a post-recovery check that the commit-timestamp high-water
+  /// mark covers every acked insert, so snapshots taken after a restart see
+  /// everything the crashed process acked.
+  bool snapshot = false;
   bool verbose = false;
 };
 
